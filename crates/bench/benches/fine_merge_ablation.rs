@@ -1,0 +1,51 @@
+//! Ablation of the fine-grain TRSVD design: operating on the
+//! *sum-distributed* matricized TTMc result through a matrix-free sum
+//! operator (the paper's choice) versus first assembling the sum into one
+//! dense matrix (the design the paper rejects because assembling costs a
+//! `Π_{t≠n} R_t`-sized message per row).
+//!
+//! The benchmark measures the per-TRSVD-solve cost of both designs on the
+//! same partial results; the communication cost avoided by the matrix-free
+//! design is reported by `table3`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linalg::lanczos::{lanczos_svd, LanczosOptions};
+use linalg::operator::{DenseOperator, LinearOperator, SumOperator};
+use linalg::Matrix;
+use std::time::Duration;
+
+fn bench_fine_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fine_merge_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    // Partial TTMc results of 8 simulated ranks: 3000 rows, width 100.
+    let parts: Vec<Matrix> = (0..8).map(|r| Matrix::random(3000, 100, r as u64)).collect();
+    let opts = LanczosOptions::default();
+
+    group.bench_function("matrix_free_sum_operator", |b| {
+        b.iter(|| {
+            let ops: Vec<DenseOperator> = parts.iter().map(DenseOperator::new).collect();
+            let refs: Vec<&dyn LinearOperator> =
+                ops.iter().map(|o| o as &dyn LinearOperator).collect();
+            let sum = SumOperator::new(refs);
+            lanczos_svd(&sum, 10, &opts)
+        })
+    });
+    group.bench_function("assemble_then_svd", |b| {
+        b.iter(|| {
+            let mut assembled = parts[0].clone();
+            for p in &parts[1..] {
+                assembled.axpy(1.0, p);
+            }
+            let op = DenseOperator::new(&assembled);
+            lanczos_svd(&op, 10, &opts)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fine_merge);
+criterion_main!(benches);

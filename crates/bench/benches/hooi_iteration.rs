@@ -1,0 +1,29 @@
+//! End-to-end benchmark of one HOOI iteration on dataset-profile tensors
+//! (the per-iteration time is what every table of the paper reports).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{DatasetProfile, ProfileName};
+use hooi::{tucker_hooi, TuckerConfig};
+use std::time::Duration;
+
+fn bench_hooi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hooi_iteration");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    for name in [ProfileName::Netflix, ProfileName::Flickr] {
+        let profile = DatasetProfile::new(name);
+        let tensor = profile.generate(30_000, 42);
+        let config = TuckerConfig::new(profile.paper_ranks().to_vec())
+            .max_iterations(1)
+            .fit_tolerance(-1.0)
+            .seed(5);
+        group.bench_function(name.as_str(), |b| b.iter(|| tucker_hooi(&tensor, &config)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hooi);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Ablation of the TTMc inner kernel: direct scaled-Kronecker accumulation
+//! (specialized one/two-factor paths) versus always materializing the full
+//! Kronecker product into a scratch buffer and then accumulating.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use linalg::Matrix;
+use sptensor::kron::{accumulate_scaled_kron, accumulate_scaled_kron_materialized};
+use std::time::Duration;
+
+fn bench_kron(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kron_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let u = Matrix::random(64, 10, 1);
+    let v = Matrix::random(64, 10, 2);
+    let rows: Vec<(usize, usize, f64)> = (0..20_000)
+        .map(|k| ((k * 7) % 64, (k * 13) % 64, (k % 17) as f64 * 0.1 - 0.8))
+        .collect();
+
+    group.bench_function("direct_accumulation_2factors", |b| {
+        b.iter(|| {
+            let mut acc = vec![0.0f64; 100];
+            let mut scratch = vec![0.0f64; 100];
+            for &(i, j, x) in &rows {
+                accumulate_scaled_kron(x, &[u.row(i), v.row(j)], &mut acc, &mut scratch);
+            }
+            acc
+        })
+    });
+    group.bench_function("materialized_accumulation_2factors", |b| {
+        b.iter(|| {
+            let mut acc = vec![0.0f64; 100];
+            let mut scratch = vec![0.0f64; 100];
+            for &(i, j, x) in &rows {
+                accumulate_scaled_kron_materialized(x, &[u.row(i), v.row(j)], &mut acc, &mut scratch);
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kron);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Benchmark of the partitioners on the fine-grain hypergraph (the
+//! preprocessing cost the paper amortizes across repeated decompositions).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{DatasetProfile, ProfileName};
+use partition::{fine_grain_hypergraph, partitioners, random_partition};
+use std::time::Duration;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("partitioners");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let profile = DatasetProfile::new(ProfileName::Nell);
+    let tensor = profile.generate(30_000, 7);
+    let h = fine_grain_hypergraph(&tensor);
+
+    group.bench_function("random_64parts", |b| {
+        b.iter(|| random_partition(h.num_vertices(), 64, 3))
+    });
+    group.bench_function("greedy_64parts", |b| {
+        b.iter(|| partitioners::greedy_partition(&h, 64, 3))
+    });
+    group.bench_function("greedy_plus_fm_64parts", |b| {
+        b.iter(|| partitioners::hypergraph_partition(&h, 64, 3))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation: reuse the symbolic TTMc across iterations (the paper's design)
+//! versus rebuilding the update lists before every numeric TTMc.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::random_tensor;
+use hooi::symbolic::SymbolicTtmc;
+use hooi::ttmc::ttmc_mode;
+use linalg::Matrix;
+use std::time::Duration;
+
+fn bench_symbolic_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symbolic_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let tensor = random_tensor(&[1500, 1200, 900], 50_000, 5);
+    let factors: Vec<Matrix> = tensor
+        .dims()
+        .iter()
+        .enumerate()
+        .map(|(m, &d)| Matrix::random(d, 8, m as u64))
+        .collect();
+    let sym = SymbolicTtmc::build(&tensor);
+
+    // Reused symbolic data (the paper's scheme): one numeric TTMc sweep over
+    // every mode.
+    group.bench_function("reuse_symbolic_all_modes", |b| {
+        b.iter(|| {
+            for mode in 0..3 {
+                let _ = ttmc_mode(&tensor, sym.mode(mode), &factors, mode);
+            }
+        })
+    });
+    // Rebuild the update lists before every numeric TTMc (what a naive
+    // implementation does each iteration).
+    group.bench_function("rebuild_symbolic_all_modes", |b| {
+        b.iter(|| {
+            let fresh = SymbolicTtmc::build(&tensor);
+            for mode in 0..3 {
+                let _ = ttmc_mode(&tensor, fresh.mode(mode), &factors, mode);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_symbolic_ablation);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Ablation of the TRSVD backend on a full HOOI run: matrix-free Lanczos
+//! (the SLEPc stand-in and default) versus the randomized range finder
+//! versus assembling the matrix and taking a dense SVD.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::{DatasetProfile, ProfileName};
+use hooi::config::TrsvdBackend;
+use hooi::{tucker_hooi, TuckerConfig};
+use std::time::Duration;
+
+fn bench_trsvd_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trsvd_ablation");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(3));
+
+    let profile = DatasetProfile::new(ProfileName::Netflix);
+    let tensor = profile.generate(25_000, 11);
+    let base = TuckerConfig::new(profile.paper_ranks().to_vec())
+        .max_iterations(1)
+        .fit_tolerance(-1.0)
+        .seed(3);
+
+    for (label, backend) in [
+        ("lanczos", TrsvdBackend::Lanczos),
+        ("randomized", TrsvdBackend::Randomized),
+        ("dense", TrsvdBackend::Dense),
+    ] {
+        let config = base.clone().trsvd(backend);
+        group.bench_function(label, |b| b.iter(|| tucker_hooi(&tensor, &config)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trsvd_ablation);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Microbenchmark of the nonzero-based TTMc kernel: parallel (rayon) versus
+//! sequential, 3-mode and 4-mode tensors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::random_tensor;
+use hooi::symbolic::SymbolicTtmc;
+use hooi::ttmc::{ttmc_mode, ttmc_mode_sequential};
+use linalg::Matrix;
+use std::time::Duration;
+
+fn factors_for(dims: &[usize], rank: usize, seed: u64) -> Vec<Matrix> {
+    dims.iter()
+        .enumerate()
+        .map(|(m, &d)| Matrix::random(d, rank, seed + m as u64))
+        .collect()
+}
+
+fn bench_ttmc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ttmc");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+
+    let t3 = random_tensor(&[2000, 1500, 800], 60_000, 7);
+    let f3 = factors_for(t3.dims(), 10, 1);
+    let sym3 = SymbolicTtmc::build(&t3);
+    group.bench_function("3mode_rank10_parallel", |b| {
+        b.iter(|| ttmc_mode(&t3, sym3.mode(0), &f3, 0))
+    });
+    group.bench_function("3mode_rank10_sequential", |b| {
+        b.iter(|| ttmc_mode_sequential(&t3, sym3.mode(0), &f3, 0))
+    });
+
+    let t4 = random_tensor(&[500, 400, 600, 300], 40_000, 9);
+    let f4 = factors_for(t4.dims(), 5, 2);
+    let sym4 = SymbolicTtmc::build(&t4);
+    group.bench_function("4mode_rank5_parallel", |b| {
+        b.iter(|| ttmc_mode(&t4, sym4.mode(2), &f4, 2))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ttmc);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Regenerates Table IV of the paper: relative time of the TTMc, TRSVD and
+//! core-tensor steps within one HOOI iteration under the 256-way `fine-hp`
+//! partition, for every dataset.
+
+use bench::{print_header, profile_tensor, sim_config, table_nnz};
+use datagen::ProfileName;
+use distsim::{simulate_iteration, DistributedSetup, Grain, MachineModel, PartitionMethod};
+
+fn main() {
+    let nnz = table_nnz();
+    // The paper uses 256 ranks on 78–140M-nonzero tensors (~400K nonzeros
+    // per rank).  To keep a comparable amount of work per rank on the
+    // scaled tensors, the rank count scales with the nonzero budget
+    // (256 ranks at 40M nonzeros ≈ 1 rank per ~150K nonzeros), and the
+    // 256-rank shares are printed as well for reference.
+    let scaled_ranks_count = (nnz / 4_000).clamp(4, 256);
+    print_header(
+        "Table IV — relative timings of TTMc / TRSVD+comm / core+comm (percent)",
+        &format!(
+            "fine-hp partition, 32 threads per rank, ~{nnz} nonzeros per tensor.\n\
+             Shares shown for {scaled_ranks_count} ranks (work per rank comparable to the paper's 256-rank runs)\n\
+             and for the paper's literal 256 ranks (where the scale-down inflates the TRSVD+comm share)."
+        ),
+    );
+
+    println!(
+        "{:<12} {:>7} {:>10} {:>14} {:>12}",
+        "Tensor", "#ranks", "TTMc %", "TRSVD+comm %", "core+comm %"
+    );
+    let machine = MachineModel::bluegene_q();
+    for name in [
+        ProfileName::Delicious,
+        ProfileName::Flickr,
+        ProfileName::Nell,
+        ProfileName::Netflix,
+    ] {
+        let (profile, tensor) = profile_tensor(name, nnz, 42);
+        let ranks = profile.paper_ranks().to_vec();
+        for num_ranks in [scaled_ranks_count, 256] {
+            let config = sim_config(num_ranks, Grain::Fine, PartitionMethod::Hypergraph, &ranks);
+            let setup = DistributedSetup::build(&tensor, &config);
+            let cost = simulate_iteration(
+                &tensor,
+                &setup,
+                &machine,
+                distsim::stats::DEFAULT_TRSVD_APPLICATIONS,
+            );
+            let (ttmc, trsvd, core) = cost.relative_shares();
+            println!(
+                "{:<12} {:>7} {:>10.1} {:>14.1} {:>12.1}",
+                name.as_str(),
+                num_ranks,
+                ttmc,
+                trsvd,
+                core
+            );
+        }
+    }
+    println!();
+    println!("Paper reference: TTMc 75.6/64.6/71.2/27.7 %, TRSVD+comm 19.2/32.6/24.8/71.6 %,");
+    println!("core+comm 5.2/2.8/4.0/0.7 % for Delicious/Flickr/NELL/Netflix.  The key shape:");
+    println!("TTMc dominates everywhere except Netflix, where TRSVD+comm takes over.");
+}

@@ -1,0 +1,146 @@
+//! Shared helpers for the experiment harness.
+//!
+//! Every table of the paper's evaluation section has a binary in
+//! `src/bin/` that regenerates it on scaled-down synthetic data (see
+//! DESIGN.md and EXPERIMENTS.md), and the design choices called out in
+//! DESIGN.md have Criterion ablation benches under `benches/`.
+
+use datagen::{DatasetProfile, ProfileName};
+use distsim::{DistributedSetup, Grain, MachineModel, PartitionMethod, SimConfig};
+use sptensor::SparseTensor;
+
+/// Default nonzero budget per synthetic dataset used by the table binaries.
+/// Large enough that skew and per-mode structure are visible, small enough
+/// that every table regenerates in seconds on a laptop.  Override with the
+/// `HYPERTENSOR_NNZ` environment variable.
+pub const DEFAULT_TABLE_NNZ: usize = 60_000;
+
+/// Returns the nonzero budget for table experiments, honouring
+/// `HYPERTENSOR_NNZ` when set.
+pub fn table_nnz() -> usize {
+    std::env::var("HYPERTENSOR_NNZ")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(DEFAULT_TABLE_NNZ)
+}
+
+/// Generates the scaled synthetic tensor of one of the paper's datasets.
+pub fn profile_tensor(name: ProfileName, nnz: usize, seed: u64) -> (DatasetProfile, SparseTensor) {
+    let profile = DatasetProfile::new(name);
+    let tensor = profile.generate(nnz, seed);
+    (profile, tensor)
+}
+
+/// The four `(grain, method)` configurations of the paper's Tables II/III,
+/// in column order: `fine-hp`, `fine-rd`, `coarse-hp`, `coarse-bl`.
+pub fn paper_configurations() -> [(Grain, PartitionMethod); 4] {
+    [
+        (Grain::Fine, PartitionMethod::Hypergraph),
+        (Grain::Fine, PartitionMethod::Random),
+        (Grain::Coarse, PartitionMethod::Hypergraph),
+        (Grain::Coarse, PartitionMethod::Block),
+    ]
+}
+
+/// Builds a simulation config with the paper's 32 threads per rank.
+pub fn sim_config(
+    num_ranks: usize,
+    grain: Grain,
+    method: PartitionMethod,
+    ranks: &[usize],
+) -> SimConfig {
+    SimConfig::new(num_ranks, grain, method, ranks.to_vec())
+}
+
+/// Simulates the per-iteration time of a configuration on a tensor.
+pub fn simulated_iteration_seconds(
+    tensor: &SparseTensor,
+    num_ranks: usize,
+    grain: Grain,
+    method: PartitionMethod,
+    ranks: &[usize],
+    threads: usize,
+) -> f64 {
+    let mut config = sim_config(num_ranks, grain, method, ranks);
+    config.threads_per_rank = threads;
+    let setup = DistributedSetup::build(tensor, &config);
+    let cost = distsim::simulate_iteration(
+        tensor,
+        &setup,
+        &MachineModel::bluegene_q(),
+        distsim::stats::DEFAULT_TRSVD_APPLICATIONS,
+    );
+    cost.total_seconds()
+}
+
+/// Formats a number in the `K`/`M` style used by the paper's Table III.
+pub fn format_kilo(x: f64) -> String {
+    if x >= 1e6 {
+        format!("{:.0}M", x / 1e6)
+    } else if x >= 1e3 {
+        format!("{:.0}K", x / 1e3)
+    } else {
+        format!("{x:.0}")
+    }
+}
+
+/// Prints a standard experiment header naming the paper artifact being
+/// regenerated.
+pub fn print_header(title: &str, detail: &str) {
+    println!("=== {title} ===");
+    println!("{detail}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profile_tensor_generates_requested_order() {
+        let (profile, tensor) = profile_tensor(ProfileName::Netflix, 2_000, 1);
+        assert_eq!(tensor.order(), 3);
+        assert_eq!(profile.paper_ranks(), &[10, 10, 10]);
+    }
+
+    #[test]
+    fn configurations_are_the_papers_four() {
+        let confs = paper_configurations();
+        assert_eq!(confs.len(), 4);
+        let labels: Vec<String> = confs
+            .iter()
+            .map(|&(g, m)| sim_config(2, g, m, &[2, 2]).label())
+            .collect();
+        assert_eq!(labels, vec!["fine-hp", "fine-rd", "coarse-hp", "coarse-bl"]);
+    }
+
+    #[test]
+    fn format_kilo_ranges() {
+        assert_eq!(format_kilo(950.0), "950");
+        assert_eq!(format_kilo(441_000.0), "441K");
+        assert_eq!(format_kilo(2_500_000.0), "2M");
+    }
+
+    #[test]
+    fn simulated_seconds_positive_and_scaling() {
+        let (_, tensor) = profile_tensor(ProfileName::Nell, 5_000, 3);
+        let t2 = simulated_iteration_seconds(
+            &tensor,
+            2,
+            Grain::Fine,
+            PartitionMethod::Random,
+            &[4, 4, 4],
+            16,
+        );
+        let t8 = simulated_iteration_seconds(
+            &tensor,
+            8,
+            Grain::Fine,
+            PartitionMethod::Random,
+            &[4, 4, 4],
+            16,
+        );
+        assert!(t2 > 0.0);
+        assert!(t8 < t2);
+    }
+}

@@ -1,0 +1,25 @@
+//! Synthetic sparse tensor generators for HyperTensor-RS.
+//!
+//! The paper evaluates on four real-world tensors (Netflix, NELL, Delicious,
+//! Flickr — Table I) that are not redistributable and are far too large for a
+//! single-node reproduction.  This crate provides the substitution described
+//! in DESIGN.md:
+//!
+//! * [`random`] — uniform random sparse tensors (used for the MET comparison
+//!   on a random `10K×10K×10K`, 1M-nonzero tensor),
+//! * [`lowrank`] — tensors sampled from a ground-truth low-rank Tucker model
+//!   plus noise (used by correctness and recovery tests),
+//! * [`zipf`] — a power-law index sampler reproducing the skewed slice-size
+//!   distributions of the real datasets,
+//! * [`profiles`] — scaled-down dataset profiles preserving mode counts,
+//!   relative mode sizes and skew of the four paper datasets.
+
+pub mod lowrank;
+pub mod profiles;
+pub mod random;
+pub mod zipf;
+
+pub use lowrank::{lowrank_tensor, LowRankSpec};
+pub use profiles::{DatasetProfile, ProfileName};
+pub use random::random_tensor;
+pub use zipf::ZipfSampler;

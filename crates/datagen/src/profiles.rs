@@ -1,0 +1,272 @@
+//! Scaled-down dataset profiles mirroring Table I of the paper.
+//!
+//! | Tensor    | I1   | I2   | I3  | I4   | #nonzeros |
+//! |-----------|------|------|-----|------|-----------|
+//! | Netflix   | 480K | 17K  | 2K  | —    | 100M      |
+//! | NELL      | 3.2M | 301  | 638K| —    | 78M       |
+//! | Delicious | 1.4K | 532K | 17M | 2.4M | 140M      |
+//! | Flickr    | 731  | 319K | 28M | 1.6M | 112M      |
+//!
+//! The real datasets are not redistributable and are too large for a
+//! single-node reproduction, so each profile generates a synthetic tensor
+//! that preserves the properties the paper's performance phenomena depend
+//! on: the number of modes, the *relative* mode sizes (Delicious/Flickr have
+//! an enormous third mode, NELL a tiny second mode, Netflix compact modes
+//! with many nonzeros per slice) and Zipf-like skew of the nonzero
+//! distribution per mode.  Absolute sizes are scaled by a target nonzero
+//! count.
+
+use crate::zipf::{scatter_index, ZipfSampler};
+use rand::distributions::{Distribution, Uniform};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use sptensor::hash::FxHashSet;
+use sptensor::SparseTensor;
+
+/// The four datasets of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProfileName {
+    /// `user × movie × time` ratings (3-mode, compact modes, dense slices).
+    Netflix,
+    /// `entity × relation × entity` knowledge-base triples (3-mode, tiny
+    /// second mode).
+    Nell,
+    /// `time × user × resource × tag` bookmarks (4-mode, huge third mode).
+    Delicious,
+    /// `time × user × photo × tag` annotations (4-mode, huge third mode).
+    Flickr,
+}
+
+impl ProfileName {
+    /// All four profiles in the order used by the paper's tables.
+    pub fn all() -> [ProfileName; 4] {
+        [
+            ProfileName::Delicious,
+            ProfileName::Flickr,
+            ProfileName::Nell,
+            ProfileName::Netflix,
+        ]
+    }
+
+    /// Display name matching the paper.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ProfileName::Netflix => "Netflix",
+            ProfileName::Nell => "NELL",
+            ProfileName::Delicious => "Delicious",
+            ProfileName::Flickr => "Flickr",
+        }
+    }
+}
+
+/// A dataset profile: full-scale shape plus skew parameters.
+#[derive(Debug, Clone)]
+pub struct DatasetProfile {
+    /// Which dataset this mimics.
+    pub name: ProfileName,
+    /// Full-scale mode sizes from Table I.
+    pub full_dims: Vec<usize>,
+    /// Full-scale nonzero count from Table I.
+    pub full_nnz: usize,
+    /// Zipf exponent per mode controlling slice-size skew.
+    pub skew: Vec<f64>,
+    /// Ranks of approximation used in the paper's experiments
+    /// (10 per mode for 3-mode tensors, 5 per mode for 4-mode tensors).
+    pub ranks: Vec<usize>,
+}
+
+impl DatasetProfile {
+    /// Returns the profile for one of the paper's datasets.
+    pub fn new(name: ProfileName) -> Self {
+        match name {
+            ProfileName::Netflix => DatasetProfile {
+                name,
+                full_dims: vec![480_000, 17_000, 2_000],
+                full_nnz: 100_000_000,
+                // Users and movies follow heavy-tailed popularity; time is
+                // nearly uniform.
+                skew: vec![1.0, 1.1, 0.3],
+                ranks: vec![10, 10, 10],
+            },
+            ProfileName::Nell => DatasetProfile {
+                name,
+                full_dims: vec![3_200_000, 301, 638_000],
+                full_nnz: 78_000_000,
+                // The relation mode (301 entries) is extremely skewed: a few
+                // relations dominate the knowledge base.
+                skew: vec![1.1, 1.4, 1.1],
+                ranks: vec![10, 10, 10],
+            },
+            ProfileName::Delicious => DatasetProfile {
+                name,
+                full_dims: vec![1_400, 532_000, 17_000_000, 2_400_000],
+                full_nnz: 140_000_000,
+                skew: vec![0.4, 1.0, 1.2, 1.2],
+                ranks: vec![5, 5, 5, 5],
+            },
+            ProfileName::Flickr => DatasetProfile {
+                name,
+                full_dims: vec![731, 319_000, 28_000_000, 1_600_000],
+                full_nnz: 112_000_000,
+                skew: vec![0.4, 1.0, 1.2, 1.2],
+                ranks: vec![5, 5, 5, 5],
+            },
+        }
+    }
+
+    /// Number of modes.
+    pub fn order(&self) -> usize {
+        self.full_dims.len()
+    }
+
+    /// Computes the scaled mode sizes for a target nonzero count.
+    ///
+    /// Nonzeros scale by `s = nnz_target / full_nnz`; mode sizes scale by
+    /// `sqrt(s)` (clamped to at least 8 and at most the full size) so that
+    /// the average number of nonzeros per slice also shrinks, keeping the
+    /// generation fast while preserving the relative shape of the modes.
+    pub fn scaled_dims(&self, nnz_target: usize) -> Vec<usize> {
+        let s = (nnz_target as f64 / self.full_nnz as f64).min(1.0);
+        let dim_scale = s.sqrt();
+        self.full_dims
+            .iter()
+            .map(|&d| ((d as f64 * dim_scale).round() as usize).clamp(8, d))
+            .collect()
+    }
+
+    /// Generates a synthetic tensor with approximately `nnz_target`
+    /// nonzeros following this profile's shape and skew.
+    pub fn generate(&self, nnz_target: usize, seed: u64) -> SparseTensor {
+        let dims = self.scaled_dims(nnz_target);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5eed_0000);
+        let samplers: Vec<ZipfSampler> = dims
+            .iter()
+            .zip(self.skew.iter())
+            .map(|(&d, &e)| ZipfSampler::new(d, e))
+            .collect();
+        let value_dist = Uniform::new(0.0, 1.0);
+
+        let capacity: f64 = dims.iter().map(|&d| d as f64).product();
+        let target = if (nnz_target as f64) > 0.5 * capacity {
+            (0.5 * capacity) as usize
+        } else {
+            nnz_target
+        };
+
+        let mut tensor = SparseTensor::with_capacity(dims.clone(), target);
+        let mut seen: FxHashSet<u128> = FxHashSet::default();
+        seen.reserve(target);
+        let mut index = vec![0usize; dims.len()];
+        let mut attempts = 0usize;
+        let max_attempts = target.saturating_mul(40).max(1000);
+        while tensor.nnz() < target && attempts < max_attempts {
+            attempts += 1;
+            for (m, sampler) in samplers.iter().enumerate() {
+                // Draw a popularity rank, then scatter it so popular ids are
+                // spread over the index range like in real data.
+                let popularity = sampler.sample(&mut rng);
+                index[m] = scatter_index(popularity, dims[m], seed ^ ((m as u64 + 1) * 0x9e37));
+            }
+            let key = sptensor::hash::linearize(&index, &dims);
+            if seen.insert(key) {
+                tensor.push(&index, value_dist.sample(&mut rng));
+            }
+        }
+        tensor
+    }
+
+    /// The per-iteration ranks of approximation the paper uses for this
+    /// dataset (`R = 10` for 3-mode, `R = 5` for 4-mode tensors).
+    pub fn paper_ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptensor::stats::tensor_stats;
+
+    #[test]
+    fn all_profiles_have_table1_shapes() {
+        let netflix = DatasetProfile::new(ProfileName::Netflix);
+        assert_eq!(netflix.full_dims, vec![480_000, 17_000, 2_000]);
+        assert_eq!(netflix.full_nnz, 100_000_000);
+        let nell = DatasetProfile::new(ProfileName::Nell);
+        assert_eq!(nell.order(), 3);
+        let delicious = DatasetProfile::new(ProfileName::Delicious);
+        assert_eq!(delicious.order(), 4);
+        assert_eq!(delicious.ranks, vec![5, 5, 5, 5]);
+        let flickr = DatasetProfile::new(ProfileName::Flickr);
+        assert_eq!(flickr.full_dims[2], 28_000_000);
+    }
+
+    #[test]
+    fn scaled_dims_preserve_relative_order() {
+        let p = DatasetProfile::new(ProfileName::Delicious);
+        let dims = p.scaled_dims(100_000);
+        assert_eq!(dims.len(), 4);
+        // The third mode remains the largest, the first the smallest.
+        assert!(dims[2] > dims[1]);
+        assert!(dims[2] > dims[3]);
+        assert!(dims[0] <= dims[1]);
+        for &d in &dims {
+            assert!(d >= 8);
+        }
+    }
+
+    #[test]
+    fn scaled_dims_never_exceed_full() {
+        let p = DatasetProfile::new(ProfileName::Netflix);
+        let dims = p.scaled_dims(1_000_000_000);
+        for (s, f) in dims.iter().zip(p.full_dims.iter()) {
+            assert!(s <= f);
+        }
+    }
+
+    #[test]
+    fn generate_produces_requested_nnz() {
+        let p = DatasetProfile::new(ProfileName::Netflix);
+        let t = p.generate(20_000, 1);
+        assert!(t.nnz() >= 19_000, "got {}", t.nnz());
+        assert!(t.validate().is_ok());
+        assert_eq!(t.order(), 3);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let p = DatasetProfile::new(ProfileName::Nell);
+        let a = p.generate(5_000, 3);
+        let b = p.generate(5_000, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generated_tensor_is_skewed() {
+        let p = DatasetProfile::new(ProfileName::Flickr);
+        let t = p.generate(30_000, 7);
+        let stats = tensor_stats(&t);
+        // The user mode (index 1) should show clear imbalance: the busiest
+        // slice has several times the average load.
+        assert!(
+            stats.modes[1].imbalance > 2.0,
+            "imbalance {}",
+            stats.modes[1].imbalance
+        );
+    }
+
+    #[test]
+    fn four_mode_profiles_generate_four_mode_tensors() {
+        for name in [ProfileName::Delicious, ProfileName::Flickr] {
+            let p = DatasetProfile::new(name);
+            let t = p.generate(5_000, 11);
+            assert_eq!(t.order(), 4);
+        }
+    }
+
+    #[test]
+    fn profile_names_roundtrip() {
+        assert_eq!(ProfileName::Netflix.as_str(), "Netflix");
+        assert_eq!(ProfileName::all().len(), 4);
+    }
+}

@@ -1,0 +1,209 @@
+//! Combines per-rank statistics with the machine model into per-iteration
+//! times — the quantities reported in the paper's Tables II, IV and V.
+//!
+//! The simulated time of one HOOI iteration is the sum over modes of
+//!
+//! * the TTMc time of the most loaded rank (compute bound, thread-scalable),
+//! * the TRSVD time of the most loaded rank (bandwidth bound) plus the
+//!   communication of factor rows and merged vector entries,
+//!
+//! plus the core-tensor formation (a small dense GEMM and an all-reduce).
+//! Attribution follows the paper's Table IV: `TTMc`, `TRSVD+comm`,
+//! `core+comm`.
+
+use crate::machine::MachineModel;
+use crate::setup::DistributedSetup;
+use crate::stats::{iteration_stats, IterationStats, ModeRankStats};
+use sptensor::SparseTensor;
+
+/// Simulated cost of one HOOI iteration.
+#[derive(Debug, Clone)]
+pub struct IterationCost {
+    /// Seconds spent in the TTMc step (max over ranks, summed over modes).
+    pub ttmc_seconds: f64,
+    /// Seconds spent in the TRSVD step including its communication.
+    pub trsvd_seconds: f64,
+    /// Seconds spent forming the core tensor including its all-reduce.
+    pub core_seconds: f64,
+    /// Per-mode `(ttmc, trsvd+comm)` breakdown.
+    pub per_mode: Vec<(f64, f64)>,
+    /// The raw statistics the cost was derived from.
+    pub stats: IterationStats,
+}
+
+impl IterationCost {
+    /// Total seconds per iteration.
+    pub fn total_seconds(&self) -> f64 {
+        self.ttmc_seconds + self.trsvd_seconds + self.core_seconds
+    }
+
+    /// Relative shares `(TTMc, TRSVD+comm, core+comm)` in percent — the rows
+    /// of the paper's Table IV.
+    pub fn relative_shares(&self) -> (f64, f64, f64) {
+        let total = self.total_seconds();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.ttmc_seconds / total,
+            100.0 * self.trsvd_seconds / total,
+            100.0 * self.core_seconds / total,
+        )
+    }
+}
+
+/// Simulates the cost of one HOOI iteration for a given data distribution.
+pub fn simulate_iteration(
+    tensor: &SparseTensor,
+    setup: &DistributedSetup,
+    machine: &MachineModel,
+    trsvd_applications: usize,
+) -> IterationCost {
+    let stats = iteration_stats(tensor, setup, trsvd_applications);
+    cost_from_stats(&stats, setup, machine, trsvd_applications)
+}
+
+/// Computes the cost from precomputed statistics (lets callers reuse the
+/// statistics for several machine configurations, e.g. the thread sweep of
+/// Table V).
+pub fn cost_from_stats(
+    stats: &IterationStats,
+    setup: &DistributedSetup,
+    machine: &MachineModel,
+    trsvd_applications: usize,
+) -> IterationCost {
+    let p = stats.num_ranks;
+    let threads = setup.config.threads_per_rank;
+    let order = stats.modes.len();
+    let ranks = &stats.tucker_ranks;
+    let mut ttmc_seconds = 0.0;
+    let mut trsvd_seconds = 0.0;
+    let mut per_mode = Vec::with_capacity(order);
+
+    for mode in 0..order {
+        let m = &stats.modes[mode];
+        let width: usize = ranks
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| t != mode)
+            .map(|(_, &r)| r)
+            .product();
+
+        // TTMc: latency-bound Kronecker accumulation, 2·width flops/nonzero.
+        let ttmc_mode = (0..p)
+            .map(|r| machine.ttmc_time(m.ttmc_nonzeros[r] as f64 * 2.0 * width as f64, threads))
+            .fold(0.0, f64::max);
+
+        // TRSVD: `trsvd_applications` sweeps of MxV + MTxV over the local
+        // (partial) rows; each sweep reads the rows once (8-byte words) and
+        // performs 4·width flops per row (2 for MxV, 2 for MTxV).
+        let trsvd_compute = (0..p)
+            .map(|r| {
+                let rows = m.trsvd_rows[r] as f64;
+                let flops = rows * width as f64 * 4.0 * trsvd_applications as f64;
+                let bytes = rows * width as f64 * 8.0 * 2.0 * trsvd_applications as f64;
+                machine.trsvd_time(flops, bytes, threads)
+            })
+            .fold(0.0, f64::max);
+
+        // Communication: the busiest rank's send+receive volume for this
+        // mode (factor rows plus fine-grain vector-entry merges).
+        let comm_words = ModeRankStats::max(&m.comm_volume) as f64;
+        let messages = if comm_words > 0.0 { (p - 1).max(1) } else { 0 };
+        let comm_time = machine.comm_time(comm_words * 8.0, messages);
+
+        ttmc_seconds += ttmc_mode;
+        trsvd_seconds += trsvd_compute + comm_time;
+        per_mode.push((ttmc_mode, trsvd_compute + comm_time));
+    }
+
+    // Core tensor: dense product U_Nᵀ · Y_(N) over the local rows of the
+    // last mode, followed by an all-reduce of the (tiny) core.
+    let last = order - 1;
+    let width_last: usize = ranks[..last].iter().product();
+    let core_flops = (0..p)
+        .map(|r| stats.modes[last].trsvd_rows[r] as f64 * width_last as f64 * ranks[last] as f64 * 2.0)
+        .fold(0.0, f64::max);
+    let core_words: usize = ranks.iter().product();
+    let core_seconds =
+        machine.gemm_time(core_flops) + machine.allreduce_time(core_words as f64 * 8.0, p);
+
+    IterationCost {
+        ttmc_seconds,
+        trsvd_seconds,
+        core_seconds,
+        per_mode,
+        stats: stats.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{Grain, PartitionMethod, SimConfig};
+    use crate::stats::DEFAULT_TRSVD_APPLICATIONS;
+    use datagen::random_tensor;
+
+    fn simulate(p: usize, grain: Grain, method: PartitionMethod, threads: usize) -> IterationCost {
+        let t = random_tensor(&[60, 50, 40], 8000, 5);
+        let mut config = SimConfig::new(p, grain, method, vec![4, 4, 4]);
+        config.threads_per_rank = threads;
+        let setup = DistributedSetup::build(&t, &config);
+        simulate_iteration(&t, &setup, &MachineModel::bluegene_q(), DEFAULT_TRSVD_APPLICATIONS)
+    }
+
+    #[test]
+    fn more_ranks_reduce_iteration_time() {
+        let t1 = simulate(1, Grain::Fine, PartitionMethod::Hypergraph, 16);
+        let t8 = simulate(8, Grain::Fine, PartitionMethod::Hypergraph, 16);
+        assert!(
+            t8.total_seconds() < t1.total_seconds(),
+            "8 ranks {} not faster than 1 rank {}",
+            t8.total_seconds(),
+            t1.total_seconds()
+        );
+    }
+
+    #[test]
+    fn more_threads_reduce_iteration_time() {
+        let t1 = simulate(2, Grain::Fine, PartitionMethod::Hypergraph, 1);
+        let t16 = simulate(2, Grain::Fine, PartitionMethod::Hypergraph, 16);
+        let t32 = simulate(2, Grain::Fine, PartitionMethod::Hypergraph, 32);
+        assert!(t16.total_seconds() < t1.total_seconds());
+        assert!(t32.total_seconds() <= t16.total_seconds());
+    }
+
+    #[test]
+    fn hypergraph_beats_random_in_simulated_time() {
+        let hp = simulate(8, Grain::Fine, PartitionMethod::Hypergraph, 16);
+        let rd = simulate(8, Grain::Fine, PartitionMethod::Random, 16);
+        assert!(
+            hp.total_seconds() <= rd.total_seconds(),
+            "fine-hp {} slower than fine-rd {}",
+            hp.total_seconds(),
+            rd.total_seconds()
+        );
+    }
+
+    #[test]
+    fn core_share_is_small() {
+        let cost = simulate(4, Grain::Fine, PartitionMethod::Hypergraph, 16);
+        let (_, _, core) = cost.relative_shares();
+        assert!(core < 20.0, "core share {core}% unexpectedly large");
+    }
+
+    #[test]
+    fn shares_sum_to_hundred() {
+        let cost = simulate(4, Grain::Coarse, PartitionMethod::Block, 16);
+        let (a, b, c) = cost.relative_shares();
+        assert!((a + b + c - 100.0).abs() < 1e-9);
+        assert_eq!(cost.per_mode.len(), 3);
+    }
+
+    #[test]
+    fn single_rank_has_only_local_cost() {
+        let cost = simulate(1, Grain::Fine, PartitionMethod::Random, 32);
+        assert_eq!(cost.stats.total_comm_volume(), 0);
+        assert!(cost.total_seconds() > 0.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Numerical distributed execution of Algorithm 4.
+//!
+//! The statistics/cost path (`stats`, `cost`) never touches floating point
+//! data; this module complements it by actually *executing* the distributed
+//! algorithm rank by rank: every rank runs the nonzero-based TTMc on its own
+//! local tensor, the partial results are merged exactly where the real
+//! implementation would communicate (row gathering for the coarse-grain
+//! algorithm, entry-wise summation inside the TRSVD operator for the
+//! fine-grain algorithm), and the TRSVD/core steps proceed on the merged
+//! data.  The outcome must agree with the shared-memory solver to floating
+//! point accuracy — that is the correctness argument for the simulator.
+//!
+//! This path is used by tests and the `distributed_scaling` example; the
+//! table-generating benches use the cost model, which scales to 256 ranks
+//! without redundantly re-executing the numerics per rank.
+
+use crate::setup::DistributedSetup;
+use hooi::config::TuckerConfig;
+use hooi::core_tensor::core_from_last_ttmc;
+use hooi::fit::fit_from_norms;
+use hooi::hosvd::random_factors;
+use hooi::symbolic::SymbolicTtmc;
+use hooi::trsvd::trsvd_factor;
+use hooi::ttmc::{ttmc_mode_sequential, ttmc_result_width};
+use hooi::TuckerDecomposition;
+use hooi::TimingBreakdown;
+use linalg::Matrix;
+use sptensor::SparseTensor;
+
+/// Computes the merged mode-`mode` TTMc result of the distributed algorithm:
+/// every rank computes its local compact result from its local tensor, and
+/// the partial rows are summed into the global compact layout given by
+/// `global_sym`.
+pub fn distributed_ttmc(
+    tensor: &SparseTensor,
+    setup: &DistributedSetup,
+    global_sym: &SymbolicTtmc,
+    factors: &[Matrix],
+    mode: usize,
+) -> Matrix {
+    let width = ttmc_result_width(factors, mode);
+    let sym_mode = global_sym.mode(mode);
+    let mut merged = Matrix::zeros(sym_mode.num_rows(), width);
+
+    for rank in 0..setup.config.num_ranks {
+        let ids = setup.nonzeros_for(mode, rank);
+        if ids.is_empty() {
+            continue;
+        }
+        // The rank's local tensor and its local symbolic data.
+        let local = tensor.subset(ids);
+        let local_sym = hooi::symbolic::SymbolicMode::build(&local, mode);
+        let local_compact = ttmc_mode_sequential(&local, &local_sym, factors, mode);
+        // Merge: add each local row into the global row with the same
+        // mode-`mode` index (this is the communication the fine-grain
+        // algorithm folds into the TRSVD solver; for the coarse-grain
+        // algorithm the row sets are disjoint so this is a pure gather).
+        for (p, &i) in local_sym.rows.iter().enumerate() {
+            let g = sym_mode
+                .position_of(i)
+                .expect("local row must exist in the global symbolic data");
+            let dst = merged.row_mut(g);
+            for (d, &s) in dst.iter_mut().zip(local_compact.row(p)) {
+                *d += s;
+            }
+        }
+    }
+    merged
+}
+
+/// Runs the distributed HOOI algorithm numerically (per-rank TTMc + merged
+/// TRSVD) and returns the same result type as the shared-memory solver.
+pub fn distributed_hooi(
+    tensor: &SparseTensor,
+    setup: &DistributedSetup,
+    config: &TuckerConfig,
+) -> TuckerDecomposition {
+    let order = tensor.order();
+    let ranks = config.clamped_ranks(tensor.dims());
+    let mut factors = random_factors(tensor.dims(), &ranks, config.seed);
+    let global_sym = SymbolicTtmc::build(tensor);
+    let tensor_norm = tensor.frobenius_norm();
+
+    let mut fits = Vec::new();
+    let mut singular_values = vec![Vec::new(); order];
+    let mut core = sptensor::DenseTensor::zeros(ranks.clone());
+    let mut iterations = 0;
+
+    for _ in 0..config.max_iterations {
+        iterations += 1;
+        let mut last_compact = None;
+        for mode in 0..order {
+            let compact = distributed_ttmc(tensor, setup, &global_sym, &factors, mode);
+            let result = trsvd_factor(
+                &compact,
+                global_sym.mode(mode),
+                tensor.dims()[mode],
+                ranks[mode],
+                config.trsvd,
+                config.seed ^ ((mode as u64 + 1) << 8),
+            );
+            factors[mode] = result.factor;
+            singular_values[mode] = result.singular_values;
+            if mode + 1 == order {
+                last_compact = Some(compact);
+            }
+        }
+        let compact = last_compact.expect("at least one mode");
+        core = core_from_last_ttmc(
+            &compact,
+            global_sym.mode(order - 1),
+            &factors[order - 1],
+            &ranks,
+        );
+        let fit = fit_from_norms(tensor_norm, core.frobenius_norm());
+        let improved = match fits.last() {
+            Some(&prev) => fit - prev > config.fit_tolerance,
+            None => true,
+        };
+        fits.push(fit);
+        if !improved {
+            break;
+        }
+    }
+
+    TuckerDecomposition {
+        core,
+        factors,
+        fits,
+        iterations,
+        singular_values,
+        timings: TimingBreakdown::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{Grain, PartitionMethod, SimConfig};
+    use datagen::random_tensor;
+    use hooi::symbolic::SymbolicTtmc;
+    use hooi::ttmc::ttmc_mode;
+    use hooi::tucker_hooi;
+
+    fn tensor() -> SparseTensor {
+        random_tensor(&[25, 20, 15], 900, 13)
+    }
+
+    fn factors_for(t: &SparseTensor, ranks: &[usize], seed: u64) -> Vec<Matrix> {
+        random_factors(t.dims(), ranks, seed)
+    }
+
+    #[test]
+    fn fine_grain_distributed_ttmc_matches_shared_memory() {
+        let t = tensor();
+        let factors = factors_for(&t, &[3, 3, 3], 5);
+        let sym = SymbolicTtmc::build(&t);
+        for method in [PartitionMethod::Random, PartitionMethod::Hypergraph] {
+            let config = SimConfig::new(6, Grain::Fine, method, vec![3, 3, 3]);
+            let setup = DistributedSetup::build(&t, &config);
+            for mode in 0..3 {
+                let dist = distributed_ttmc(&t, &setup, &sym, &factors, mode);
+                let shared = ttmc_mode(&t, sym.mode(mode), &factors, mode);
+                assert!(
+                    dist.frobenius_distance(&shared) < 1e-9 * shared.frobenius_norm().max(1.0),
+                    "{method:?} mode {mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarse_grain_distributed_ttmc_matches_shared_memory() {
+        let t = tensor();
+        let factors = factors_for(&t, &[3, 3, 3], 6);
+        let sym = SymbolicTtmc::build(&t);
+        for method in [PartitionMethod::Block, PartitionMethod::Hypergraph] {
+            let config = SimConfig::new(5, Grain::Coarse, method, vec![3, 3, 3]);
+            let setup = DistributedSetup::build(&t, &config);
+            for mode in 0..3 {
+                let dist = distributed_ttmc(&t, &setup, &sym, &factors, mode);
+                let shared = ttmc_mode(&t, sym.mode(mode), &factors, mode);
+                assert!(
+                    dist.frobenius_distance(&shared) < 1e-9 * shared.frobenius_norm().max(1.0),
+                    "{method:?} mode {mode}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distributed_hooi_matches_shared_memory_fit() {
+        let t = tensor();
+        let tucker = TuckerConfig::new(vec![3, 3, 3]).max_iterations(3).seed(9);
+        let shared = tucker_hooi(&t, &tucker);
+        for (grain, method) in [
+            (Grain::Fine, PartitionMethod::Hypergraph),
+            (Grain::Fine, PartitionMethod::Random),
+            (Grain::Coarse, PartitionMethod::Block),
+        ] {
+            let config = SimConfig::new(4, grain, method, vec![3, 3, 3]);
+            let setup = DistributedSetup::build(&t, &config);
+            let dist = distributed_hooi(&t, &setup, &tucker);
+            assert!(
+                (dist.final_fit() - shared.final_fit()).abs() < 1e-8,
+                "{grain:?}/{method:?}: {} vs {}",
+                dist.final_fit(),
+                shared.final_fit()
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_hooi_core_matches_shared_memory() {
+        let t = tensor();
+        let tucker = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2).seed(4);
+        let shared = tucker_hooi(&t, &tucker);
+        let config = SimConfig::new(3, Grain::Fine, PartitionMethod::Hypergraph, vec![2, 2, 2]);
+        let setup = DistributedSetup::build(&t, &config);
+        let dist = distributed_hooi(&t, &setup, &tucker);
+        // Cores can differ by column sign flips of the factors; compare the
+        // norms and the fits, which are sign-invariant.
+        assert!(
+            (dist.core.frobenius_norm() - shared.core.frobenius_norm()).abs()
+                < 1e-8 * shared.core.frobenius_norm().max(1.0)
+        );
+    }
+
+    #[test]
+    fn four_mode_distributed_execution() {
+        let t = random_tensor(&[10, 8, 9, 7], 400, 3);
+        let tucker = TuckerConfig::new(vec![2, 2, 2, 2]).max_iterations(2).seed(8);
+        let shared = tucker_hooi(&t, &tucker);
+        let config = SimConfig::new(4, Grain::Fine, PartitionMethod::Random, vec![2, 2, 2, 2]);
+        let setup = DistributedSetup::build(&t, &config);
+        let dist = distributed_hooi(&t, &setup, &tucker);
+        assert!((dist.final_fit() - shared.final_fit()).abs() < 1e-8);
+    }
+}

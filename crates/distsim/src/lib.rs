@@ -1,0 +1,35 @@
+//! Distributed-memory simulator for coarse- and fine-grain parallel HOOI.
+//!
+//! The paper's headline experiments (Tables II–IV) run a hybrid MPI+OpenMP
+//! implementation on an IBM BlueGene/Q with up to 256 MPI ranks × 16 cores.
+//! This crate is the substitution described in DESIGN.md: it executes the
+//! *same algorithm* (Algorithm 4 of the paper) rank by rank on one machine,
+//! accounts every word that would cross the network, and converts the
+//! measured per-rank work and communication volumes into time with an
+//! explicit BlueGene/Q-like machine model.
+//!
+//! Components:
+//!
+//! * [`machine`] — the analytic cost model (per-thread TTMc rate, bandwidth
+//!   bound TRSVD rate, network bandwidth/latency),
+//! * [`setup`] — builds the data distribution for a given grain
+//!   (coarse/fine) and partitioning method (random, block, hypergraph),
+//! * [`stats`] — per-mode, per-rank `W_TTMc`, `W_TRSVD` and communication
+//!   volumes — the raw numbers of the paper's Table III,
+//! * [`cost`] — combines statistics and machine model into per-iteration
+//!   times and phase breakdowns — Tables II, IV and V,
+//! * [`exec`] — a *numerical* distributed execution that runs per-rank
+//!   TTMc locally, merges partial results exactly as the algorithm's
+//!   communication would, and verifies bit-level agreement with the
+//!   shared-memory solver.
+
+pub mod cost;
+pub mod exec;
+pub mod machine;
+pub mod setup;
+pub mod stats;
+
+pub use cost::{simulate_iteration, IterationCost};
+pub use machine::MachineModel;
+pub use setup::{DistributedSetup, Grain, PartitionMethod, SimConfig};
+pub use stats::{iteration_stats, IterationStats, ModeRankStats};

@@ -1,0 +1,174 @@
+//! Analytic machine model used to convert measured work and communication
+//! volumes into time.
+//!
+//! The parameters default to an IBM BlueGene/Q-like node (16 PowerPC A2
+//! cores at 1.6 GHz, 4-way SMT of which the paper uses 2 threads/core,
+//! ~28 GB/s usable memory bandwidth, 5-D torus with ~1.8 GB/s per-node
+//! effective injection bandwidth, microsecond-scale latency).  Absolute
+//! numbers are *not* expected to reproduce the paper's seconds; the model's
+//! job is to preserve the ratios that shape the tables:
+//!
+//! * TTMc is latency/compute bound and scales with threads (SMT helps),
+//! * the TRSVD MxV/MTxV is memory-bandwidth bound and stops scaling once
+//!   the node bandwidth is saturated (the paper's Table V discussion),
+//! * communication cost is `volume / bandwidth + messages · latency`.
+
+/// Cost-model parameters for one node of the simulated machine.
+#[derive(Debug, Clone)]
+pub struct MachineModel {
+    /// Hardware cores per node.
+    pub cores_per_node: usize,
+    /// Effective flop rate of one thread executing the irregular,
+    /// latency-bound TTMc kernel (flops/s).
+    pub ttmc_flops_per_thread: f64,
+    /// Relative throughput gain of running a second SMT thread on a core
+    /// for the latency-bound TTMc (1.0 = no gain, 2.0 = perfect).
+    pub smt_gain: f64,
+    /// Effective flop rate of one thread executing the dense, streaming
+    /// TRSVD matrix-vector kernels (flops/s).
+    pub trsvd_flops_per_thread: f64,
+    /// Node memory bandwidth available to the TRSVD kernels (bytes/s);
+    /// caps the aggregate TRSVD rate regardless of thread count.
+    pub memory_bandwidth: f64,
+    /// Effective per-node network injection bandwidth (bytes/s).
+    pub network_bandwidth: f64,
+    /// Per-message network latency (seconds).
+    pub network_latency: f64,
+    /// Effective flop rate for the small dense BLAS-3 core-tensor product
+    /// per node (flops/s).
+    pub gemm_flops_per_node: f64,
+}
+
+impl MachineModel {
+    /// BlueGene/Q-like defaults (see the module documentation).
+    pub fn bluegene_q() -> Self {
+        MachineModel {
+            cores_per_node: 16,
+            // Irregular gather/scatter dominated: far below the 12.8 Gflop/s
+            // peak of an A2 core.
+            ttmc_flops_per_thread: 1.5e8,
+            smt_gain: 1.45,
+            trsvd_flops_per_thread: 6.0e8,
+            memory_bandwidth: 2.8e10,
+            network_bandwidth: 1.8e9,
+            network_latency: 3.0e-6,
+            gemm_flops_per_node: 8.0e10,
+        }
+    }
+
+    /// Effective number of "TTMc threads": threads beyond one per core only
+    /// contribute the SMT gain fraction.
+    pub fn effective_ttmc_threads(&self, threads: usize) -> f64 {
+        let threads = threads.max(1);
+        if threads <= self.cores_per_node {
+            threads as f64
+        } else {
+            let extra = (threads - self.cores_per_node).min(self.cores_per_node) as f64;
+            self.cores_per_node as f64 + extra * (self.smt_gain - 1.0)
+        }
+    }
+
+    /// Time for a rank to execute `flops` of TTMc work with `threads`
+    /// threads.
+    pub fn ttmc_time(&self, flops: f64, threads: usize) -> f64 {
+        flops / (self.ttmc_flops_per_thread * self.effective_ttmc_threads(threads))
+    }
+
+    /// Time for a rank to execute `flops` of TRSVD MxV/MTxV work streaming
+    /// `bytes` from memory with `threads` threads: the maximum of the
+    /// compute bound and the node bandwidth bound.
+    pub fn trsvd_time(&self, flops: f64, bytes: f64, threads: usize) -> f64 {
+        let threads = threads.max(1) as f64;
+        let compute = flops / (self.trsvd_flops_per_thread * threads.min(self.cores_per_node as f64));
+        let bandwidth = bytes / self.memory_bandwidth;
+        compute.max(bandwidth)
+    }
+
+    /// Time to transfer `bytes` in `messages` point-to-point messages from
+    /// one rank (its injection port is the bottleneck).
+    pub fn comm_time(&self, bytes: f64, messages: usize) -> f64 {
+        bytes / self.network_bandwidth + messages as f64 * self.network_latency
+    }
+
+    /// Time for an all-reduce of `bytes` over `ranks` ranks (logarithmic
+    /// latency term plus two passes of the payload).
+    pub fn allreduce_time(&self, bytes: f64, ranks: usize) -> f64 {
+        if ranks <= 1 {
+            return 0.0;
+        }
+        let rounds = (ranks as f64).log2().ceil();
+        2.0 * bytes / self.network_bandwidth + rounds * self.network_latency
+    }
+
+    /// Time for the dense core-tensor GEMM of `flops` on one node.
+    pub fn gemm_time(&self, flops: f64) -> f64 {
+        flops / self.gemm_flops_per_node
+    }
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        MachineModel::bluegene_q()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effective_threads_saturate_with_smt() {
+        let m = MachineModel::bluegene_q();
+        assert_eq!(m.effective_ttmc_threads(1), 1.0);
+        assert_eq!(m.effective_ttmc_threads(16), 16.0);
+        let t32 = m.effective_ttmc_threads(32);
+        assert!(t32 > 16.0 && t32 < 32.0);
+        // Threads beyond 2/core give nothing more.
+        assert_eq!(m.effective_ttmc_threads(64), t32);
+    }
+
+    #[test]
+    fn ttmc_time_scales_with_threads() {
+        let m = MachineModel::bluegene_q();
+        let t1 = m.ttmc_time(1e9, 1);
+        let t16 = m.ttmc_time(1e9, 16);
+        let t32 = m.ttmc_time(1e9, 32);
+        assert!(t16 < t1 / 10.0);
+        assert!(t32 < t16);
+    }
+
+    #[test]
+    fn trsvd_time_hits_bandwidth_wall() {
+        let m = MachineModel::bluegene_q();
+        // Plenty of flops per byte: compute bound, scales with threads.
+        let c1 = m.trsvd_time(1e10, 1e6, 1);
+        let c16 = m.trsvd_time(1e10, 1e6, 16);
+        assert!(c16 < c1);
+        // Few flops per byte: bandwidth bound, does not scale.
+        let b8 = m.trsvd_time(1e6, 1e10, 8);
+        let b32 = m.trsvd_time(1e6, 1e10, 32);
+        assert!((b8 - b32).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comm_time_has_latency_and_bandwidth_terms() {
+        let m = MachineModel::bluegene_q();
+        let small = m.comm_time(8.0, 1);
+        assert!(small >= m.network_latency);
+        let big = m.comm_time(1.8e9, 1);
+        assert!(big > 0.9 && big < 1.1);
+    }
+
+    #[test]
+    fn allreduce_zero_for_single_rank() {
+        let m = MachineModel::bluegene_q();
+        assert_eq!(m.allreduce_time(1e6, 1), 0.0);
+        assert!(m.allreduce_time(1e6, 256) > 0.0);
+    }
+
+    #[test]
+    fn gemm_time_positive() {
+        let m = MachineModel::bluegene_q();
+        assert!(m.gemm_time(1e9) > 0.0);
+    }
+}

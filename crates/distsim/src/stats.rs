@@ -1,0 +1,304 @@
+//! Per-mode, per-rank computation and communication statistics of one HOOI
+//! iteration — the raw material of the paper's Table III.
+//!
+//! For every mode `n` and rank `r` the simulator derives, directly from the
+//! data distribution (no numerics needed):
+//!
+//! * `W_TTMc` — the number of nonzeros rank `r` processes in the TTMc of
+//!   mode `n` (each costs `2 · Π_{t≠n} R_t` flops),
+//! * `W_TRSVD` — the number of (possibly partial) rows of `Y_(n)` the rank
+//!   holds, i.e. the rows it multiplies in every MxV/MTxV of the TRSVD
+//!   solver; in the fine-grain algorithm rows held by λ ranks count λ times
+//!   in total — the redundant work the paper ties to the hypergraph cutsize,
+//! * `Comm. vol.` — the words sent plus received by the rank for this mode:
+//!   the factor-matrix rows `U_n(i, :)` exchanged after the TRSVD update
+//!   (Algorithm 4 line 14) and, for the fine-grain algorithm, the `y`-vector
+//!   entries merged inside the TRSVD solver (one word per partially held row
+//!   per solver application).
+
+use crate::setup::{DistributedSetup, Grain};
+use sptensor::hash::FxHashSet;
+use sptensor::SparseTensor;
+
+/// Statistics of one mode for every rank.
+#[derive(Debug, Clone)]
+pub struct ModeRankStats {
+    /// The mode these statistics describe.
+    pub mode: usize,
+    /// Nonzeros processed per rank in this mode's TTMc.
+    pub ttmc_nonzeros: Vec<u64>,
+    /// (Partial) rows of `Y_(mode)` held per rank.
+    pub trsvd_rows: Vec<u64>,
+    /// Words sent + received per rank for this mode.
+    pub comm_volume: Vec<u64>,
+}
+
+impl ModeRankStats {
+    /// Maximum over ranks of a per-rank metric.
+    pub fn max(values: &[u64]) -> u64 {
+        values.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Average over ranks of a per-rank metric.
+    pub fn avg(values: &[u64]) -> f64 {
+        if values.is_empty() {
+            0.0
+        } else {
+            values.iter().sum::<u64>() as f64 / values.len() as f64
+        }
+    }
+}
+
+/// Statistics of a full HOOI iteration (every mode).
+#[derive(Debug, Clone)]
+pub struct IterationStats {
+    /// One entry per mode.
+    pub modes: Vec<ModeRankStats>,
+    /// Number of ranks.
+    pub num_ranks: usize,
+    /// Tucker ranks per mode.
+    pub tucker_ranks: Vec<usize>,
+    /// Number of operator applications assumed for the iterative TRSVD
+    /// solver when accounting its merge communication.
+    pub trsvd_applications: usize,
+}
+
+impl IterationStats {
+    /// Total communication volume (words) across all ranks and modes.
+    pub fn total_comm_volume(&self) -> u64 {
+        self.modes
+            .iter()
+            .map(|m| m.comm_volume.iter().sum::<u64>())
+            .sum()
+    }
+
+    /// Maximum per-rank communication volume over all modes.
+    pub fn max_comm_volume(&self) -> u64 {
+        self.modes
+            .iter()
+            .map(|m| ModeRankStats::max(&m.comm_volume))
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Default number of TRSVD operator applications assumed per mode: the
+/// Lanczos solver builds a subspace of about `2R + 10` vectors and the paper
+/// reports convergence in < 5 restarts, so a small constant multiple of the
+/// rank; 20 keeps the accounting conservative.
+pub const DEFAULT_TRSVD_APPLICATIONS: usize = 20;
+
+/// Computes the per-mode statistics of one HOOI iteration for a given data
+/// distribution.
+pub fn iteration_stats(
+    tensor: &SparseTensor,
+    setup: &DistributedSetup,
+    trsvd_applications: usize,
+) -> IterationStats {
+    let order = tensor.order();
+    let p = setup.config.num_ranks;
+    let ranks = setup.config.ranks.clone();
+    let mut modes = Vec::with_capacity(order);
+
+    for mode in 0..order {
+        let dim = tensor.dims()[mode];
+        // Which ranks need row i of U_mode?  A rank needs it if it processes
+        // (in the TTMc of any mode m ≠ mode) a nonzero whose mode-`mode`
+        // index is i.
+        let mut needers: Vec<FxHashSet<u32>> = Vec::new();
+        needers.resize_with(dim, FxHashSet::default);
+        // Which ranks hold a partial row i of Y_(mode)?  (= process a
+        // nonzero of slice i in the TTMc of `mode` itself.)
+        let mut holders: Vec<FxHashSet<u32>> = Vec::new();
+        holders.resize_with(dim, FxHashSet::default);
+
+        for m in 0..order {
+            for r in 0..p {
+                for &id in setup.nonzeros_for(m, r) {
+                    let i = tensor.index(id)[mode];
+                    if m == mode {
+                        holders[i].insert(r as u32);
+                    } else {
+                        needers[i].insert(r as u32);
+                    }
+                }
+            }
+        }
+
+        // W_TTMc and W_TRSVD.
+        let mut ttmc_nonzeros = vec![0u64; p];
+        for r in 0..p {
+            ttmc_nonzeros[r] = setup.nonzeros_for(mode, r).len() as u64;
+        }
+        let mut trsvd_rows = vec![0u64; p];
+        for holder_set in &holders {
+            for &r in holder_set {
+                trsvd_rows[r as usize] += 1;
+            }
+        }
+
+        // Communication volume.
+        let mut comm = vec![0u64; p];
+        let r_mode = ranks[mode] as u64;
+        for i in 0..dim {
+            let owner = setup.row_owner[mode][i];
+            if owner == u32::MAX {
+                continue;
+            }
+            // Factor-row exchange after the TRSVD update: the owner sends
+            // U_mode(i, :) to every other rank that needs it.
+            for &need in &needers[i] {
+                if need != owner {
+                    comm[owner as usize] += r_mode; // send
+                    comm[need as usize] += r_mode; // receive
+                }
+            }
+            // Fine grain: partial rows of Y_(mode) are merged entry-wise in
+            // the TRSVD solver (one word per application per partial copy).
+            if setup.config.grain == Grain::Fine {
+                let lambda = holders[i].len() as u64;
+                if lambda > 1 {
+                    let per_application = lambda - 1;
+                    for &h in &holders[i] {
+                        if h != owner {
+                            comm[h as usize] += trsvd_applications as u64;
+                        }
+                    }
+                    comm[owner as usize] += per_application * trsvd_applications as u64;
+                }
+            }
+        }
+
+        modes.push(ModeRankStats {
+            mode,
+            ttmc_nonzeros,
+            trsvd_rows,
+            comm_volume: comm,
+        });
+    }
+
+    IterationStats {
+        modes,
+        num_ranks: p,
+        tucker_ranks: ranks,
+        trsvd_applications,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::setup::{PartitionMethod, SimConfig};
+    use datagen::random_tensor;
+
+    fn tensor() -> SparseTensor {
+        random_tensor(&[30, 25, 20], 1200, 3)
+    }
+
+    fn stats_for(grain: Grain, method: PartitionMethod, p: usize) -> (SparseTensor, IterationStats) {
+        let t = tensor();
+        let config = SimConfig::new(p, grain, method, vec![4, 4, 4]);
+        let setup = DistributedSetup::build(&t, &config);
+        let stats = iteration_stats(&t, &setup, DEFAULT_TRSVD_APPLICATIONS);
+        (t, stats)
+    }
+
+    #[test]
+    fn fine_grain_ttmc_work_identical_across_modes() {
+        let (_, stats) = stats_for(Grain::Fine, PartitionMethod::Random, 4);
+        // Each rank processes its own nonzeros in every mode.
+        for r in 0..4 {
+            let w0 = stats.modes[0].ttmc_nonzeros[r];
+            for m in 1..3 {
+                assert_eq!(stats.modes[m].ttmc_nonzeros[r], w0);
+            }
+        }
+    }
+
+    #[test]
+    fn ttmc_work_sums_to_nnz_fine() {
+        let (t, stats) = stats_for(Grain::Fine, PartitionMethod::Hypergraph, 4);
+        for m in 0..3 {
+            let total: u64 = stats.modes[m].ttmc_nonzeros.iter().sum();
+            assert_eq!(total, t.nnz() as u64);
+        }
+    }
+
+    #[test]
+    fn ttmc_work_sums_to_nnz_coarse() {
+        let (t, stats) = stats_for(Grain::Coarse, PartitionMethod::Block, 4);
+        for m in 0..3 {
+            let total: u64 = stats.modes[m].ttmc_nonzeros.iter().sum();
+            assert_eq!(total, t.nnz() as u64);
+        }
+    }
+
+    #[test]
+    fn coarse_trsvd_rows_equal_nonempty_slices() {
+        let (t, stats) = stats_for(Grain::Coarse, PartitionMethod::Block, 4);
+        for m in 0..3 {
+            let total: u64 = stats.modes[m].trsvd_rows.iter().sum();
+            assert_eq!(total, t.nonempty_slices(m) as u64);
+        }
+    }
+
+    #[test]
+    fn fine_trsvd_rows_at_least_nonempty_slices() {
+        let (t, stats) = stats_for(Grain::Fine, PartitionMethod::Random, 8);
+        for m in 0..3 {
+            let total: u64 = stats.modes[m].trsvd_rows.iter().sum();
+            assert!(total >= t.nonempty_slices(m) as u64);
+        }
+    }
+
+    #[test]
+    fn single_rank_has_no_communication() {
+        let (_, stats) = stats_for(Grain::Fine, PartitionMethod::Random, 1);
+        assert_eq!(stats.total_comm_volume(), 0);
+        let (_, stats) = stats_for(Grain::Coarse, PartitionMethod::Block, 1);
+        assert_eq!(stats.total_comm_volume(), 0);
+    }
+
+    #[test]
+    fn hypergraph_partition_communicates_less_than_random() {
+        let t = random_tensor(&[40, 35, 30], 3000, 11);
+        let ranks = vec![4, 4, 4];
+        let cfg_hp = SimConfig::new(8, Grain::Fine, PartitionMethod::Hypergraph, ranks.clone());
+        let cfg_rd = SimConfig::new(8, Grain::Fine, PartitionMethod::Random, ranks);
+        let s_hp = DistributedSetup::build(&t, &cfg_hp);
+        let s_rd = DistributedSetup::build(&t, &cfg_rd);
+        let st_hp = iteration_stats(&t, &s_hp, DEFAULT_TRSVD_APPLICATIONS);
+        let st_rd = iteration_stats(&t, &s_rd, DEFAULT_TRSVD_APPLICATIONS);
+        assert!(
+            st_hp.total_comm_volume() < st_rd.total_comm_volume(),
+            "hp volume {} not below rd volume {}",
+            st_hp.total_comm_volume(),
+            st_rd.total_comm_volume()
+        );
+    }
+
+    #[test]
+    fn max_and_avg_helpers() {
+        let values = vec![1u64, 5, 3];
+        assert_eq!(ModeRankStats::max(&values), 5);
+        assert!((ModeRankStats::avg(&values) - 3.0).abs() < 1e-12);
+        assert_eq!(ModeRankStats::max(&[]), 0);
+        assert_eq!(ModeRankStats::avg(&[]), 0.0);
+    }
+
+    #[test]
+    fn comm_volume_scaled_by_rank_width() {
+        // Doubling the Tucker rank of a mode doubles the factor-row part of
+        // its communication volume.
+        let t = tensor();
+        let c1 = SimConfig::new(4, Grain::Coarse, PartitionMethod::Hypergraph, vec![2, 2, 2]);
+        let c2 = SimConfig::new(4, Grain::Coarse, PartitionMethod::Hypergraph, vec![4, 4, 4]);
+        let s1 = DistributedSetup::build(&t, &c1);
+        let s2 = DistributedSetup::build(&t, &c2);
+        let st1 = iteration_stats(&t, &s1, 0);
+        let st2 = iteration_stats(&t, &s2, 0);
+        // Same distribution (coarse partitions ignore the Tucker ranks), so
+        // volumes scale exactly by 2.
+        assert_eq!(st1.total_comm_volume() * 2, st2.total_comm_volume());
+    }
+}

@@ -1,0 +1,188 @@
+//! Configuration of the HOOI solver.
+
+/// How the factor matrices are initialized before the first HOOI iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initialization {
+    /// Random orthonormal columns (the default; cheap and what the paper's
+    /// scalability experiments effectively measure, since the per-iteration
+    /// cost does not depend on the starting point).
+    Random,
+    /// HOSVD-style initialization: leading left singular vectors of each
+    /// mode unfolding.  Only sensible for small tensors; falls back to
+    /// random when the unfolding is too large to handle (see
+    /// [`crate::hosvd`]).
+    Hosvd,
+}
+
+/// Which truncated-SVD backend updates the factor matrices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrsvdBackend {
+    /// Golub–Kahan–Lanczos with full reorthogonalization (the SLEPc
+    /// stand-in; default).
+    Lanczos,
+    /// Randomized range-finder SVD (used by the ablation benches).
+    Randomized,
+    /// Dense SVD of the explicitly assembled matricized result (only for
+    /// small problems / verification).
+    Dense,
+}
+
+/// Options controlling a Tucker-HOOI run.
+#[derive(Debug, Clone)]
+pub struct TuckerConfig {
+    /// Requested rank per mode (`R_1, …, R_N`).
+    pub ranks: Vec<usize>,
+    /// Maximum number of ALS iterations.
+    pub max_iterations: usize,
+    /// Stop when the fit improves by less than this between iterations.
+    pub fit_tolerance: f64,
+    /// Factor initialization scheme.
+    pub initialization: Initialization,
+    /// TRSVD backend.
+    pub trsvd: TrsvdBackend,
+    /// RNG seed (initialization and iterative TRSVD starting vectors).
+    pub seed: u64,
+}
+
+impl TuckerConfig {
+    /// Creates a configuration with the given ranks and the defaults used in
+    /// the paper's experiments: 5 HOOI iterations, Lanczos TRSVD, random
+    /// initialization.
+    pub fn new(ranks: Vec<usize>) -> Self {
+        assert!(!ranks.is_empty(), "at least one mode rank is required");
+        assert!(ranks.iter().all(|&r| r > 0), "ranks must be positive");
+        TuckerConfig {
+            ranks,
+            max_iterations: 5,
+            fit_tolerance: 1e-5,
+            initialization: Initialization::Random,
+            trsvd: TrsvdBackend::Lanczos,
+            seed: 0x7c4a_u64 ^ 0x00c0_ffee,
+        }
+    }
+
+    /// Uniform rank `r` across `order` modes.
+    pub fn with_uniform_rank(order: usize, r: usize) -> Self {
+        TuckerConfig::new(vec![r; order])
+    }
+
+    /// Builder-style setter for the iteration count.
+    pub fn max_iterations(mut self, iters: usize) -> Self {
+        self.max_iterations = iters;
+        self
+    }
+
+    /// Builder-style setter for the fit tolerance.
+    pub fn fit_tolerance(mut self, tol: f64) -> Self {
+        self.fit_tolerance = tol;
+        self
+    }
+
+    /// Builder-style setter for the initialization scheme.
+    pub fn initialization(mut self, init: Initialization) -> Self {
+        self.initialization = init;
+        self
+    }
+
+    /// Builder-style setter for the TRSVD backend.
+    pub fn trsvd(mut self, backend: TrsvdBackend) -> Self {
+        self.trsvd = backend;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the configuration against a tensor's mode sizes, clamping
+    /// ranks that exceed their mode size (the decomposition rank can never
+    /// exceed the dimension).
+    pub fn clamped_ranks(&self, dims: &[usize]) -> Vec<usize> {
+        assert_eq!(
+            dims.len(),
+            self.ranks.len(),
+            "configuration has {} ranks but the tensor has {} modes",
+            self.ranks.len(),
+            dims.len()
+        );
+        self.ranks
+            .iter()
+            .zip(dims.iter())
+            .map(|(&r, &d)| r.min(d))
+            .collect()
+    }
+
+    /// Product of the ranks of all modes except `mode` — the width of the
+    /// mode-`mode` matricized TTMc result.
+    pub fn ttmc_width(&self, mode: usize) -> usize {
+        self.ranks
+            .iter()
+            .enumerate()
+            .filter(|&(m, _)| m != mode)
+            .map(|(_, &r)| r)
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = TuckerConfig::new(vec![10, 10, 10]);
+        assert_eq!(c.max_iterations, 5);
+        assert_eq!(c.trsvd, TrsvdBackend::Lanczos);
+        assert_eq!(c.initialization, Initialization::Random);
+    }
+
+    #[test]
+    fn uniform_rank_constructor() {
+        let c = TuckerConfig::with_uniform_rank(4, 5);
+        assert_eq!(c.ranks, vec![5, 5, 5, 5]);
+    }
+
+    #[test]
+    fn builder_setters() {
+        let c = TuckerConfig::new(vec![3, 3])
+            .max_iterations(12)
+            .fit_tolerance(1e-9)
+            .initialization(Initialization::Hosvd)
+            .trsvd(TrsvdBackend::Dense)
+            .seed(99);
+        assert_eq!(c.max_iterations, 12);
+        assert_eq!(c.fit_tolerance, 1e-9);
+        assert_eq!(c.initialization, Initialization::Hosvd);
+        assert_eq!(c.trsvd, TrsvdBackend::Dense);
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn clamped_ranks_respect_dims() {
+        let c = TuckerConfig::new(vec![10, 10, 10]);
+        assert_eq!(c.clamped_ranks(&[100, 5, 50]), vec![10, 5, 10]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn clamped_ranks_arity_mismatch() {
+        let c = TuckerConfig::new(vec![10, 10]);
+        let _ = c.clamped_ranks(&[100, 100, 100]);
+    }
+
+    #[test]
+    fn ttmc_width_excludes_mode() {
+        let c = TuckerConfig::new(vec![2, 3, 4]);
+        assert_eq!(c.ttmc_width(0), 12);
+        assert_eq!(c.ttmc_width(1), 8);
+        assert_eq!(c.ttmc_width(2), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rank_rejected() {
+        let _ = TuckerConfig::new(vec![2, 0]);
+    }
+}

@@ -1,0 +1,351 @@
+//! The HOOI driver (paper Algorithm 3): shared-memory parallel Tucker-ALS.
+//!
+//! Per iteration, for every mode `n`:
+//!
+//! 1. numeric TTMc (`Y_(n) ← X ×_{-n} U_tᵀ`, parallel over the rows of
+//!    `J_n` using the precomputed symbolic update lists),
+//! 2. TRSVD (`U_n ←` leading `R_n` left singular vectors of `Y_(n)`).
+//!
+//! After the last mode, the core tensor is extracted from the already
+//! available TTMc result and the fit is monitored.  Wall-clock time is
+//! accounted per phase (symbolic, TTMc, TRSVD, core) because the paper's
+//! Tables IV and V report exactly those breakdowns.
+
+use crate::config::{Initialization, TuckerConfig};
+use crate::core_tensor::core_from_last_ttmc;
+use crate::fit::fit_from_norms;
+use crate::hosvd::{hosvd_factors, random_factors};
+use crate::symbolic::SymbolicTtmc;
+use crate::trsvd::trsvd_factor;
+use crate::ttmc::ttmc_mode;
+use linalg::Matrix;
+use sptensor::{DenseTensor, SparseTensor};
+use std::time::{Duration, Instant};
+
+/// Wall-clock time spent in each phase of a HOOI run.
+#[derive(Debug, Clone, Default)]
+pub struct TimingBreakdown {
+    /// Symbolic TTMc preprocessing (once, before the iterations).
+    pub symbolic: Duration,
+    /// Numeric TTMc across all iterations and modes.
+    pub ttmc: Duration,
+    /// TRSVD across all iterations and modes.
+    pub trsvd: Duration,
+    /// Core tensor formation across all iterations.
+    pub core: Duration,
+}
+
+impl TimingBreakdown {
+    /// Total time across all phases.
+    pub fn total(&self) -> Duration {
+        self.symbolic + self.ttmc + self.trsvd + self.core
+    }
+
+    /// Time spent inside the iteration loop (everything but symbolic).
+    pub fn iteration_time(&self) -> Duration {
+        self.ttmc + self.trsvd + self.core
+    }
+
+    /// Relative share (in percent) of TTMc, TRSVD and core within the
+    /// iteration time — the rows of the paper's Table IV.
+    pub fn relative_shares(&self) -> (f64, f64, f64) {
+        let total = self.iteration_time().as_secs_f64();
+        if total == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.ttmc.as_secs_f64() / total,
+            100.0 * self.trsvd.as_secs_f64() / total,
+            100.0 * self.core.as_secs_f64() / total,
+        )
+    }
+}
+
+/// The result of a Tucker-HOOI run.
+#[derive(Debug, Clone)]
+pub struct TuckerDecomposition {
+    /// The core tensor `G` (`R_1 × … × R_N`).
+    pub core: DenseTensor,
+    /// The factor matrices `U_n` (`I_n × R_n`), orthonormal columns.
+    pub factors: Vec<Matrix>,
+    /// The fit after each completed iteration (1 = exact).
+    pub fits: Vec<f64>,
+    /// Number of ALS iterations performed.
+    pub iterations: usize,
+    /// Leading singular values of the final TRSVD per mode.
+    pub singular_values: Vec<Vec<f64>>,
+    /// Wall-clock breakdown.
+    pub timings: TimingBreakdown,
+}
+
+impl TuckerDecomposition {
+    /// The fit reached at the end of the run (1 = exact reconstruction).
+    pub fn final_fit(&self) -> f64 {
+        self.fits.last().copied().unwrap_or(0.0)
+    }
+
+    /// The ranks of the decomposition.
+    pub fn ranks(&self) -> Vec<usize> {
+        self.factors.iter().map(|u| u.ncols()).collect()
+    }
+}
+
+/// Runs shared-memory parallel HOOI on a sparse tensor.
+///
+/// # Panics
+/// Panics if the configuration's rank count does not match the tensor order.
+pub fn tucker_hooi(tensor: &SparseTensor, config: &TuckerConfig) -> TuckerDecomposition {
+    let order = tensor.order();
+    let ranks = config.clamped_ranks(tensor.dims());
+    let mut timings = TimingBreakdown::default();
+
+    // Factor initialization.
+    let mut factors = match config.initialization {
+        Initialization::Random => random_factors(tensor.dims(), &ranks, config.seed),
+        Initialization::Hosvd => hosvd_factors(tensor, &ranks, 2_000_000, config.seed),
+    };
+
+    // Symbolic TTMc (once, in parallel over modes).
+    let t0 = Instant::now();
+    let symbolic = SymbolicTtmc::build(tensor);
+    timings.symbolic = t0.elapsed();
+
+    let tensor_norm = tensor.frobenius_norm();
+    let mut fits: Vec<f64> = Vec::with_capacity(config.max_iterations);
+    let mut singular_values = vec![Vec::new(); order];
+    let mut core = DenseTensor::zeros(ranks.clone());
+    let mut iterations = 0;
+
+    for _iter in 0..config.max_iterations {
+        iterations += 1;
+        let mut last_compact: Option<Matrix> = None;
+
+        for mode in 0..order {
+            let t_ttmc = Instant::now();
+            let compact = ttmc_mode(tensor, symbolic.mode(mode), &factors, mode);
+            timings.ttmc += t_ttmc.elapsed();
+
+            let t_trsvd = Instant::now();
+            let result = trsvd_factor(
+                &compact,
+                symbolic.mode(mode),
+                tensor.dims()[mode],
+                ranks[mode],
+                config.trsvd,
+                config.seed ^ ((mode as u64 + 1) << 8),
+            );
+            timings.trsvd += t_trsvd.elapsed();
+
+            factors[mode] = result.factor;
+            singular_values[mode] = result.singular_values;
+            if mode + 1 == order {
+                last_compact = Some(compact);
+            }
+        }
+
+        // Core tensor from the last mode's TTMc result (already computed
+        // with all other factors at their new values).
+        let t_core = Instant::now();
+        let compact = last_compact.expect("at least one mode");
+        core = core_from_last_ttmc(&compact, symbolic.mode(order - 1), &factors[order - 1], &ranks);
+        timings.core += t_core.elapsed();
+
+        let fit = fit_from_norms(tensor_norm, core.frobenius_norm());
+        let improved = match fits.last() {
+            Some(&prev) => fit - prev > config.fit_tolerance,
+            None => true,
+        };
+        fits.push(fit);
+        if !improved {
+            break;
+        }
+    }
+
+    TuckerDecomposition {
+        core,
+        factors,
+        fits,
+        iterations,
+        singular_values,
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrsvdBackend;
+    use crate::fit::{full_relative_error, rmse_at_nonzeros};
+    use datagen::{lowrank_tensor, random_tensor, LowRankSpec};
+    use linalg::qr::orthogonality_error;
+
+    #[test]
+    fn hooi_fit_at_least_matches_planted_model() {
+        // A partially sampled low-rank tensor (zeros at the unsampled
+        // positions) is no longer exactly low rank, so HOOI cannot recover
+        // the planted model exactly; it must however reach a fit at least as
+        // good as the planted factors evaluated on the *sampled* tensor,
+        // since ALS monotonically improves the fit from any starting point
+        // and the planted factors are one admissible candidate.
+        let lr = lowrank_tensor(&LowRankSpec {
+            dims: vec![25, 20, 15],
+            ranks: vec![3, 3, 2],
+            nnz: 25 * 20 * 15 / 3,
+            noise: 0.0,
+            seed: 42,
+        });
+        let config = TuckerConfig::new(vec![3, 3, 2]).max_iterations(10).seed(7);
+        let result = tucker_hooi(&lr.tensor, &config);
+        let planted_core = crate::core_tensor::core_from_scratch(&lr.tensor, &lr.factors);
+        let planted_fit = crate::fit::fit_from_norms(
+            lr.tensor.frobenius_norm(),
+            planted_core.frobenius_norm(),
+        );
+        assert!(
+            result.final_fit() >= planted_fit - 0.02,
+            "HOOI fit {} vs planted fit {planted_fit}",
+            result.final_fit()
+        );
+        // The model should still explain the observed entries far better
+        // than predicting zero everywhere.
+        let rmse = rmse_at_nonzeros(&lr.tensor, &result.core, &result.factors);
+        let scale = lr.tensor.frobenius_norm() / (lr.tensor.nnz() as f64).sqrt();
+        assert!(rmse < scale, "rmse {rmse} vs scale {scale}");
+    }
+
+    #[test]
+    fn recovers_fully_observed_lowrank_tensor_exactly() {
+        // Fully sampled low-rank tensor: HOOI with the planted ranks must
+        // reach fit ≈ 1.
+        let dims = vec![12, 10, 8];
+        let total: usize = dims.iter().product();
+        let lr = lowrank_tensor(&LowRankSpec {
+            dims: dims.clone(),
+            ranks: vec![2, 2, 2],
+            nnz: total,
+            noise: 0.0,
+            seed: 5,
+        });
+        assert_eq!(lr.tensor.nnz(), total);
+        let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(15).seed(3);
+        let result = tucker_hooi(&lr.tensor, &config);
+        assert!(
+            result.final_fit() > 0.999,
+            "fit {} should be ~1",
+            result.final_fit()
+        );
+        let err = full_relative_error(&lr.tensor, &result.core, &result.factors, 1_000_000);
+        assert!(err < 1e-3, "relative error {err}");
+    }
+
+    #[test]
+    fn factors_are_orthonormal() {
+        let t = random_tensor(&[30, 25, 20], 2000, 11);
+        let config = TuckerConfig::new(vec![4, 4, 4]).max_iterations(3);
+        let result = tucker_hooi(&t, &config);
+        for u in &result.factors {
+            assert!(orthogonality_error(u) < 1e-6);
+        }
+        assert_eq!(result.core.dims(), &[4, 4, 4]);
+    }
+
+    #[test]
+    fn fit_is_monotone_nondecreasing() {
+        let t = random_tensor(&[20, 20, 20], 1500, 3);
+        let config = TuckerConfig::new(vec![3, 3, 3])
+            .max_iterations(6)
+            .fit_tolerance(-1.0); // never early-stop
+        let result = tucker_hooi(&t, &config);
+        for w in result.fits.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-8,
+                "fit decreased: {} -> {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn early_stopping_respects_tolerance() {
+        let t = random_tensor(&[15, 15, 15], 800, 9);
+        let config = TuckerConfig::new(vec![2, 2, 2])
+            .max_iterations(50)
+            .fit_tolerance(0.5); // huge tolerance: stop after 2 iterations
+        let result = tucker_hooi(&t, &config);
+        assert!(result.iterations <= 3);
+    }
+
+    #[test]
+    fn works_on_4mode_tensor() {
+        let t = random_tensor(&[10, 12, 8, 6], 600, 17);
+        let config = TuckerConfig::new(vec![2, 2, 2, 2]).max_iterations(3);
+        let result = tucker_hooi(&t, &config);
+        assert_eq!(result.core.dims(), &[2, 2, 2, 2]);
+        assert_eq!(result.factors.len(), 4);
+        assert!(result.final_fit() > 0.0);
+    }
+
+    #[test]
+    fn ranks_clamped_to_dims() {
+        let t = random_tensor(&[5, 30, 30], 400, 2);
+        let config = TuckerConfig::new(vec![10, 4, 4]).max_iterations(2);
+        let result = tucker_hooi(&t, &config);
+        assert_eq!(result.ranks(), vec![5, 4, 4]);
+    }
+
+    #[test]
+    fn backends_reach_similar_fit() {
+        let t = random_tensor(&[25, 20, 15], 1200, 5);
+        let base = TuckerConfig::new(vec![3, 3, 3]).max_iterations(4).seed(1);
+        let lanczos = tucker_hooi(&t, &base.clone().trsvd(TrsvdBackend::Lanczos));
+        let dense = tucker_hooi(&t, &base.clone().trsvd(TrsvdBackend::Dense));
+        let randomized = tucker_hooi(&t, &base.clone().trsvd(TrsvdBackend::Randomized));
+        assert!((lanczos.final_fit() - dense.final_fit()).abs() < 1e-3);
+        assert!((randomized.final_fit() - dense.final_fit()).abs() < 5e-3);
+    }
+
+    #[test]
+    fn hosvd_init_at_least_as_good_as_random_on_lowrank() {
+        let lr = lowrank_tensor(&LowRankSpec {
+            dims: vec![15, 12, 10],
+            ranks: vec![2, 2, 2],
+            nnz: 15 * 12 * 10,
+            noise: 0.01,
+            seed: 21,
+        });
+        let base = TuckerConfig::new(vec![2, 2, 2]).max_iterations(1).seed(4);
+        let random = tucker_hooi(&lr.tensor, &base.clone());
+        let hosvd = tucker_hooi(
+            &lr.tensor,
+            &base.clone().initialization(Initialization::Hosvd),
+        );
+        // After a single iteration the HOSVD start should not be worse by
+        // more than a small margin (it is usually better).
+        assert!(hosvd.final_fit() >= random.final_fit() - 0.05);
+    }
+
+    #[test]
+    fn timing_breakdown_is_populated() {
+        let t = random_tensor(&[40, 40, 40], 4000, 7);
+        let config = TuckerConfig::new(vec![4, 4, 4]).max_iterations(2);
+        let result = tucker_hooi(&t, &config);
+        assert!(result.timings.ttmc > Duration::ZERO);
+        assert!(result.timings.trsvd > Duration::ZERO);
+        assert!(result.timings.total() >= result.timings.iteration_time());
+        let (a, b, c) = result.timings.relative_shares();
+        assert!((a + b + c - 100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn singular_values_recorded_per_mode() {
+        let t = random_tensor(&[20, 20, 20], 1000, 13);
+        let config = TuckerConfig::new(vec![3, 3, 3]).max_iterations(2);
+        let result = tucker_hooi(&t, &config);
+        assert_eq!(result.singular_values.len(), 3);
+        for sv in &result.singular_values {
+            assert_eq!(sv.len(), 3);
+            assert!(sv[0] >= sv[1]);
+        }
+    }
+}

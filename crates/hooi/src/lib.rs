@@ -1,0 +1,41 @@
+//! Sparse Tucker decomposition via HOOI — the primary contribution of
+//! Kaya & Uçar (ICPP 2016), reimplemented in Rust.
+//!
+//! The pipeline mirrors the paper's Algorithm 3:
+//!
+//! 1. [`symbolic`] — the *symbolic TTMc* preprocessing step: for every mode
+//!    `n`, build the update list `ul_n(i)` of nonzeros contributing to row
+//!    `i` of the matricized TTMc result, so that the numeric step is
+//!    lock-free and all index arithmetic is hoisted out of the HOOI loop.
+//! 2. [`ttmc`] — the *nonzero-based* numeric TTMc (paper Eq. (4) /
+//!    Algorithm 2): each nonzero contributes `x · ⊗_{t≠n} U_t(i_t, :)` to
+//!    its row, computed in parallel over rows with rayon.
+//! 3. [`trsvd`] — the truncated SVD of the matricized result using the
+//!    matrix-free Lanczos solver (the SLEPc stand-in), or alternatives.
+//! 4. [`hooi`] — the ALS driver: per-mode TTMc + TRSVD, core tensor
+//!    formation, fit monitoring, and timing breakdowns used by the
+//!    experiment tables.
+//!
+//! Baselines and extras:
+//!
+//! * [`met`] — a MET-style (Kolda & Sun) TTM-chain baseline that
+//!   materializes semi-sparse intermediates, used in the paper's
+//!   single-core comparison;
+//! * [`hosvd`] — HOSVD-style initialization for small tensors plus the
+//!   default random initialization;
+//! * [`core_tensor`], [`fit`] — core extraction and fit/error metrics.
+
+pub mod config;
+pub mod core_tensor;
+pub mod fit;
+pub mod hosvd;
+pub mod hooi;
+pub mod met;
+pub mod symbolic;
+pub mod trsvd;
+pub mod ttmc;
+
+pub use config::{Initialization, TrsvdBackend, TuckerConfig};
+pub use hooi::{tucker_hooi, TuckerDecomposition, TimingBreakdown};
+pub use symbolic::{SymbolicMode, SymbolicTtmc};
+pub use ttmc::{ttmc_mode, ttmc_mode_sequential};

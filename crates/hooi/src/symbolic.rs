@@ -1,0 +1,252 @@
+//! Symbolic TTMc — the preprocessing step of the paper (§III-A1).
+//!
+//! For each mode `n`, the nonzero-based TTMc adds one scaled Kronecker
+//! product per nonzero to row `i_n` of the matricized result.  Two threads
+//! processing nonzeros with the same `i_n` would race; instead of locks, the
+//! paper performs one pass over the data *before* the HOOI iterations to
+//! build, for every mode, the *update list* `ul_n(i)`: the nonzeros whose
+//! mode-`n` index is `i`.  The set `J_n` of rows with non-empty lists is
+//! kept alongside.  During the numeric TTMc each row is then an independent
+//! task — embarrassingly parallel, lock-free, and the index arithmetic is
+//! done exactly once regardless of how many HOOI iterations (or how many
+//! different rank configurations) follow.
+//!
+//! The update lists store nonzero *ids* (positions in the COO arrays), not
+//! copies of the nonzeros, exactly as the paper describes.
+
+use rayon::prelude::*;
+use sptensor::hash::FxHashMap;
+use sptensor::SparseTensor;
+
+/// Update lists for one mode, in CSR-like form.
+#[derive(Debug, Clone)]
+pub struct SymbolicMode {
+    /// The mode this structure describes.
+    pub mode: usize,
+    /// Sorted list of row indices with at least one nonzero (`J_n`).
+    pub rows: Vec<usize>,
+    /// Offsets into [`nonzero_ids`](Self::nonzero_ids); `row_ptr[p]..row_ptr[p+1]`
+    /// is the update list of `rows[p]`.
+    pub row_ptr: Vec<usize>,
+    /// Nonzero ids grouped by row.
+    pub nonzero_ids: Vec<usize>,
+    /// Inverse map from a global row index to its position in
+    /// [`rows`](Self::rows).
+    row_pos: FxHashMap<usize, usize>,
+}
+
+impl SymbolicMode {
+    /// Builds the update lists for `mode` with a counting pass followed by a
+    /// filling pass (two passes over the nonzeros, no sort).
+    pub fn build(tensor: &SparseTensor, mode: usize) -> Self {
+        assert!(mode < tensor.order());
+        let dim = tensor.dims()[mode];
+        // Pass 1: count nonzeros per row.
+        let mut counts = vec![0usize; dim];
+        for t in 0..tensor.nnz() {
+            counts[tensor.index(t)[mode]] += 1;
+        }
+        // Compact to nonempty rows.
+        let rows: Vec<usize> = (0..dim).filter(|&i| counts[i] > 0).collect();
+        let mut row_pos = FxHashMap::default();
+        row_pos.reserve(rows.len());
+        for (p, &i) in rows.iter().enumerate() {
+            row_pos.insert(i, p);
+        }
+        let mut row_ptr = Vec::with_capacity(rows.len() + 1);
+        row_ptr.push(0usize);
+        for &i in &rows {
+            row_ptr.push(row_ptr.last().unwrap() + counts[i]);
+        }
+        // Pass 2: fill the ids.
+        let mut cursor: Vec<usize> = row_ptr[..rows.len()].to_vec();
+        let mut nonzero_ids = vec![0usize; tensor.nnz()];
+        for t in 0..tensor.nnz() {
+            let i = tensor.index(t)[mode];
+            let p = row_pos[&i];
+            nonzero_ids[cursor[p]] = t;
+            cursor[p] += 1;
+        }
+        SymbolicMode {
+            mode,
+            rows,
+            row_ptr,
+            nonzero_ids,
+            row_pos,
+        }
+    }
+
+    /// Number of non-empty rows (`|J_n|`).
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The update list (nonzero ids) of the `p`-th non-empty row.
+    pub fn update_list(&self, p: usize) -> &[usize] {
+        &self.nonzero_ids[self.row_ptr[p]..self.row_ptr[p + 1]]
+    }
+
+    /// Position of global row `i` in [`rows`](Self::rows), if non-empty.
+    pub fn position_of(&self, i: usize) -> Option<usize> {
+        self.row_pos.get(&i).copied()
+    }
+
+    /// The length of the longest update list — the largest atomic task in
+    /// this mode, which bounds the parallel load imbalance.
+    pub fn max_update_list_len(&self) -> usize {
+        (0..self.num_rows())
+            .map(|p| self.row_ptr[p + 1] - self.row_ptr[p])
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// Symbolic TTMc data for every mode of a tensor.
+#[derive(Debug, Clone)]
+pub struct SymbolicTtmc {
+    /// One [`SymbolicMode`] per mode, in mode order.
+    pub modes: Vec<SymbolicMode>,
+}
+
+impl SymbolicTtmc {
+    /// Builds the update lists of all modes; modes are processed in parallel
+    /// (the "symbolic TTMc of each dimension can be performed independently"
+    /// observation of the paper).
+    pub fn build(tensor: &SparseTensor) -> Self {
+        let modes: Vec<SymbolicMode> = (0..tensor.order())
+            .into_par_iter()
+            .map(|m| SymbolicMode::build(tensor, m))
+            .collect();
+        SymbolicTtmc { modes }
+    }
+
+    /// Sequential variant, used to measure the benefit of mode-parallel
+    /// symbolic construction.
+    pub fn build_sequential(tensor: &SparseTensor) -> Self {
+        let modes: Vec<SymbolicMode> = (0..tensor.order())
+            .map(|m| SymbolicMode::build(tensor, m))
+            .collect();
+        SymbolicTtmc { modes }
+    }
+
+    /// The symbolic data for one mode.
+    pub fn mode(&self, mode: usize) -> &SymbolicMode {
+        &self.modes[mode]
+    }
+
+    /// Number of modes.
+    pub fn order(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Total memory footprint of the symbolic structures in bytes
+    /// (approximate; used in the experiment reports).
+    pub fn memory_bytes(&self) -> usize {
+        self.modes
+            .iter()
+            .map(|m| {
+                (m.rows.len() + m.row_ptr.len() + m.nonzero_ids.len()) * std::mem::size_of::<usize>()
+                    + m.rows.len() * 2 * std::mem::size_of::<usize>()
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseTensor {
+        SparseTensor::from_entries(
+            vec![4, 3, 5],
+            &[
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 1, 2], 2.0),
+                (vec![2, 1, 2], 3.0),
+                (vec![2, 2, 4], 4.0),
+                (vec![3, 0, 0], 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn rows_are_nonempty_and_sorted() {
+        let t = sample();
+        let s = SymbolicMode::build(&t, 0);
+        assert_eq!(s.rows, vec![0, 2, 3]);
+        assert_eq!(s.num_rows(), 3);
+    }
+
+    #[test]
+    fn update_lists_cover_all_nonzeros_exactly_once() {
+        let t = sample();
+        for mode in 0..3 {
+            let s = SymbolicMode::build(&t, mode);
+            let mut all: Vec<usize> = Vec::new();
+            for p in 0..s.num_rows() {
+                all.extend_from_slice(s.update_list(p));
+            }
+            all.sort_unstable();
+            assert_eq!(all, (0..t.nnz()).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn update_list_members_have_matching_index() {
+        let t = sample();
+        for mode in 0..3 {
+            let s = SymbolicMode::build(&t, mode);
+            for (p, &row) in s.rows.iter().enumerate() {
+                for &id in s.update_list(p) {
+                    assert_eq!(t.index(id)[mode], row);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn position_of_maps_back() {
+        let t = sample();
+        let s = SymbolicMode::build(&t, 0);
+        assert_eq!(s.position_of(2), Some(1));
+        assert_eq!(s.position_of(1), None);
+        assert_eq!(s.position_of(3), Some(2));
+    }
+
+    #[test]
+    fn max_update_list_len_matches_histogram() {
+        let t = sample();
+        let s = SymbolicMode::build(&t, 0);
+        assert_eq!(s.max_update_list_len(), 2);
+        let s1 = SymbolicMode::build(&t, 1);
+        assert_eq!(s1.max_update_list_len(), 2);
+    }
+
+    #[test]
+    fn parallel_and_sequential_builds_agree() {
+        let t = sample();
+        let a = SymbolicTtmc::build(&t);
+        let b = SymbolicTtmc::build_sequential(&t);
+        assert_eq!(a.order(), b.order());
+        for m in 0..3 {
+            assert_eq!(a.mode(m).rows, b.mode(m).rows);
+            assert_eq!(a.mode(m).row_ptr, b.mode(m).row_ptr);
+            assert_eq!(a.mode(m).nonzero_ids, b.mode(m).nonzero_ids);
+        }
+    }
+
+    #[test]
+    fn empty_tensor_symbolic() {
+        let t = SparseTensor::new(vec![3, 3]);
+        let s = SymbolicTtmc::build(&t);
+        assert_eq!(s.mode(0).num_rows(), 0);
+        assert_eq!(s.mode(0).max_update_list_len(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_nonzero_for_nonempty() {
+        let t = sample();
+        let s = SymbolicTtmc::build(&t);
+        assert!(s.memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,223 @@
+//! The TRSVD step: leading left singular vectors of the matricized TTMc
+//! result (paper §III-A2).
+//!
+//! The matricized result `Y_(n)` is `I_n × Π_{t≠n} R_t`; `I_n` can be in the
+//! millions, so forming the Gram matrix `Y_(n) Y_(n)ᵀ` (the dense-Tucker
+//! approach of Austin et al.) is infeasible, and direct SVD methods compute
+//! all singular values when only `R_n` are needed.  The paper therefore uses
+//! a matrix-free iterative solver (SLEPc); here the [`linalg::lanczos`]
+//! solver plays that role, with the randomized and dense backends available
+//! for comparison and verification.
+//!
+//! The solver sees only the *compact* TTMc result (non-empty rows); the
+//! recovered left singular vectors are scattered back into the full factor
+//! matrix, with rows of empty slices left at zero (those rows never
+//! participate in any TTMc).
+
+use crate::config::TrsvdBackend;
+use crate::symbolic::SymbolicMode;
+use linalg::lanczos::{lanczos_svd, LanczosOptions};
+use linalg::operator::DenseOperator;
+use linalg::randomized::{randomized_svd, RandomizedOptions};
+use linalg::svd::dense_svd;
+use linalg::Matrix;
+
+/// Outcome of a TRSVD step.
+#[derive(Debug, Clone)]
+pub struct TrsvdResult {
+    /// The updated factor matrix `U_n` (`I_n × R_n`), rows of empty slices
+    /// are zero.
+    pub factor: Matrix,
+    /// The leading singular values of the matricized TTMc result.
+    pub singular_values: Vec<f64>,
+    /// Number of operator applications (MxV + MTxV) used by the iterative
+    /// solver (0 for the dense backend).
+    pub operator_applications: usize,
+}
+
+/// Computes the `rank` leading left singular vectors of the compact TTMc
+/// result and scatters them into a full `dim × rank` factor matrix.
+///
+/// * `compact` — `|J_n| × Π_{t≠n} R_t` TTMc result,
+/// * `sym` — the symbolic data of the mode (provides the row mapping),
+/// * `dim` — the full mode size `I_n`.
+pub fn trsvd_factor(
+    compact: &Matrix,
+    sym: &SymbolicMode,
+    dim: usize,
+    rank: usize,
+    backend: TrsvdBackend,
+    seed: u64,
+) -> TrsvdResult {
+    assert_eq!(compact.nrows(), sym.num_rows());
+    let effective_rank = rank.min(compact.nrows().max(1)).min(compact.ncols().max(1));
+    let (u_compact, singular_values, applications) = if compact.nrows() == 0 {
+        (Matrix::zeros(0, rank), vec![0.0; rank], 0)
+    } else {
+        match backend {
+            TrsvdBackend::Lanczos => {
+                let op = DenseOperator::parallel(compact);
+                let opts = LanczosOptions {
+                    seed,
+                    ..LanczosOptions::default()
+                };
+                let svd = lanczos_svd(&op, effective_rank, &opts);
+                (svd.u, svd.singular_values, svd.operator_applications)
+            }
+            TrsvdBackend::Randomized => {
+                let op = DenseOperator::parallel(compact);
+                let opts = RandomizedOptions {
+                    seed,
+                    ..RandomizedOptions::default()
+                };
+                let svd = randomized_svd(&op, effective_rank, &opts);
+                (svd.u, svd.singular_values, svd.operator_applications)
+            }
+            TrsvdBackend::Dense => {
+                let svd = dense_svd(compact);
+                let take = effective_rank.min(svd.singular_values.len());
+                let mut u = Matrix::zeros(compact.nrows(), take);
+                for j in 0..take {
+                    u.set_col(j, &svd.u.col(j));
+                }
+                (u, svd.singular_values[..take].to_vec(), 0)
+            }
+        }
+    };
+
+    // Scatter compact rows into the full factor matrix.
+    let mut factor = Matrix::zeros(dim, rank);
+    let copy_cols = u_compact.ncols().min(rank);
+    for (p, &i) in sym.rows.iter().enumerate() {
+        factor.row_mut(i)[..copy_cols].copy_from_slice(&u_compact.row(p)[..copy_cols]);
+    }
+    let mut singular_values = singular_values;
+    singular_values.resize(rank, 0.0);
+
+    TrsvdResult {
+        factor,
+        singular_values,
+        operator_applications: applications,
+    }
+}
+
+/// Work measure of the TRSVD step used by the paper's Table III
+/// (`W_TRSVD`): the number of rows the iterative solver multiplies per
+/// MxV/MTxV pass, i.e. the number of (compact) rows of `Y_(n)` owned.  In
+/// the shared-memory case this is simply `|J_n|`.
+pub fn trsvd_work(sym: &SymbolicMode) -> usize {
+    sym.num_rows()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::SymbolicTtmc;
+    use crate::ttmc::ttmc_mode;
+    use datagen::random_tensor;
+    use linalg::qr::orthogonality_error;
+
+    fn setup() -> (sptensor::SparseTensor, Vec<Matrix>, SymbolicTtmc) {
+        let t = random_tensor(&[40, 30, 20], 2000, 9);
+        let factors = vec![
+            Matrix::random(40, 4, 1),
+            Matrix::random(30, 4, 2),
+            Matrix::random(20, 4, 3),
+        ];
+        let sym = SymbolicTtmc::build(&t);
+        (t, factors, sym)
+    }
+
+    #[test]
+    fn factor_has_orthonormal_nonzero_rows() {
+        let (t, factors, sym) = setup();
+        let compact = ttmc_mode(&t, sym.mode(0), &factors, 0);
+        let result = trsvd_factor(&compact, sym.mode(0), 40, 4, TrsvdBackend::Lanczos, 5);
+        assert_eq!(result.factor.shape(), (40, 4));
+        // All 40 slices are nonempty with 2000 nonzeros, so the factor's
+        // columns should be orthonormal.
+        assert!(orthogonality_error(&result.factor) < 1e-6);
+    }
+
+    #[test]
+    fn backends_agree_on_singular_values() {
+        let (t, factors, sym) = setup();
+        let compact = ttmc_mode(&t, sym.mode(1), &factors, 1);
+        let lanczos = trsvd_factor(&compact, sym.mode(1), 30, 3, TrsvdBackend::Lanczos, 5);
+        let dense = trsvd_factor(&compact, sym.mode(1), 30, 3, TrsvdBackend::Dense, 5);
+        let randomized = trsvd_factor(&compact, sym.mode(1), 30, 3, TrsvdBackend::Randomized, 5);
+        for i in 0..3 {
+            assert!(
+                (lanczos.singular_values[i] - dense.singular_values[i]).abs()
+                    < 1e-5 * dense.singular_values[0],
+                "lanczos σ_{i}"
+            );
+            assert!(
+                (randomized.singular_values[i] - dense.singular_values[i]).abs()
+                    < 1e-3 * dense.singular_values[0],
+                "randomized σ_{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_rows_stay_zero() {
+        // Mode 0 has size 10 but only rows 2 and 7 carry nonzeros.
+        let t = sptensor::SparseTensor::from_entries(
+            vec![10, 4, 4],
+            &[(vec![2, 1, 1], 1.0), (vec![7, 2, 3], 2.0), (vec![2, 0, 3], 3.0)],
+        );
+        let factors = vec![
+            Matrix::random(10, 2, 1),
+            Matrix::random(4, 2, 2),
+            Matrix::random(4, 2, 3),
+        ];
+        let sym = SymbolicTtmc::build(&t);
+        let compact = ttmc_mode(&t, sym.mode(0), &factors, 0);
+        let result = trsvd_factor(&compact, sym.mode(0), 10, 2, TrsvdBackend::Dense, 1);
+        for i in 0..10 {
+            let row_norm: f64 = result.factor.row(i).iter().map(|x| x * x).sum();
+            if i == 2 || i == 7 {
+                assert!(row_norm > 0.0);
+            } else {
+                assert_eq!(row_norm, 0.0, "row {i} should be zero");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_larger_than_rows_is_padded() {
+        let t = sptensor::SparseTensor::from_entries(
+            vec![5, 3, 3],
+            &[(vec![0, 0, 0], 1.0), (vec![1, 1, 1], 2.0)],
+        );
+        let factors = vec![
+            Matrix::random(5, 2, 1),
+            Matrix::random(3, 2, 2),
+            Matrix::random(3, 2, 3),
+        ];
+        let sym = SymbolicTtmc::build(&t);
+        let compact = ttmc_mode(&t, sym.mode(0), &factors, 0);
+        // Only 2 nonempty rows but rank 4 requested.
+        let result = trsvd_factor(&compact, sym.mode(0), 5, 4, TrsvdBackend::Lanczos, 1);
+        assert_eq!(result.factor.shape(), (5, 4));
+        assert_eq!(result.singular_values.len(), 4);
+    }
+
+    #[test]
+    fn singular_values_descending() {
+        let (t, factors, sym) = setup();
+        let compact = ttmc_mode(&t, sym.mode(2), &factors, 2);
+        let result = trsvd_factor(&compact, sym.mode(2), 20, 4, TrsvdBackend::Lanczos, 2);
+        for w in result.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn trsvd_work_is_row_count() {
+        let (t, _, sym) = setup();
+        assert_eq!(trsvd_work(sym.mode(0)), sym.mode(0).num_rows());
+        let _ = t;
+    }
+}

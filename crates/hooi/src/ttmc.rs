@@ -1,0 +1,335 @@
+//! Nonzero-based numeric TTMc (paper Eq. (4) / Algorithm 2).
+//!
+//! Given the symbolic update lists of a mode, the matricized TTMc result is
+//! computed row by row: row `i_n` accumulates
+//! `Σ_{x ∈ ul_n(i_n)} x · ⊗_{t≠n} U_t(i_t, :)`.
+//!
+//! Rows are independent, so the parallel variant hands each row of `J_n` to
+//! rayon (the OpenMP `parallel for` with dynamic scheduling of the paper).
+//! The result is returned in *compact* form: one row per non-empty slice,
+//! `|J_n| × Π_{t≠n} R_t`; rows of the full matricization outside `J_n` are
+//! identically zero and never materialized.
+
+use crate::symbolic::SymbolicMode;
+use linalg::Matrix;
+use rayon::prelude::*;
+use sptensor::kron::accumulate_scaled_kron;
+use sptensor::SparseTensor;
+
+/// Computes the width `Π_{t≠mode} R_t` of the compact TTMc result from the
+/// factor matrices.
+pub fn ttmc_result_width(factors: &[Matrix], mode: usize) -> usize {
+    factors
+        .iter()
+        .enumerate()
+        .filter(|&(t, _)| t != mode)
+        .map(|(_, u)| u.ncols())
+        .product()
+}
+
+/// Computes one row of the compact TTMc result into `out`.
+///
+/// `out` must have length `Π_{t≠mode} R_t` and is overwritten.
+fn compute_row(
+    tensor: &SparseTensor,
+    sym: &SymbolicMode,
+    factors: &[Matrix],
+    mode: usize,
+    row_position: usize,
+    out: &mut [f64],
+    scratch: &mut [f64],
+) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    let order = tensor.order();
+    // Collect the factor rows for each nonzero in the update list.
+    let mut rows: Vec<&[f64]> = Vec::with_capacity(order - 1);
+    for &id in sym.update_list(row_position) {
+        let index = tensor.index(id);
+        let value = tensor.value(id);
+        rows.clear();
+        for t in 0..order {
+            if t == mode {
+                continue;
+            }
+            rows.push(factors[t].row(index[t]));
+        }
+        accumulate_scaled_kron(value, &rows, out, scratch);
+    }
+}
+
+/// Numeric TTMc for one mode, parallel over the rows of `J_n` (rayon).
+///
+/// Returns the compact `|J_n| × Π_{t≠mode} R_t` matrix; row `p` corresponds
+/// to tensor index `sym.rows[p]` along `mode`.
+///
+/// # Panics
+/// Panics if the factor matrices do not match the tensor's mode sizes.
+pub fn ttmc_mode(
+    tensor: &SparseTensor,
+    sym: &SymbolicMode,
+    factors: &[Matrix],
+    mode: usize,
+) -> Matrix {
+    validate_factors(tensor, factors, mode);
+    let width = ttmc_result_width(factors, mode);
+    let nrows = sym.num_rows();
+    let mut out = Matrix::zeros(nrows, width);
+    // Parallelize over rows; each row gets its own scratch buffer through
+    // rayon's per-iteration closure state (allocation is amortized by
+    // chunking rows).
+    out.as_mut_slice()
+        .par_chunks_mut(width)
+        .enumerate()
+        .for_each_init(
+            || vec![0.0; width],
+            |scratch, (p, row_out)| {
+                compute_row(tensor, sym, factors, mode, p, row_out, scratch);
+            },
+        );
+    out
+}
+
+/// Sequential numeric TTMc (used for verification, the single-thread
+/// baselines of Table V, and inside the per-rank loops of the distributed
+/// simulator where parallelism is across ranks instead).
+pub fn ttmc_mode_sequential(
+    tensor: &SparseTensor,
+    sym: &SymbolicMode,
+    factors: &[Matrix],
+    mode: usize,
+) -> Matrix {
+    validate_factors(tensor, factors, mode);
+    let width = ttmc_result_width(factors, mode);
+    let nrows = sym.num_rows();
+    let mut out = Matrix::zeros(nrows, width);
+    let mut scratch = vec![0.0; width];
+    for p in 0..nrows {
+        let row_start = p * width;
+        // Split borrow: compute into a temporary row slice.
+        let row = &mut out.as_mut_slice()[row_start..row_start + width];
+        // Safety not needed — plain indexing; compute_row takes a fresh slice.
+        compute_row_into(tensor, sym, factors, mode, p, row, &mut scratch);
+    }
+    out
+}
+
+// Separate non-parallel helper so the sequential path avoids the closure.
+fn compute_row_into(
+    tensor: &SparseTensor,
+    sym: &SymbolicMode,
+    factors: &[Matrix],
+    mode: usize,
+    row_position: usize,
+    out: &mut [f64],
+    scratch: &mut [f64],
+) {
+    compute_row(tensor, sym, factors, mode, row_position, out, scratch);
+}
+
+/// Number of floating point operations performed by the nonzero-based TTMc
+/// for one mode: every nonzero contributes `2 · Π_{t≠mode} R_t` flops (one
+/// multiply and one add per output entry, amortizing the Kronecker
+/// expansion).  This is the `W_TTMc` work measure of the paper's Table III.
+pub fn ttmc_work(tensor: &SparseTensor, ranks: &[usize], mode: usize) -> usize {
+    let width: usize = ranks
+        .iter()
+        .enumerate()
+        .filter(|&(t, _)| t != mode)
+        .map(|(_, &r)| r)
+        .product();
+    2 * tensor.nnz() * width
+}
+
+fn validate_factors(tensor: &SparseTensor, factors: &[Matrix], mode: usize) {
+    assert_eq!(
+        factors.len(),
+        tensor.order(),
+        "expected one factor matrix per mode"
+    );
+    for (t, u) in factors.iter().enumerate() {
+        if t == mode {
+            continue;
+        }
+        assert_eq!(
+            u.nrows(),
+            tensor.dims()[t],
+            "factor matrix for mode {t} has {} rows but the mode size is {}",
+            u.nrows(),
+            tensor.dims()[t]
+        );
+    }
+}
+
+/// Reference TTMc computed densely: materializes the full tensor, performs
+/// dense TTMs along every mode except `mode`, and unfolds.  Exponential in
+/// memory — tests only.
+pub fn ttmc_dense_reference(
+    tensor: &SparseTensor,
+    factors: &[Matrix],
+    mode: usize,
+) -> Matrix {
+    use sptensor::DenseTensor;
+    let mut dense = DenseTensor::zeros(tensor.dims().to_vec());
+    for (idx, v) in tensor.iter() {
+        let lin = dense.linear_index(idx);
+        dense.as_mut_slice()[lin] += v;
+    }
+    let mut cur = dense;
+    for (t, u) in factors.iter().enumerate() {
+        if t == mode {
+            continue;
+        }
+        cur = cur.ttm(t, u, true);
+    }
+    cur.unfold(mode)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbolic::SymbolicTtmc;
+    use datagen::random_tensor;
+
+    fn factors_for(tensor: &SparseTensor, ranks: &[usize], seed: u64) -> Vec<Matrix> {
+        tensor
+            .dims()
+            .iter()
+            .zip(ranks.iter())
+            .enumerate()
+            .map(|(m, (&d, &r))| Matrix::random(d, r, seed + m as u64))
+            .collect()
+    }
+
+    /// Expands the compact result into the full `I_mode × width` matrix.
+    fn expand(compact: &Matrix, sym: &SymbolicMode, dim: usize) -> Matrix {
+        let mut full = Matrix::zeros(dim, compact.ncols());
+        for (p, &i) in sym.rows.iter().enumerate() {
+            full.row_mut(i).copy_from_slice(compact.row(p));
+        }
+        full
+    }
+
+    #[test]
+    fn ttmc_matches_dense_reference_3mode() {
+        let t = random_tensor(&[8, 9, 10], 120, 3);
+        let ranks = [3, 4, 2];
+        let factors = factors_for(&t, &ranks, 11);
+        let sym = SymbolicTtmc::build(&t);
+        for mode in 0..3 {
+            let compact = ttmc_mode(&t, sym.mode(mode), &factors, mode);
+            let full = expand(&compact, sym.mode(mode), t.dims()[mode]);
+            let reference = ttmc_dense_reference(&t, &factors, mode);
+            assert!(
+                full.frobenius_distance(&reference) < 1e-9 * reference.frobenius_norm().max(1.0),
+                "mode {mode} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn ttmc_matches_dense_reference_4mode() {
+        let t = random_tensor(&[5, 6, 4, 7], 100, 5);
+        let ranks = [2, 3, 2, 2];
+        let factors = factors_for(&t, &ranks, 23);
+        let sym = SymbolicTtmc::build(&t);
+        for mode in 0..4 {
+            let compact = ttmc_mode(&t, sym.mode(mode), &factors, mode);
+            let full = expand(&compact, sym.mode(mode), t.dims()[mode]);
+            let reference = ttmc_dense_reference(&t, &factors, mode);
+            assert!(
+                full.frobenius_distance(&reference) < 1e-9 * reference.frobenius_norm().max(1.0),
+                "mode {mode} mismatch"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let t = random_tensor(&[30, 25, 20], 1500, 7);
+        let ranks = [4, 4, 4];
+        let factors = factors_for(&t, &ranks, 1);
+        let sym = SymbolicTtmc::build(&t);
+        for mode in 0..3 {
+            let a = ttmc_mode(&t, sym.mode(mode), &factors, mode);
+            let b = ttmc_mode_sequential(&t, sym.mode(mode), &factors, mode);
+            assert!(a.frobenius_distance(&b) < 1e-10 * a.frobenius_norm().max(1.0));
+        }
+    }
+
+    #[test]
+    fn compact_rows_correspond_to_nonempty_slices() {
+        let t = SparseTensor::from_entries(
+            vec![6, 3, 3],
+            &[(vec![1, 0, 0], 1.0), (vec![4, 2, 2], 2.0)],
+        );
+        let ranks = [2, 2, 2];
+        let factors = factors_for(&t, &ranks, 2);
+        let sym = SymbolicTtmc::build(&t);
+        let compact = ttmc_mode(&t, sym.mode(0), &factors, 0);
+        assert_eq!(compact.nrows(), 2); // only rows 1 and 4 are nonempty
+        assert_eq!(sym.mode(0).rows, vec![1, 4]);
+    }
+
+    #[test]
+    fn single_nonzero_row_is_scaled_kron() {
+        let t = SparseTensor::from_entries(vec![2, 3, 4], &[(vec![1, 2, 3], 2.5)]);
+        let factors = vec![
+            Matrix::random(2, 2, 1),
+            Matrix::random(3, 2, 2),
+            Matrix::random(4, 3, 3),
+        ];
+        let sym = SymbolicTtmc::build(&t);
+        let compact = ttmc_mode(&t, sym.mode(0), &factors, 0);
+        assert_eq!(compact.shape(), (1, 6));
+        let mut expected = vec![0.0; 6];
+        sptensor::kron::kron_rows(&[factors[1].row(2), factors[2].row(3)], &mut expected);
+        for (a, b) in compact.row(0).iter().zip(expected.iter()) {
+            assert!((a - 2.5 * b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn ttmc_work_formula() {
+        let t = random_tensor(&[10, 10, 10], 100, 1);
+        assert_eq!(ttmc_work(&t, &[10, 10, 10], 0), 2 * 100 * 100);
+        assert_eq!(ttmc_work(&t, &[2, 3, 4], 1), 2 * 100 * 8);
+    }
+
+    #[test]
+    fn result_width_helper() {
+        let factors = vec![
+            Matrix::zeros(5, 2),
+            Matrix::zeros(6, 3),
+            Matrix::zeros(7, 4),
+        ];
+        assert_eq!(ttmc_result_width(&factors, 0), 12);
+        assert_eq!(ttmc_result_width(&factors, 2), 6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_factor_rows_rejected() {
+        let t = random_tensor(&[4, 4, 4], 10, 1);
+        let factors = vec![
+            Matrix::zeros(4, 2),
+            Matrix::zeros(5, 2), // wrong: mode 1 has size 4
+            Matrix::zeros(4, 2),
+        ];
+        let sym = SymbolicTtmc::build(&t);
+        let _ = ttmc_mode(&t, sym.mode(0), &factors, 0);
+    }
+
+    #[test]
+    fn empty_tensor_gives_empty_result() {
+        let t = SparseTensor::new(vec![4, 4, 4]);
+        let factors = vec![
+            Matrix::zeros(4, 2),
+            Matrix::zeros(4, 2),
+            Matrix::zeros(4, 2),
+        ];
+        let sym = SymbolicTtmc::build(&t);
+        let compact = ttmc_mode(&t, sym.mode(1), &factors, 1);
+        assert_eq!(compact.nrows(), 0);
+        assert_eq!(compact.ncols(), 4);
+    }
+}

@@ -1,0 +1,341 @@
+//! BLAS-like kernels on slices and [`Matrix`].
+//!
+//! The TRSVD step of HOOI is dominated by dense matrix-vector (`MxV`) and
+//! matrix-transpose-vector (`MTxV`) products with the matricized TTMc result
+//! `Y_(n)` (paper §III-A2), so those two kernels have rayon-parallel
+//! variants.  The small dense products (Gram matrices, projected problems,
+//! core-tensor contractions) use the sequential `gemm`.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// Dot product of two equally sized slices.
+#[inline]
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+#[inline]
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm of a slice.
+#[inline]
+pub fn nrm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Normalizes `x` to unit Euclidean norm and returns the original norm.
+/// Leaves `x` untouched (and returns 0) if its norm is zero.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = nrm2(x);
+    if n > 0.0 {
+        scal(1.0 / n, x);
+    }
+    n
+}
+
+/// Dense matrix-vector product `y = A x` (sequential).
+pub fn gemv(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    for i in 0..a.nrows() {
+        y[i] = dot(a.row(i), x);
+    }
+}
+
+/// Dense matrix-vector product `y = A x` using rayon over rows.
+pub fn par_gemv(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.ncols());
+    assert_eq!(y.len(), a.nrows());
+    y.par_iter_mut()
+        .enumerate()
+        .for_each(|(i, yi)| *yi = dot(a.row(i), x));
+}
+
+/// Dense transposed matrix-vector product `y = Aᵀ x` (sequential).
+///
+/// Accumulates row-wise so that `A` is only traversed in row-major order.
+pub fn gemv_t(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.nrows());
+    assert_eq!(y.len(), a.ncols());
+    y.iter_mut().for_each(|v| *v = 0.0);
+    for i in 0..a.nrows() {
+        axpy(x[i], a.row(i), y);
+    }
+}
+
+/// Dense transposed matrix-vector product `y = Aᵀ x` with rayon.
+///
+/// Each thread accumulates a private `ncols`-length buffer over a chunk of
+/// rows; buffers are then reduced.  This mirrors how the paper's distributed
+/// `MTxV` computes local partial results followed by an all-to-all reduction.
+pub fn par_gemv_t(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), a.nrows());
+    assert_eq!(y.len(), a.ncols());
+    let ncols = a.ncols();
+    if a.nrows() == 0 {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        return;
+    }
+    let chunk = (a.nrows() / rayon::current_num_threads().max(1)).max(64);
+    let acc = (0..a.nrows())
+        .into_par_iter()
+        .chunks(chunk)
+        .map(|rows| {
+            let mut local = vec![0.0; ncols];
+            for i in rows {
+                axpy(x[i], a.row(i), &mut local);
+            }
+            local
+        })
+        .reduce(
+            || vec![0.0; ncols],
+            |mut a, b| {
+                axpy(1.0, &b, &mut a);
+                a
+            },
+        );
+    y.copy_from_slice(&acc);
+}
+
+/// Dense matrix-matrix product `C = A B` (sequential, ikj loop order).
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.ncols(), b.nrows(), "gemm: inner dimensions must agree");
+    let mut c = Matrix::zeros(a.nrows(), b.ncols());
+    for i in 0..a.nrows() {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (k, &aik) in arow.iter().enumerate() {
+            if aik != 0.0 {
+                axpy(aik, b.row(k), crow);
+            }
+        }
+    }
+    c
+}
+
+/// Dense matrix-matrix product `C = A B` parallelized over the rows of `A`.
+pub fn par_gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.ncols(), b.nrows(), "gemm: inner dimensions must agree");
+    let n = b.ncols();
+    let rows: Vec<Vec<f64>> = (0..a.nrows())
+        .into_par_iter()
+        .map(|i| {
+            let mut crow = vec![0.0; n];
+            for (k, &aik) in a.row(i).iter().enumerate() {
+                if aik != 0.0 {
+                    axpy(aik, b.row(k), &mut crow);
+                }
+            }
+            crow
+        })
+        .collect();
+    Matrix::from_rows(&rows)
+}
+
+/// `C = Aᵀ B` without materializing `Aᵀ`.
+pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.nrows(), b.nrows(), "gemm_tn: row counts must agree");
+    let mut c = Matrix::zeros(a.ncols(), b.ncols());
+    for i in 0..a.nrows() {
+        let arow = a.row(i);
+        let brow = b.row(i);
+        for (p, &apv) in arow.iter().enumerate() {
+            if apv != 0.0 {
+                axpy(apv, brow, c.row_mut(p));
+            }
+        }
+    }
+    c
+}
+
+/// `C = A Bᵀ` without materializing `Bᵀ`.
+pub fn gemm_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.ncols(), b.ncols(), "gemm_nt: column counts must agree");
+    let mut c = Matrix::zeros(a.nrows(), b.nrows());
+    for i in 0..a.nrows() {
+        let arow = a.row(i);
+        for j in 0..b.nrows() {
+            c[(i, j)] = dot(arow, b.row(j));
+        }
+    }
+    c
+}
+
+/// Symmetric rank-k update: returns the Gram matrix `G = Aᵀ A`.
+pub fn gram(a: &Matrix) -> Matrix {
+    gemm_tn(a, a)
+}
+
+/// Column-wise Euclidean norms of a matrix.
+pub fn column_norms(a: &Matrix) -> Vec<f64> {
+    let mut norms = vec![0.0; a.ncols()];
+    for i in 0..a.nrows() {
+        for (j, &v) in a.row(i).iter().enumerate() {
+            norms[j] += v * v;
+        }
+    }
+    norms.iter_mut().for_each(|n| *n = n.sqrt());
+    norms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    fn assert_mat_eq(a: &Matrix, b: &Matrix, tol: f64) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!(approx_eq(*x, *y, tol), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn dot_axpy_nrm2() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [4.0, 5.0, 6.0];
+        assert_eq!(dot(&x, &y), 32.0);
+        let mut z = y;
+        axpy(2.0, &x, &mut z);
+        assert_eq!(z, [6.0, 9.0, 12.0]);
+        assert!((nrm2(&[3.0, 4.0]) - 5.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn normalize_unit() {
+        let mut x = vec![3.0, 4.0];
+        let n = normalize(&mut x);
+        assert!((n - 5.0).abs() < 1e-14);
+        assert!((nrm2(&x) - 1.0).abs() < 1e-14);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+    }
+
+    #[test]
+    fn gemv_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let x = [1.0, -1.0];
+        let mut y = vec![0.0; 3];
+        gemv(&a, &x, &mut y);
+        assert_eq!(y, vec![-1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    fn gemv_t_known() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let x = [1.0, 1.0];
+        let mut y = vec![0.0; 2];
+        gemv_t(&a, &x, &mut y);
+        assert_eq!(y, vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_gemv() {
+        let a = Matrix::random(200, 37, 3);
+        let x: Vec<f64> = (0..37).map(|i| i as f64 * 0.1).collect();
+        let mut y1 = vec![0.0; 200];
+        let mut y2 = vec![0.0; 200];
+        gemv(&a, &x, &mut y1);
+        par_gemv(&a, &x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!(approx_eq(*u, *v, 1e-12));
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_gemv_t() {
+        let a = Matrix::random(211, 17, 5);
+        let x: Vec<f64> = (0..211).map(|i| (i % 7) as f64 - 3.0).collect();
+        let mut y1 = vec![0.0; 17];
+        let mut y2 = vec![0.0; 17];
+        gemv_t(&a, &x, &mut y1);
+        par_gemv_t(&a, &x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!(approx_eq(*u, *v, 1e-10));
+        }
+    }
+
+    #[test]
+    fn par_gemv_t_empty_rows() {
+        let a = Matrix::zeros(0, 4);
+        let x: Vec<f64> = vec![];
+        let mut y = vec![1.0; 4];
+        par_gemv_t(&a, &x, &mut y);
+        assert_eq!(y, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn gemm_identity() {
+        let a = Matrix::random(4, 4, 11);
+        let i = Matrix::identity(4);
+        assert_mat_eq(&gemm(&a, &i), &a, 1e-14);
+        assert_mat_eq(&gemm(&i, &a), &a, 1e-14);
+    }
+
+    #[test]
+    fn gemm_known_small() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let b = Matrix::from_rows(&[vec![5.0, 6.0], vec![7.0, 8.0]]);
+        let c = gemm(&a, &b);
+        assert_eq!(c.as_slice(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn par_gemm_matches_gemm() {
+        let a = Matrix::random(33, 21, 1);
+        let b = Matrix::random(21, 17, 2);
+        assert_mat_eq(&gemm(&a, &b), &par_gemm(&a, &b), 1e-12);
+    }
+
+    #[test]
+    fn gemm_tn_matches_explicit_transpose() {
+        let a = Matrix::random(10, 6, 3);
+        let b = Matrix::random(10, 4, 4);
+        assert_mat_eq(&gemm_tn(&a, &b), &gemm(&a.transpose(), &b), 1e-12);
+    }
+
+    #[test]
+    fn gemm_nt_matches_explicit_transpose() {
+        let a = Matrix::random(7, 5, 8);
+        let b = Matrix::random(9, 5, 9);
+        assert_mat_eq(&gemm_nt(&a, &b), &gemm(&a, &b.transpose()), 1e-12);
+    }
+
+    #[test]
+    fn gram_is_symmetric() {
+        let a = Matrix::random(20, 6, 77);
+        let g = gram(&a);
+        assert_eq!(g.shape(), (6, 6));
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!(approx_eq(g[(i, j)], g[(j, i)], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn column_norms_match_cols() {
+        let a = Matrix::random(15, 3, 21);
+        let norms = column_norms(&a);
+        for j in 0..3 {
+            let col = a.col(j);
+            assert!(approx_eq(norms[j], nrm2(&col), 1e-12));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Matrix-free linear operator abstraction.
+//!
+//! The TRSVD step of HOOI (paper §III-A2, §III-B) never needs the matricized
+//! TTMc result `Y_(n)` as an explicit assembled matrix — only the products
+//! `y ← Y_(n) x` (MxV) and `xᵀ ← yᵀ Y_(n)` (MTxV).  The coarse-grain
+//! distributed algorithm applies these products on a row-distributed `Y_(n)`;
+//! the fine-grain algorithm applies them on a *sum-distributed*
+//! `Y_(n) = Y¹_(n) + … + Yᵖ_(n)` and only communicates single vector entries.
+//! Both cases, as well as the shared-memory case, implement this trait and
+//! are handed to the Krylov solver in [`crate::lanczos`] unchanged.
+
+use crate::blas::{gemv, gemv_t, par_gemv, par_gemv_t};
+use crate::matrix::Matrix;
+
+/// A real linear operator `A : R^ncols → R^nrows` exposed only through
+/// matrix-vector products.
+pub trait LinearOperator: Sync {
+    /// Number of rows of the (implicit) matrix.
+    fn nrows(&self) -> usize;
+    /// Number of columns of the (implicit) matrix.
+    fn ncols(&self) -> usize;
+    /// `y = A x`.  `x.len() == ncols()`, `y.len() == nrows()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+    /// `y = Aᵀ x`.  `x.len() == nrows()`, `y.len() == ncols()`.
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]);
+
+    /// Materializes the operator as a dense matrix by applying it to the
+    /// canonical basis.  Intended for tests and tiny operators only.
+    fn to_dense(&self) -> Matrix {
+        let m = self.nrows();
+        let n = self.ncols();
+        let mut out = Matrix::zeros(m, n);
+        let mut e = vec![0.0; n];
+        let mut col = vec![0.0; m];
+        for j in 0..n {
+            e[j] = 1.0;
+            self.apply(&e, &mut col);
+            for i in 0..m {
+                out[(i, j)] = col[i];
+            }
+            e[j] = 0.0;
+        }
+        out
+    }
+}
+
+/// A [`LinearOperator`] backed by an explicit dense matrix, with optional
+/// rayon parallelism over rows.
+#[derive(Debug, Clone)]
+pub struct DenseOperator<'a> {
+    matrix: &'a Matrix,
+    parallel: bool,
+}
+
+impl<'a> DenseOperator<'a> {
+    /// Wraps a matrix as a sequential operator.
+    pub fn new(matrix: &'a Matrix) -> Self {
+        DenseOperator {
+            matrix,
+            parallel: false,
+        }
+    }
+
+    /// Wraps a matrix as a rayon-parallel operator (parallel over rows, the
+    /// shared-memory scheme of the paper's TRSVD).
+    pub fn parallel(matrix: &'a Matrix) -> Self {
+        DenseOperator {
+            matrix,
+            parallel: true,
+        }
+    }
+}
+
+impl LinearOperator for DenseOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    fn ncols(&self) -> usize {
+        self.matrix.ncols()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        if self.parallel {
+            par_gemv(self.matrix, x, y);
+        } else {
+            gemv(self.matrix, x, y);
+        }
+    }
+
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        if self.parallel {
+            par_gemv_t(self.matrix, x, y);
+        } else {
+            gemv_t(self.matrix, x, y);
+        }
+    }
+}
+
+/// An operator representing the sum `A = A₁ + A₂ + … + A_p` of operators of
+/// identical shape, applied without ever assembling the sum.
+///
+/// This is the shared-memory analogue of the paper's fine-grain
+/// sum-distributed `Y_(n)`; the distributed version (with communication
+/// accounting) lives in the `distsim` crate.
+pub struct SumOperator<'a> {
+    parts: Vec<&'a dyn LinearOperator>,
+    nrows: usize,
+    ncols: usize,
+}
+
+impl<'a> SumOperator<'a> {
+    /// Builds a sum operator.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or shapes disagree.
+    pub fn new(parts: Vec<&'a dyn LinearOperator>) -> Self {
+        assert!(!parts.is_empty(), "SumOperator needs at least one part");
+        let nrows = parts[0].nrows();
+        let ncols = parts[0].ncols();
+        for p in &parts {
+            assert_eq!(p.nrows(), nrows, "SumOperator: row mismatch");
+            assert_eq!(p.ncols(), ncols, "SumOperator: column mismatch");
+        }
+        SumOperator {
+            parts,
+            nrows,
+            ncols,
+        }
+    }
+}
+
+impl LinearOperator for SumOperator<'_> {
+    fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        let mut tmp = vec![0.0; self.nrows];
+        for p in &self.parts {
+            p.apply(x, &mut tmp);
+            crate::blas::axpy(1.0, &tmp, y);
+        }
+    }
+
+    fn apply_transpose(&self, x: &[f64], y: &mut [f64]) {
+        y.iter_mut().for_each(|v| *v = 0.0);
+        let mut tmp = vec![0.0; self.ncols];
+        for p in &self.parts {
+            p.apply_transpose(x, &mut tmp);
+            crate::blas::axpy(1.0, &tmp, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+
+    #[test]
+    fn dense_operator_matches_matrix() {
+        let a = Matrix::random(8, 5, 1);
+        let op = DenseOperator::new(&a);
+        assert_eq!(op.nrows(), 8);
+        assert_eq!(op.ncols(), 5);
+        let dense = op.to_dense();
+        assert!(a.frobenius_distance(&dense) < 1e-14);
+    }
+
+    #[test]
+    fn parallel_operator_matches_sequential() {
+        let a = Matrix::random(64, 9, 2);
+        let seq = DenseOperator::new(&a);
+        let par = DenseOperator::parallel(&a);
+        let x: Vec<f64> = (0..9).map(|i| i as f64).collect();
+        let mut y1 = vec![0.0; 64];
+        let mut y2 = vec![0.0; 64];
+        seq.apply(&x, &mut y1);
+        par.apply(&x, &mut y2);
+        for (u, v) in y1.iter().zip(&y2) {
+            assert!(approx_eq(*u, *v, 1e-12));
+        }
+        let z: Vec<f64> = (0..64).map(|i| (i % 5) as f64).collect();
+        let mut w1 = vec![0.0; 9];
+        let mut w2 = vec![0.0; 9];
+        seq.apply_transpose(&z, &mut w1);
+        par.apply_transpose(&z, &mut w2);
+        for (u, v) in w1.iter().zip(&w2) {
+            assert!(approx_eq(*u, *v, 1e-10));
+        }
+    }
+
+    #[test]
+    fn sum_operator_equals_sum_of_matrices() {
+        let a = Matrix::random(6, 4, 3);
+        let b = Matrix::random(6, 4, 4);
+        let opa = DenseOperator::new(&a);
+        let opb = DenseOperator::new(&b);
+        let sum = SumOperator::new(vec![&opa, &opb]);
+        let mut expected = a.clone();
+        expected.axpy(1.0, &b);
+        let dense = sum.to_dense();
+        assert!(expected.frobenius_distance(&dense) < 1e-13);
+    }
+
+    #[test]
+    fn sum_operator_transpose() {
+        let a = Matrix::random(5, 7, 13);
+        let b = Matrix::random(5, 7, 14);
+        let opa = DenseOperator::new(&a);
+        let opb = DenseOperator::new(&b);
+        let sum = SumOperator::new(vec![&opa, &opb]);
+        let x: Vec<f64> = (0..5).map(|i| i as f64 - 2.0).collect();
+        let mut y = vec![0.0; 7];
+        sum.apply_transpose(&x, &mut y);
+        let mut expected = vec![0.0; 7];
+        let mut s = a.clone();
+        s.axpy(1.0, &b);
+        crate::blas::gemv_t(&s, &x, &mut expected);
+        for (u, v) in y.iter().zip(&expected) {
+            assert!(approx_eq(*u, *v, 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn sum_operator_rejects_mismatched_shapes() {
+        let a = Matrix::zeros(3, 3);
+        let b = Matrix::zeros(4, 3);
+        let opa = DenseOperator::new(&a);
+        let opb = DenseOperator::new(&b);
+        let _ = SumOperator::new(vec![&opa, &opb]);
+    }
+}

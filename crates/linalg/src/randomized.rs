@@ -1,0 +1,262 @@
+//! Randomized truncated SVD (Halko–Martinsson–Tropp range finder).
+//!
+//! An alternative matrix-free TRSVD backend used in the ablation benches
+//! (`trsvd_ablation`): instead of a Krylov subspace it builds a sketch
+//! `Y = (A Aᵀ)^q A Ω` with a Gaussian-like test matrix `Ω`, orthonormalizes
+//! it, and solves the small projected problem.  For the strongly decaying
+//! spectra of matricized TTMc results one or two power iterations are
+//! usually enough; the Lanczos solver remains the default because its
+//! convergence is adaptive.
+
+use crate::blas::{gemm_tn, par_gemm};
+use crate::lanczos::TruncatedSvd;
+use crate::matrix::Matrix;
+use crate::operator::LinearOperator;
+use crate::qr::{orthonormalize_columns, qr_thin};
+use crate::svd::dense_svd;
+
+/// Options for the randomized truncated SVD.
+#[derive(Debug, Clone)]
+pub struct RandomizedOptions {
+    /// Extra columns added to the sketch beyond the requested rank.
+    pub oversampling: usize,
+    /// Number of power iterations (each costs one MxV and one MTxV sweep).
+    pub power_iterations: usize,
+    /// Seed for the random test matrix.
+    pub seed: u64,
+}
+
+impl Default for RandomizedOptions {
+    fn default() -> Self {
+        RandomizedOptions {
+            oversampling: 8,
+            power_iterations: 2,
+            seed: 0xabcd_1234,
+        }
+    }
+}
+
+/// Computes an approximate truncated SVD of a matrix-free operator using the
+/// randomized range finder.
+pub fn randomized_svd(
+    op: &dyn LinearOperator,
+    rank: usize,
+    opts: &RandomizedOptions,
+) -> TruncatedSvd {
+    assert!(rank > 0, "randomized_svd: rank must be positive");
+    let m = op.nrows();
+    let n = op.ncols();
+    if m == 0 || n == 0 {
+        return TruncatedSvd {
+            u: Matrix::zeros(m, 0),
+            singular_values: vec![],
+            v: Matrix::zeros(n, 0),
+            operator_applications: 0,
+            converged: true,
+        };
+    }
+    let sketch_size = (rank + opts.oversampling).min(m.min(n)).max(1);
+    let mut applications = 0usize;
+
+    // Y = A * Omega, column by column through the operator interface.
+    let omega = Matrix::random_signed(n, sketch_size, opts.seed);
+    let mut y = Matrix::zeros(m, sketch_size);
+    let mut ycol = vec![0.0; m];
+    for j in 0..sketch_size {
+        let oc = omega.col(j);
+        op.apply(&oc, &mut ycol);
+        applications += 1;
+        y.set_col(j, &ycol);
+    }
+
+    // Power iterations with re-orthonormalization for stability.
+    let mut zcol = vec![0.0; n];
+    for _ in 0..opts.power_iterations {
+        orthonormalize_columns(&mut y);
+        let mut z = Matrix::zeros(n, sketch_size);
+        for j in 0..sketch_size {
+            let yc = y.col(j);
+            op.apply_transpose(&yc, &mut zcol);
+            applications += 1;
+            z.set_col(j, &zcol);
+        }
+        orthonormalize_columns(&mut z);
+        for j in 0..sketch_size {
+            let zc = z.col(j);
+            op.apply(&zc, &mut ycol);
+            applications += 1;
+            y.set_col(j, &ycol);
+        }
+    }
+
+    // Orthonormal basis Q of the sketch.
+    let q = qr_thin(&y).q;
+
+    // B = Qᵀ A  computed as  Bᵀ = Aᵀ Q  (one MTxV per sketch column).
+    let mut bt = Matrix::zeros(n, q.ncols());
+    let mut btcol = vec![0.0; n];
+    for j in 0..q.ncols() {
+        let qc = q.col(j);
+        op.apply_transpose(&qc, &mut btcol);
+        applications += 1;
+        bt.set_col(j, &btcol);
+    }
+    let b = bt.transpose();
+
+    let small = dense_svd(&b);
+    let take = rank.min(small.singular_values.len());
+    // U = Q * U_small
+    let u_full = par_gemm(&q, &small.u);
+    let mut u = Matrix::zeros(m, take);
+    let mut v = Matrix::zeros(n, take);
+    for j in 0..take {
+        u.set_col(j, &u_full.col(j));
+        v.set_col(j, &small.v.col(j));
+    }
+
+    TruncatedSvd {
+        u,
+        singular_values: small.singular_values[..take].to_vec(),
+        v,
+        operator_applications: applications,
+        converged: true,
+    }
+}
+
+/// Convenience wrapper that computes the leading left singular vectors of an
+/// explicit dense matrix with the randomized method (used by tests and the
+/// MET baseline).
+pub fn randomized_left_vectors(a: &Matrix, rank: usize, opts: &RandomizedOptions) -> Matrix {
+    let op = crate::operator::DenseOperator::new(a);
+    let svd = randomized_svd(&op, rank, opts);
+    svd.u
+}
+
+/// Frobenius-norm error of a rank-`k` approximation `‖A - U diag(σ) Vᵀ‖_F`,
+/// evaluated without forming the approximation when `A` is given explicitly.
+///
+/// Uses the identity `‖A - A_k‖_F² = ‖A‖_F² - Σ σ_i²` which holds when
+/// `(U, σ, V)` are exact singular triplets; for approximate triplets it is
+/// evaluated directly.
+pub fn approximation_error(a: &Matrix, svd: &TruncatedSvd) -> f64 {
+    let k = svd.singular_values.len();
+    if k == 0 {
+        return a.frobenius_norm();
+    }
+    // Direct evaluation: ‖A - U Σ Vᵀ‖_F.
+    let mut s = Matrix::zeros(k, k);
+    for i in 0..k {
+        s[(i, i)] = svd.singular_values[i];
+    }
+    let us = par_gemm(&svd.u, &s);
+    let approx = par_gemm(&us, &svd.v.transpose());
+    a.frobenius_distance(&approx)
+}
+
+/// Computes the Gram-based exact rank-`k` error lower bound
+/// `sqrt(Σ_{i>k} σ_i²)` from an explicit matrix; useful in tests to check a
+/// truncated SVD is near-optimal.
+pub fn optimal_rank_k_error(a: &Matrix, k: usize) -> f64 {
+    let (m, n) = a.shape();
+    let gram = if n <= m {
+        gemm_tn(a, a)
+    } else {
+        gemm_tn(&a.transpose(), &a.transpose())
+    };
+    let eig = crate::eig::symmetric_eig(&gram);
+    eig.values
+        .iter()
+        .skip(k)
+        .map(|&l| l.max(0.0))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq;
+    use crate::blas::gemm;
+    use crate::operator::DenseOperator;
+    use crate::qr::orthogonality_error;
+    use crate::svd::dense_svd as reference_svd;
+
+    #[test]
+    fn randomized_matches_dense_on_low_rank() {
+        let b = Matrix::random(40, 5, 1);
+        let c = Matrix::random(5, 30, 2);
+        let a = gemm(&b, &c);
+        let op = DenseOperator::new(&a);
+        let result = randomized_svd(&op, 5, &RandomizedOptions::default());
+        let reference = reference_svd(&a);
+        for i in 0..5 {
+            assert!(approx_eq(
+                result.singular_values[i],
+                reference.singular_values[i],
+                1e-6
+            ));
+        }
+    }
+
+    #[test]
+    fn randomized_vectors_orthonormal() {
+        let a = Matrix::random(60, 25, 9);
+        let op = DenseOperator::new(&a);
+        let result = randomized_svd(&op, 6, &RandomizedOptions::default());
+        assert!(orthogonality_error(&result.u) < 1e-8);
+        assert!(orthogonality_error(&result.v) < 1e-8);
+    }
+
+    #[test]
+    fn randomized_near_optimal_error() {
+        let a = Matrix::random(50, 40, 13);
+        let op = DenseOperator::new(&a);
+        let k = 8;
+        let result = randomized_svd(&op, k, &RandomizedOptions::default());
+        let err = approximation_error(&a, &result);
+        let opt = optimal_rank_k_error(&a, k);
+        // Randomized SVD with power iterations should be within a few percent
+        // of the optimal rank-k error for these sizes.
+        assert!(err <= 1.10 * opt + 1e-9, "err {err} vs optimal {opt}");
+    }
+
+    #[test]
+    fn randomized_counts_applications() {
+        let a = Matrix::random(30, 30, 4);
+        let op = DenseOperator::new(&a);
+        let result = randomized_svd(&op, 3, &RandomizedOptions::default());
+        assert!(result.operator_applications > 0);
+    }
+
+    #[test]
+    fn left_vectors_helper_shape() {
+        let a = Matrix::random(44, 12, 5);
+        let u = randomized_left_vectors(&a, 4, &RandomizedOptions::default());
+        assert_eq!(u.shape(), (44, 4));
+        assert!(orthogonality_error(&u) < 1e-8);
+    }
+
+    #[test]
+    fn optimal_error_zero_for_full_rank_request() {
+        let a = Matrix::random(10, 6, 3);
+        let err = optimal_rank_k_error(&a, 6);
+        assert!(err < 1e-8);
+    }
+
+    #[test]
+    fn approximation_error_of_empty_svd_is_norm() {
+        let a = Matrix::random(7, 7, 8);
+        let empty = TruncatedSvd {
+            u: Matrix::zeros(7, 0),
+            singular_values: vec![],
+            v: Matrix::zeros(7, 0),
+            operator_applications: 0,
+            converged: true,
+        };
+        assert!(approx_eq(
+            approximation_error(&a, &empty),
+            a.frobenius_norm(),
+            1e-12
+        ));
+    }
+}

@@ -1,0 +1,220 @@
+//! Hypergraph data structure and partition-quality metrics.
+//!
+//! A hypergraph `H = (V, N)` has weighted vertices and nets (hyperedges),
+//! each net connecting an arbitrary set of vertices (its *pins*).  For a
+//! `K`-way partition of the vertices, the *connectivity−1* cutsize
+//! `Σ_nets w(net) · (λ(net) − 1)` — where `λ` is the number of parts the
+//! net's pins touch — equals the total communication volume of the
+//! column-net / row-net models used for sparse tensor computations, which is
+//! why both the paper and this reproduction optimize it.
+
+/// A hypergraph with integer vertex and net weights, nets stored in CSR
+/// form.
+#[derive(Debug, Clone)]
+pub struct Hypergraph {
+    /// Weight of each vertex (e.g. number of nonzeros of a slice, or 1 for a
+    /// nonzero-vertex).
+    pub vertex_weights: Vec<u64>,
+    /// Net offsets into [`pins`](Self::pins); net `j` has pins
+    /// `pins[net_ptr[j]..net_ptr[j+1]]`.
+    pub net_ptr: Vec<usize>,
+    /// Concatenated pin lists.
+    pub pins: Vec<usize>,
+    /// Weight (communication cost) of each net.
+    pub net_weights: Vec<u64>,
+}
+
+impl Hypergraph {
+    /// Builds a hypergraph from per-net pin lists with unit net weights.
+    pub fn from_pin_lists(num_vertices: usize, nets: &[Vec<usize>]) -> Self {
+        let mut net_ptr = Vec::with_capacity(nets.len() + 1);
+        net_ptr.push(0);
+        let mut pins = Vec::new();
+        for net in nets {
+            for &p in net {
+                assert!(p < num_vertices, "pin {p} out of range");
+            }
+            pins.extend_from_slice(net);
+            net_ptr.push(pins.len());
+        }
+        Hypergraph {
+            vertex_weights: vec![1; num_vertices],
+            net_ptr,
+            pins,
+            net_weights: vec![1; nets.len()],
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_weights.len()
+    }
+
+    /// Number of nets.
+    pub fn num_nets(&self) -> usize {
+        self.net_weights.len()
+    }
+
+    /// Total number of pins.
+    pub fn num_pins(&self) -> usize {
+        self.pins.len()
+    }
+
+    /// The pins of net `j`.
+    pub fn net(&self, j: usize) -> &[usize] {
+        &self.pins[self.net_ptr[j]..self.net_ptr[j + 1]]
+    }
+
+    /// Total vertex weight.
+    pub fn total_vertex_weight(&self) -> u64 {
+        self.vertex_weights.iter().sum()
+    }
+
+    /// Builds the transpose (vertex → incident nets) adjacency in CSR form;
+    /// used by the partitioners.
+    pub fn vertex_to_nets(&self) -> (Vec<usize>, Vec<usize>) {
+        let n = self.num_vertices();
+        let mut counts = vec![0usize; n];
+        for &p in &self.pins {
+            counts[p] += 1;
+        }
+        let mut ptr = Vec::with_capacity(n + 1);
+        ptr.push(0usize);
+        for v in 0..n {
+            ptr.push(ptr[v] + counts[v]);
+        }
+        let mut adj = vec![0usize; self.pins.len()];
+        let mut cursor = ptr[..n].to_vec();
+        for net in 0..self.num_nets() {
+            for &p in self.net(net) {
+                adj[cursor[p]] = net;
+                cursor[p] += 1;
+            }
+        }
+        (ptr, adj)
+    }
+
+    /// Connectivity−1 cutsize of a partition: `Σ w(net) · (λ(net) − 1)`.
+    ///
+    /// # Panics
+    /// Panics if the partition length does not match the vertex count.
+    pub fn connectivity_cutsize(&self, parts: &[u32], num_parts: usize) -> u64 {
+        assert_eq!(parts.len(), self.num_vertices());
+        let mut seen = vec![u32::MAX; num_parts];
+        let mut cut = 0u64;
+        for net in 0..self.num_nets() {
+            let mut lambda = 0u32;
+            for &p in self.net(net) {
+                let part = parts[p] as usize;
+                if seen[part] != net as u32 {
+                    seen[part] = net as u32;
+                    lambda += 1;
+                }
+            }
+            if lambda > 1 {
+                cut += self.net_weights[net] * (lambda as u64 - 1);
+            }
+        }
+        cut
+    }
+
+    /// Per-part vertex weight loads of a partition.
+    pub fn part_loads(&self, parts: &[u32], num_parts: usize) -> Vec<u64> {
+        assert_eq!(parts.len(), self.num_vertices());
+        let mut loads = vec![0u64; num_parts];
+        for (v, &p) in parts.iter().enumerate() {
+            loads[p as usize] += self.vertex_weights[v];
+        }
+        loads
+    }
+
+    /// Load imbalance `max_load / average_load` of a partition (1.0 =
+    /// perfectly balanced; 0 for an empty hypergraph).
+    pub fn imbalance(&self, parts: &[u32], num_parts: usize) -> f64 {
+        let loads = self.part_loads(parts, num_parts);
+        let total: u64 = loads.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let avg = total as f64 / num_parts as f64;
+        let max = *loads.iter().max().unwrap() as f64;
+        max / avg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Hypergraph {
+        // 6 vertices, 3 nets: {0,1,2}, {2,3}, {3,4,5}
+        Hypergraph::from_pin_lists(6, &[vec![0, 1, 2], vec![2, 3], vec![3, 4, 5]])
+    }
+
+    #[test]
+    fn sizes() {
+        let h = sample();
+        assert_eq!(h.num_vertices(), 6);
+        assert_eq!(h.num_nets(), 3);
+        assert_eq!(h.num_pins(), 8);
+        assert_eq!(h.net(1), &[2, 3]);
+        assert_eq!(h.total_vertex_weight(), 6);
+    }
+
+    #[test]
+    fn vertex_to_nets_adjacency() {
+        let h = sample();
+        let (ptr, adj) = h.vertex_to_nets();
+        // Vertex 2 is in nets 0 and 1; vertex 3 in nets 1 and 2.
+        let nets_of_2: Vec<usize> = adj[ptr[2]..ptr[3]].to_vec();
+        assert_eq!(nets_of_2, vec![0, 1]);
+        let nets_of_3: Vec<usize> = adj[ptr[3]..ptr[4]].to_vec();
+        assert_eq!(nets_of_3, vec![1, 2]);
+        let nets_of_0: Vec<usize> = adj[ptr[0]..ptr[1]].to_vec();
+        assert_eq!(nets_of_0, vec![0]);
+    }
+
+    #[test]
+    fn cutsize_all_one_part_is_zero() {
+        let h = sample();
+        let parts = vec![0u32; 6];
+        assert_eq!(h.connectivity_cutsize(&parts, 2), 0);
+    }
+
+    #[test]
+    fn cutsize_counts_lambda_minus_one() {
+        let h = sample();
+        // parts: {0,1,2} -> 0, {3,4,5} -> 1.  Net 0 inside part 0, net 2
+        // inside part 1, net 1 spans both: cutsize = 1.
+        let parts = vec![0, 0, 0, 1, 1, 1];
+        assert_eq!(h.connectivity_cutsize(&parts, 2), 1);
+        // Splitting net 0 across 3 parts gives lambda=3 for it.
+        let parts3 = vec![0, 1, 2, 2, 2, 2];
+        assert_eq!(h.connectivity_cutsize(&parts3, 3), 2);
+    }
+
+    #[test]
+    fn cutsize_respects_net_weights() {
+        let mut h = sample();
+        h.net_weights = vec![5, 7, 11];
+        let parts = vec![0, 0, 0, 1, 1, 1];
+        assert_eq!(h.connectivity_cutsize(&parts, 2), 7);
+    }
+
+    #[test]
+    fn loads_and_imbalance() {
+        let mut h = sample();
+        h.vertex_weights = vec![1, 1, 1, 3, 3, 3];
+        let parts = vec![0, 0, 0, 1, 1, 1];
+        assert_eq!(h.part_loads(&parts, 2), vec![3, 9]);
+        assert!((h.imbalance(&parts, 2) - 1.5).abs() < 1e-12);
+        let balanced = vec![0, 1, 0, 1, 0, 1];
+        assert!((h.imbalance(&balanced, 2) - 5.0 / 6.0 * 2.0 / 1.0 * 0.6).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_pin_rejected() {
+        let _ = Hypergraph::from_pin_lists(2, &[vec![0, 5]]);
+    }
+}

@@ -1,0 +1,32 @@
+//! Hypergraph models and partitioners for distributing sparse Tucker tasks.
+//!
+//! The distributed-memory algorithms of Kaya & Uçar (ICPP 2016) distribute
+//! either *coarse-grain* tasks (one task per index of each mode, owning the
+//! whole tensor slice) or *fine-grain* tasks (one task per nonzero) across
+//! MPI ranks.  The quality of that distribution determines both the
+//! communication volume (factor-matrix rows exchanged per iteration) and
+//! the load balance of the TTMc and TRSVD steps — exactly the quantities of
+//! the paper's Tables II and III.
+//!
+//! The paper uses PaToH to partition hypergraph models of the computation
+//! (from the authors' earlier CP-ALS work).  PaToH is closed source, so this
+//! crate provides:
+//!
+//! * [`hypergraph::Hypergraph`] — the structure with the connectivity−1
+//!   cutsize metric used throughout,
+//! * [`models`] — the fine-grain (nonzero-vertex) and coarse-grain
+//!   (slice-vertex) hypergraph models of a sparse tensor,
+//! * [`partitioners`] — random and contiguous-block baselines (the paper's
+//!   `*-rd` / `*-bl` configurations) and a greedy-growing + FM-refinement
+//!   partitioner standing in for PaToH (`*-hp` configurations).
+
+pub mod hypergraph;
+pub mod models;
+pub mod partitioners;
+
+pub use hypergraph::Hypergraph;
+pub use models::{coarse_grain_hypergraph, fine_grain_hypergraph};
+pub use partitioners::{
+    block_partition, greedy_partition, hypergraph_partition, random_partition, refine_partition,
+    Partition,
+};

@@ -1,0 +1,158 @@
+//! A small, fast, non-cryptographic hasher for integer-like keys.
+//!
+//! Coalescing sparse tensors and generating synthetic data both hash many
+//! millions of small integer keys; the SipHash default of `std` is the
+//! bottleneck there.  This is the well-known Fx (Firefox/rustc) multiplicative
+//! hash, implemented locally to avoid an extra dependency (per DESIGN.md the
+//! only non-allowed-list dependency is rayon).
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant used by the Fx hash (64-bit golden-ratio based).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// A fast, deterministic hasher suitable for small integer keys.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Process 8 bytes at a time, then the tail.
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add_to_hash(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+}
+
+/// `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+/// `HashSet` keyed with the Fx hasher.
+pub type FxHashSet<K> = HashSet<K, BuildHasherDefault<FxHasher>>;
+
+/// Hashes an index tuple into a single `u64`; used to deduplicate generated
+/// coordinates without allocating a key per nonzero.
+pub fn hash_index_tuple(index: &[usize]) -> u64 {
+    let mut h = FxHasher::default();
+    for &i in index {
+        h.write_usize(i);
+    }
+    h.finish()
+}
+
+/// Linearizes an index tuple with respect to mode sizes (C order, last mode
+/// fastest).  Panics in debug builds if the result would overflow `u128`.
+pub fn linearize(index: &[usize], dims: &[usize]) -> u128 {
+    debug_assert_eq!(index.len(), dims.len());
+    let mut lin: u128 = 0;
+    for (&i, &d) in index.iter().zip(dims.iter()) {
+        lin = lin * d as u128 + i as u128;
+    }
+    lin
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hasher_is_deterministic() {
+        let a = hash_index_tuple(&[1, 2, 3]);
+        let b = hash_index_tuple(&[1, 2, 3]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hasher_differs_on_different_keys() {
+        let a = hash_index_tuple(&[1, 2, 3]);
+        let b = hash_index_tuple(&[3, 2, 1]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fx_hash_map_works() {
+        let mut m: FxHashMap<u64, usize> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(i, (i * 2) as usize);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+    }
+
+    #[test]
+    fn fx_hash_set_distinct() {
+        let mut s: FxHashSet<Vec<usize>> = FxHashSet::default();
+        s.insert(vec![1, 2]);
+        s.insert(vec![1, 2]);
+        s.insert(vec![2, 1]);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn write_bytes_tail_handling() {
+        let mut h1 = FxHasher::default();
+        h1.write(b"hello world!!");
+        let mut h2 = FxHasher::default();
+        h2.write(b"hello world!?");
+        assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn linearize_c_order() {
+        // dims [2,3,4]: index [1,2,3] -> ((1*3)+2)*4+3 = 23
+        assert_eq!(linearize(&[1, 2, 3], &[2, 3, 4]), 23);
+        assert_eq!(linearize(&[0, 0, 0], &[2, 3, 4]), 0);
+        assert_eq!(linearize(&[1, 2], &[5, 7]), 9);
+    }
+
+    #[test]
+    fn linearize_is_injective_within_bounds() {
+        let dims = [3, 4, 5];
+        let mut seen = FxHashSet::default();
+        for i in 0..3 {
+            for j in 0..4 {
+                for k in 0..5 {
+                    assert!(seen.insert(linearize(&[i, j, k], &dims)));
+                }
+            }
+        }
+        assert_eq!(seen.len(), 60);
+    }
+}

@@ -1,0 +1,258 @@
+//! Text I/O for sparse tensors in the FROSTT `.tns` coordinate format.
+//!
+//! Each non-comment line holds `N` one-based indices followed by a value:
+//!
+//! ```text
+//! # optional comment
+//! 1 1 1 1.0
+//! 2 3 4 2.5
+//! ```
+//!
+//! The paper's datasets (Netflix, NELL, Delicious, Flickr) are distributed in
+//! this shape; the reproduction's synthetic profiles can be written out and
+//! read back through these routines, and real `.tns` files can be fed to the
+//! examples and benches directly.
+
+use crate::coo::SparseTensor;
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+/// Errors produced while reading a tensor file.
+#[derive(Debug)]
+pub enum TensorIoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed; carries the 1-based line number and a
+    /// description.
+    Parse(usize, String),
+    /// The file contained no nonzeros.
+    Empty,
+}
+
+impl std::fmt::Display for TensorIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorIoError::Io(e) => write!(f, "I/O error: {e}"),
+            TensorIoError::Parse(line, msg) => write!(f, "parse error on line {line}: {msg}"),
+            TensorIoError::Empty => write!(f, "tensor file contains no nonzeros"),
+        }
+    }
+}
+
+impl std::error::Error for TensorIoError {}
+
+impl From<io::Error> for TensorIoError {
+    fn from(e: io::Error) -> Self {
+        TensorIoError::Io(e)
+    }
+}
+
+/// Reads a sparse tensor from a `.tns`-format reader.  Mode sizes are taken
+/// as the maximum index seen per mode unless `dims` is provided.
+pub fn read_tns<R: BufRead>(
+    reader: R,
+    dims: Option<Vec<usize>>,
+) -> Result<SparseTensor, TensorIoError> {
+    let mut entries: Vec<(Vec<usize>, f64)> = Vec::new();
+    let mut order: Option<usize> = None;
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split_whitespace().collect();
+        if fields.len() < 2 {
+            return Err(TensorIoError::Parse(
+                lineno + 1,
+                "expected at least one index and a value".to_string(),
+            ));
+        }
+        let this_order = fields.len() - 1;
+        match order {
+            None => order = Some(this_order),
+            Some(o) if o != this_order => {
+                return Err(TensorIoError::Parse(
+                    lineno + 1,
+                    format!("inconsistent arity: expected {o} indices, found {this_order}"),
+                ))
+            }
+            _ => {}
+        }
+        let mut idx = Vec::with_capacity(this_order);
+        for f in &fields[..this_order] {
+            let one_based: usize = f.parse().map_err(|_| {
+                TensorIoError::Parse(lineno + 1, format!("invalid index '{f}'"))
+            })?;
+            if one_based == 0 {
+                return Err(TensorIoError::Parse(
+                    lineno + 1,
+                    "indices are 1-based; found 0".to_string(),
+                ));
+            }
+            idx.push(one_based - 1);
+        }
+        let value: f64 = fields[this_order].parse().map_err(|_| {
+            TensorIoError::Parse(
+                lineno + 1,
+                format!("invalid value '{}'", fields[this_order]),
+            )
+        })?;
+        entries.push((idx, value));
+    }
+
+    let order = order.ok_or(TensorIoError::Empty)?;
+    let dims = match dims {
+        Some(d) => {
+            if d.len() != order {
+                return Err(TensorIoError::Parse(
+                    0,
+                    format!(
+                        "provided dims have arity {} but file has arity {order}",
+                        d.len()
+                    ),
+                ));
+            }
+            d
+        }
+        None => {
+            let mut maxes = vec![0usize; order];
+            for (idx, _) in &entries {
+                for (m, &i) in idx.iter().enumerate() {
+                    maxes[m] = maxes[m].max(i + 1);
+                }
+            }
+            maxes
+        }
+    };
+    Ok(SparseTensor::from_entries(dims, &entries))
+}
+
+/// Reads a sparse tensor from a `.tns` file on disk.
+pub fn read_tns_file<P: AsRef<Path>>(
+    path: P,
+    dims: Option<Vec<usize>>,
+) -> Result<SparseTensor, TensorIoError> {
+    let file = File::open(path)?;
+    read_tns(BufReader::new(file), dims)
+}
+
+/// Writes a sparse tensor in `.tns` format (1-based indices).
+pub fn write_tns<W: Write>(tensor: &SparseTensor, writer: &mut W) -> io::Result<()> {
+    for (idx, val) in tensor.iter() {
+        for &i in idx {
+            write!(writer, "{} ", i + 1)?;
+        }
+        writeln!(writer, "{val}")?;
+    }
+    Ok(())
+}
+
+/// Writes a sparse tensor to a file in `.tns` format.
+pub fn write_tns_file<P: AsRef<Path>>(tensor: &SparseTensor, path: P) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut writer = BufWriter::new(file);
+    write_tns(tensor, &mut writer)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn read_simple_3mode() {
+        let data = "# comment\n1 1 1 1.0\n2 3 4 2.5\n";
+        let t = read_tns(Cursor::new(data), None).unwrap();
+        assert_eq!(t.order(), 3);
+        assert_eq!(t.dims(), &[2, 3, 4]);
+        assert_eq!(t.nnz(), 2);
+        assert_eq!(t.index(0), &[0, 0, 0]);
+        assert_eq!(t.index(1), &[1, 2, 3]);
+        assert_eq!(t.value(1), 2.5);
+    }
+
+    #[test]
+    fn read_with_explicit_dims() {
+        let data = "1 1 1.0\n";
+        let t = read_tns(Cursor::new(data), Some(vec![10, 10])).unwrap();
+        assert_eq!(t.dims(), &[10, 10]);
+    }
+
+    #[test]
+    fn read_rejects_zero_index() {
+        let data = "0 1 1.0\n";
+        assert!(matches!(
+            read_tns(Cursor::new(data), None),
+            Err(TensorIoError::Parse(1, _))
+        ));
+    }
+
+    #[test]
+    fn read_rejects_inconsistent_arity() {
+        let data = "1 1 1 1.0\n1 1 1.0\n";
+        assert!(matches!(
+            read_tns(Cursor::new(data), None),
+            Err(TensorIoError::Parse(2, _))
+        ));
+    }
+
+    #[test]
+    fn read_rejects_bad_value() {
+        let data = "1 1 notanumber\n";
+        assert!(matches!(
+            read_tns(Cursor::new(data), None),
+            Err(TensorIoError::Parse(1, _))
+        ));
+    }
+
+    #[test]
+    fn read_empty_is_error() {
+        let data = "# nothing here\n";
+        assert!(matches!(
+            read_tns(Cursor::new(data), None),
+            Err(TensorIoError::Empty)
+        ));
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let t = SparseTensor::from_entries(
+            vec![3, 4, 5, 6],
+            &[
+                (vec![0, 1, 2, 3], 1.5),
+                (vec![2, 3, 4, 5], -2.0),
+                (vec![1, 0, 0, 0], 0.25),
+            ],
+        );
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(Cursor::new(buf), Some(t.dims().to_vec())).unwrap();
+        assert_eq!(back.nnz(), t.nnz());
+        for k in 0..t.nnz() {
+            assert_eq!(back.index(k), t.index(k));
+            assert!((back.value(k) - t.value(k)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("sptensor_io_test.tns");
+        let t = SparseTensor::from_entries(vec![2, 2], &[(vec![0, 1], 3.0), (vec![1, 0], 4.0)]);
+        write_tns_file(&t, &path).unwrap();
+        let back = read_tns_file(&path, None).unwrap();
+        assert_eq!(back.nnz(), 2);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn error_display_strings() {
+        let e = TensorIoError::Parse(3, "bad".to_string());
+        assert!(format!("{e}").contains("line 3"));
+        let e = TensorIoError::Empty;
+        assert!(format!("{e}").contains("no nonzeros"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Distributed-memory scenario: partition a tensor for a simulated cluster,
+//! verify that the distributed algorithm computes exactly the same
+//! decomposition as the shared-memory solver, and report the per-rank work,
+//! communication volumes and simulated strong-scaling curve for the paper's
+//! four configurations.
+//!
+//! ```text
+//! cargo run --release --example distributed_scaling
+//! ```
+
+use tucker_repro::prelude::*;
+
+fn main() {
+    let profile = DatasetProfile::new(ProfileName::Flickr);
+    let tensor = profile.generate(20_000, 5);
+    let ranks = profile.paper_ranks().to_vec();
+    println!(
+        "Flickr-profile tensor {:?} with {} nonzeros, ranks {:?}",
+        tensor.dims(),
+        tensor.nnz(),
+        ranks
+    );
+
+    // 1. Correctness: the fine-grain distributed execution on 8 simulated
+    //    ranks must reproduce the shared-memory result.
+    let tucker = TuckerConfig::new(ranks.clone()).max_iterations(3).seed(17);
+    let shared = tucker_hooi(&tensor, &tucker);
+    let config = SimConfig::new(8, Grain::Fine, PartitionMethod::Hypergraph, ranks.clone());
+    let setup = DistributedSetup::build(&tensor, &config);
+    let distributed = distsim::exec::distributed_hooi(&tensor, &setup, &tucker);
+    println!(
+        "\nshared-memory fit: {:.6}   distributed (8 ranks, fine-hp) fit: {:.6}",
+        shared.final_fit(),
+        distributed.final_fit()
+    );
+
+    // 2. Per-rank statistics for the 8-rank fine-hp run (a miniature of the
+    //    paper's Table III).
+    let stats = distsim::iteration_stats(&tensor, &setup, 20);
+    println!("\nper-mode statistics, 8 ranks, fine-hp (max / avg over ranks):");
+    for m in &stats.modes {
+        println!(
+            "  mode {}: W_TTMc {} / {:.0}   W_TRSVD {} / {:.0}   comm words {} / {:.0}",
+            m.mode + 1,
+            distsim::ModeRankStats::max(&m.ttmc_nonzeros),
+            distsim::ModeRankStats::avg(&m.ttmc_nonzeros),
+            distsim::ModeRankStats::max(&m.trsvd_rows),
+            distsim::ModeRankStats::avg(&m.trsvd_rows),
+            distsim::ModeRankStats::max(&m.comm_volume),
+            distsim::ModeRankStats::avg(&m.comm_volume),
+        );
+    }
+
+    // 3. Simulated strong scaling (a miniature of Table II).
+    println!("\nsimulated seconds per HOOI iteration (BG/Q cost model, 32 threads/rank):");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>12}",
+        "#ranks", "fine-hp", "fine-rd", "coarse-hp", "coarse-bl"
+    );
+    let machine = MachineModel::bluegene_q();
+    for &p in &[1usize, 2, 4, 8, 16, 32] {
+        let mut row = format!("{p:>8}");
+        for (grain, method) in [
+            (Grain::Fine, PartitionMethod::Hypergraph),
+            (Grain::Fine, PartitionMethod::Random),
+            (Grain::Coarse, PartitionMethod::Hypergraph),
+            (Grain::Coarse, PartitionMethod::Block),
+        ] {
+            let c = SimConfig::new(p, grain, method, ranks.clone());
+            let s = DistributedSetup::build(&tensor, &c);
+            let cost = simulate_iteration(&tensor, &s, &machine, 20);
+            row.push_str(&format!(" {:>12.4}", cost.total_seconds()));
+        }
+        println!("{row}");
+    }
+}

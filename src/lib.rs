@@ -1,0 +1,63 @@
+//! HyperTensor-RS — a Rust reproduction of "High Performance Parallel
+//! Algorithms for the Tucker Decomposition of Sparse Tensors"
+//! (Kaya & Uçar, ICPP 2016).
+//!
+//! This root crate re-exports the workspace's public API so that the
+//! examples and integration tests can use one import path.  See the
+//! individual crates for the actual implementations:
+//!
+//! * [`hooi`] — the shared-memory parallel HOOI solver (symbolic TTMc,
+//!   nonzero-based TTMc, matrix-free TRSVD, MET baseline),
+//! * [`distsim`] — the distributed-memory simulator (coarse/fine grain,
+//!   statistics and cost model),
+//! * [`partition`] — hypergraph models and partitioners,
+//! * [`sptensor`], [`linalg`], [`datagen`] — the substrates.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tucker_repro::prelude::*;
+//!
+//! // A small random sparse tensor and a rank-(4,4,4) Tucker decomposition.
+//! let tensor = random_tensor(&[60, 50, 40], 3_000, 7);
+//! let config = TuckerConfig::new(vec![4, 4, 4]).max_iterations(5);
+//! let decomposition = tucker_hooi(&tensor, &config);
+//! assert_eq!(decomposition.core.dims(), &[4, 4, 4]);
+//! assert!(decomposition.final_fit() > 0.0);
+//! ```
+
+pub use datagen;
+pub use distsim;
+pub use hooi;
+pub use linalg;
+pub use partition;
+pub use sptensor;
+
+/// Convenience re-exports covering the common workflow: generate or load a
+/// sparse tensor, configure and run HOOI, inspect the result, and simulate
+/// a distributed run.
+pub mod prelude {
+    pub use datagen::{lowrank_tensor, random_tensor, DatasetProfile, LowRankSpec, ProfileName};
+    pub use distsim::{
+        simulate_iteration, DistributedSetup, Grain, MachineModel, PartitionMethod, SimConfig,
+    };
+    pub use hooi::{
+        tucker_hooi, Initialization, TrsvdBackend, TuckerConfig, TuckerDecomposition,
+    };
+    pub use linalg::Matrix;
+    pub use partition::{fine_grain_hypergraph, hypergraph::Hypergraph};
+    pub use sptensor::{io::read_tns_file, io::write_tns_file, DenseTensor, SparseTensor};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn prelude_workflow_compiles_and_runs() {
+        let tensor = random_tensor(&[20, 20, 20], 500, 1);
+        let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2);
+        let d = tucker_hooi(&tensor, &config);
+        assert_eq!(d.factors.len(), 3);
+    }
+}

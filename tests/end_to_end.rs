@@ -1,0 +1,119 @@
+//! Cross-crate integration tests: the full pipeline from data generation
+//! through shared-memory HOOI, partitioning, distributed simulation and the
+//! MET baseline.
+
+use tucker_repro::prelude::*;
+
+#[test]
+fn full_pipeline_on_profile_tensor() {
+    // Generate a scaled Netflix-profile tensor, decompose it, and check the
+    // structural invariants of the result.
+    let profile = DatasetProfile::new(ProfileName::Netflix);
+    let tensor = profile.generate(8_000, 1);
+    let config = TuckerConfig::new(vec![6, 6, 6]).max_iterations(4).seed(2);
+    let result = tucker_hooi(&tensor, &config);
+
+    assert_eq!(result.core.dims(), &[6, 6, 6]);
+    assert_eq!(result.factors.len(), 3);
+    for (u, &dim) in result.factors.iter().zip(tensor.dims()) {
+        assert_eq!(u.nrows(), dim);
+        assert_eq!(u.ncols(), 6);
+        assert!(linalg::qr::orthogonality_error(u) < 1e-5);
+    }
+    // Fit is monotone across iterations and in (0, 1].
+    for w in result.fits.windows(2) {
+        assert!(w[1] >= w[0] - 1e-8);
+    }
+    assert!(result.final_fit() > 0.0 && result.final_fit() <= 1.0);
+}
+
+#[test]
+fn distributed_simulation_matches_shared_memory_on_all_configurations() {
+    let tensor = random_tensor(&[30, 25, 20], 1_200, 3);
+    let ranks = vec![3, 3, 3];
+    let tucker = TuckerConfig::new(ranks.clone()).max_iterations(2).seed(5);
+    let shared = tucker_hooi(&tensor, &tucker);
+
+    for (grain, method) in [
+        (Grain::Fine, PartitionMethod::Hypergraph),
+        (Grain::Fine, PartitionMethod::Random),
+        (Grain::Coarse, PartitionMethod::Hypergraph),
+        (Grain::Coarse, PartitionMethod::Block),
+    ] {
+        let config = SimConfig::new(6, grain, method, ranks.clone());
+        let setup = DistributedSetup::build(&tensor, &config);
+        let dist = distsim::exec::distributed_hooi(&tensor, &setup, &tucker);
+        assert!(
+            (dist.final_fit() - shared.final_fit()).abs() < 1e-8,
+            "{grain:?}/{method:?}: distributed fit {} differs from shared {}",
+            dist.final_fit(),
+            shared.final_fit()
+        );
+    }
+}
+
+#[test]
+fn hypergraph_partitioning_reduces_simulated_time_and_volume() {
+    let profile = DatasetProfile::new(ProfileName::Flickr);
+    let tensor = profile.generate(10_000, 9);
+    let ranks = profile.paper_ranks().to_vec();
+    let machine = MachineModel::bluegene_q();
+
+    let run = |method: PartitionMethod| {
+        let config = SimConfig::new(16, Grain::Fine, method, ranks.clone());
+        let setup = DistributedSetup::build(&tensor, &config);
+        let cost = simulate_iteration(&tensor, &setup, &machine, 20);
+        (cost.total_seconds(), cost.stats.total_comm_volume())
+    };
+    let (t_hp, v_hp) = run(PartitionMethod::Hypergraph);
+    let (t_rd, v_rd) = run(PartitionMethod::Random);
+    assert!(
+        v_hp < v_rd,
+        "hypergraph comm volume {v_hp} not below random {v_rd}"
+    );
+    assert!(
+        t_hp <= t_rd,
+        "hypergraph simulated time {t_hp} not below random {t_rd}"
+    );
+}
+
+#[test]
+fn met_baseline_agrees_with_hooi() {
+    let tensor = random_tensor(&[18, 15, 12], 700, 7);
+    let config = TuckerConfig::new(vec![3, 3, 3]).max_iterations(3).seed(9);
+    let ours = tucker_hooi(&tensor, &config);
+    let met = hooi::met::tucker_met(&tensor, &config);
+    assert!((ours.final_fit() - met.final_fit()).abs() < 1e-3);
+}
+
+#[test]
+fn tensor_io_roundtrip_preserves_decomposition_input() {
+    let tensor = random_tensor(&[15, 15, 15], 300, 11);
+    let path = std::env::temp_dir().join("tucker_repro_integration.tns");
+    write_tns_file(&tensor, &path).unwrap();
+    let reloaded = read_tns_file(&path, Some(tensor.dims().to_vec())).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(reloaded.nnz(), tensor.nnz());
+
+    let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2).seed(1);
+    let a = tucker_hooi(&tensor, &config);
+    let b = tucker_hooi(&reloaded, &config);
+    assert!((a.final_fit() - b.final_fit()).abs() < 1e-9);
+}
+
+#[test]
+fn four_mode_profile_pipeline() {
+    let profile = DatasetProfile::new(ProfileName::Delicious);
+    let tensor = profile.generate(5_000, 21);
+    assert_eq!(tensor.order(), 4);
+    let config = TuckerConfig::new(vec![3, 3, 3, 3]).max_iterations(2).seed(6);
+    let result = tucker_hooi(&tensor, &config);
+    assert_eq!(result.core.dims(), &[3, 3, 3, 3]);
+
+    // And a 4-mode distributed simulation.
+    let sim = SimConfig::new(4, Grain::Fine, PartitionMethod::Hypergraph, vec![3, 3, 3, 3]);
+    let setup = DistributedSetup::build(&tensor, &sim);
+    let cost = simulate_iteration(&tensor, &setup, &MachineModel::bluegene_q(), 20);
+    assert!(cost.total_seconds() > 0.0);
+    assert_eq!(cost.per_mode.len(), 4);
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the core invariants, spanning crates.
+
+use proptest::prelude::*;
+use tucker_repro::prelude::*;
+
+/// Strategy: a small random sparse tensor (3 modes, bounded dims and nnz).
+fn small_tensor_strategy() -> impl Strategy<Value = SparseTensor> {
+    (
+        4usize..12,
+        4usize..12,
+        4usize..12,
+        20usize..120,
+        0u64..1000,
+    )
+        .prop_map(|(d1, d2, d3, nnz, seed)| random_tensor(&[d1, d2, d3], nnz, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn hooi_factors_always_orthonormal_and_fit_in_unit_interval(
+        tensor in small_tensor_strategy(),
+        rank in 1usize..4,
+    ) {
+        let config = TuckerConfig::new(vec![rank; 3]).max_iterations(2).seed(1);
+        let result = tucker_hooi(&tensor, &config);
+        for u in &result.factors {
+            prop_assert!(linalg::qr::orthogonality_error(u) < 1e-5
+                // Rank-deficient slices can leave zero columns; the error is
+                // then sqrt(#zero columns) at most.
+                || u.ncols() as f64 >= linalg::qr::orthogonality_error(u).powi(2) - 1e-6);
+        }
+        let fit = result.final_fit();
+        prop_assert!((0.0..=1.0 + 1e-9).contains(&fit));
+        // Fit never decreases across iterations.
+        for w in result.fits.windows(2) {
+            prop_assert!(w[1] >= w[0] - 1e-7);
+        }
+    }
+
+    #[test]
+    fn ttmc_parallel_equals_sequential(
+        tensor in small_tensor_strategy(),
+        rank in 1usize..4,
+    ) {
+        let factors: Vec<Matrix> = tensor
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| Matrix::random(d, rank, m as u64 + 1))
+            .collect();
+        let sym = hooi::symbolic::SymbolicTtmc::build(&tensor);
+        for mode in 0..3 {
+            let par = hooi::ttmc::ttmc_mode(&tensor, sym.mode(mode), &factors, mode);
+            let seq = hooi::ttmc::ttmc_mode_sequential(&tensor, sym.mode(mode), &factors, mode);
+            prop_assert!(par.frobenius_distance(&seq) < 1e-9 * seq.frobenius_norm().max(1.0));
+        }
+    }
+
+    #[test]
+    fn distributed_ttmc_invariant_under_partitioning(
+        tensor in small_tensor_strategy(),
+        num_ranks in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let factors: Vec<Matrix> = tensor
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| Matrix::random(d, 2, seed + m as u64))
+            .collect();
+        let sym = hooi::symbolic::SymbolicTtmc::build(&tensor);
+        let shared = hooi::ttmc::ttmc_mode(&tensor, sym.mode(0), &factors, 0);
+        for grain in [Grain::Fine, Grain::Coarse] {
+            let config = SimConfig::new(num_ranks, grain, PartitionMethod::Random, vec![2, 2, 2]);
+            let setup = DistributedSetup::build(&tensor, &config);
+            let dist = distsim::exec::distributed_ttmc(&tensor, &setup, &sym, &factors, 0);
+            prop_assert!(dist.frobenius_distance(&shared) < 1e-9 * shared.frobenius_norm().max(1.0));
+        }
+    }
+
+    #[test]
+    fn cutsize_zero_iff_single_part_and_bounded_by_pins(
+        tensor in small_tensor_strategy(),
+        num_parts in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let h = fine_grain_hypergraph(&tensor);
+        let single = partition::random_partition(h.num_vertices(), 1, seed);
+        prop_assert_eq!(h.connectivity_cutsize(&single.parts, 1), 0);
+        let multi = partition::random_partition(h.num_vertices(), num_parts, seed);
+        let cut = h.connectivity_cutsize(&multi.parts, num_parts);
+        prop_assert!(cut as usize <= h.num_pins());
+    }
+
+    #[test]
+    fn partition_refinement_never_hurts(
+        tensor in small_tensor_strategy(),
+        num_parts in 2usize..5,
+        seed in 0u64..100,
+    ) {
+        let h = fine_grain_hypergraph(&tensor);
+        let mut p = partition::random_partition(h.num_vertices(), num_parts, seed);
+        let before = h.connectivity_cutsize(&p.parts, num_parts);
+        partition::refine_partition(&h, &mut p, 0.2, 2);
+        let after = h.connectivity_cutsize(&p.parts, num_parts);
+        prop_assert!(after <= before);
+    }
+
+    #[test]
+    fn fit_norm_identity_for_hooi_output(
+        tensor in small_tensor_strategy(),
+    ) {
+        // For the factors/core produced by HOOI (orthonormal columns), the
+        // norm-based fit must agree with the exact dense reconstruction
+        // error on small tensors.
+        let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2).seed(3);
+        let result = tucker_hooi(&tensor, &config);
+        let exact = hooi::fit::full_relative_error(&tensor, &result.core, &result.factors, 1_000_000);
+        let from_norms = 1.0 - result.final_fit();
+        prop_assert!((exact - from_norms).abs() < 1e-6,
+            "exact {} vs norm-based {}", exact, from_norms);
+    }
+}
