@@ -22,7 +22,9 @@ fn bench_fine_merge(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
 
     // Partial TTMc results of 8 simulated ranks: 3000 rows, width 100.
-    let parts: Vec<Matrix> = (0..8).map(|r| Matrix::random(3000, 100, r as u64)).collect();
+    let parts: Vec<Matrix> = (0..8)
+        .map(|r| Matrix::random(3000, 100, r as u64))
+        .collect();
     let opts = LanczosOptions::default();
 
     group.bench_function("matrix_free_sum_operator", |b| {

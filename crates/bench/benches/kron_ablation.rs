@@ -35,7 +35,12 @@ fn bench_kron(c: &mut Criterion) {
             let mut acc = vec![0.0f64; 100];
             let mut scratch = vec![0.0f64; 100];
             for &(i, j, x) in &rows {
-                accumulate_scaled_kron_materialized(x, &[u.row(i), v.row(j)], &mut acc, &mut scratch);
+                accumulate_scaled_kron_materialized(
+                    x,
+                    &[u.row(i), v.row(j)],
+                    &mut acc,
+                    &mut scratch,
+                );
             }
             acc
         })

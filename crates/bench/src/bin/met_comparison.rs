@@ -43,11 +43,15 @@ fn main() {
     println!("{:<28} {:>12} {:>12}", "solver", "time (s)", "final fit");
     println!(
         "{:<28} {:>12.2} {:>12.4}",
-        "nonzero-based HOOI (ours)", ours_time, ours.final_fit()
+        "nonzero-based HOOI (ours)",
+        ours_time,
+        ours.final_fit()
     );
     println!(
         "{:<28} {:>12.2} {:>12.4}",
-        "MET-style TTM chain", met_time, met.final_fit()
+        "MET-style TTM chain",
+        met_time,
+        met.final_fit()
     );
     println!();
     println!(

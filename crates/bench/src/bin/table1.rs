@@ -45,6 +45,8 @@ fn main() {
         );
     }
     println!();
-    println!("(max imb = the largest max/mean slice-size ratio over the modes of the generated tensor,");
+    println!(
+        "(max imb = the largest max/mean slice-size ratio over the modes of the generated tensor,"
+    );
     println!(" confirming the Zipf-skewed structure the distributed experiments rely on.)");
 }

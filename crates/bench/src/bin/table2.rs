@@ -53,5 +53,7 @@ fn main() {
         println!();
     }
     println!("Paper reference (Delicious, 8->256 nodes, fine-hp): 164.9 s -> 12.2 s, 13.5x;");
-    println!("fine-hp is ~2x faster than fine-rd and several times faster than the coarse variants.");
+    println!(
+        "fine-hp is ~2x faster than fine-rd and several times faster than the coarse variants."
+    );
 }

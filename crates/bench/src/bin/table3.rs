@@ -7,7 +7,9 @@
 //! the TRSVD solver, and `Comm. vol.` the words it sends plus receives for
 //! that mode (factor rows plus the fine-grain vector-entry merges).
 
-use bench::{format_kilo, paper_configurations, print_header, profile_tensor, sim_config, table_nnz};
+use bench::{
+    format_kilo, paper_configurations, print_header, profile_tensor, sim_config, table_nnz,
+};
 use datagen::ProfileName;
 use distsim::stats::{iteration_stats, ModeRankStats, DEFAULT_TRSVD_APPLICATIONS};
 use distsim::DistributedSetup;
@@ -25,7 +27,14 @@ fn main() {
 
     println!(
         "{:<12} {:>4} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
-        "partition", "mode", "WTTMc max", "WTTMc avg", "WTRSVD max", "WTRSVD avg", "Comm max", "Comm avg"
+        "partition",
+        "mode",
+        "WTTMc max",
+        "WTTMc avg",
+        "WTRSVD max",
+        "WTRSVD avg",
+        "Comm max",
+        "Comm avg"
     );
     for (grain, method) in paper_configurations() {
         let config = sim_config(num_ranks, grain, method, &ranks);
@@ -34,7 +43,11 @@ fn main() {
         for (mode, m) in stats.modes.iter().enumerate() {
             println!(
                 "{:<12} {:>4} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
-                if mode == 0 { config.label() } else { String::new() },
+                if mode == 0 {
+                    config.label()
+                } else {
+                    String::new()
+                },
                 mode + 1,
                 format_kilo(ModeRankStats::max(&m.ttmc_nonzeros) as f64),
                 format_kilo(ModeRankStats::avg(&m.ttmc_nonzeros)),

@@ -23,19 +23,16 @@ fn measured_seconds_per_iteration(
     ranks: &[usize],
     threads: usize,
 ) -> f64 {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(threads)
-        .build()
-        .expect("failed to build rayon pool");
+    // The solver builds its own scoped pool from `num_threads`, so the
+    // thread sweep is just a configuration change.
     let config = TuckerConfig::new(ranks.to_vec())
         .max_iterations(2)
         .fit_tolerance(-1.0)
-        .seed(3);
-    pool.install(|| {
-        let t0 = Instant::now();
-        let result = tucker_hooi(tensor, &config);
-        t0.elapsed().as_secs_f64() / result.iterations as f64
-    })
+        .seed(3)
+        .num_threads(threads);
+    let t0 = Instant::now();
+    let result = tucker_hooi(tensor, &config);
+    t0.elapsed().as_secs_f64() / result.iterations as f64
 }
 
 fn main() {

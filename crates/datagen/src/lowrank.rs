@@ -82,8 +82,7 @@ pub fn lowrank_tensor(spec: &LowRankSpec) -> LowRankTensor {
     // Sample distinct coordinates: a mix of uniform and "popular row" picks
     // so the tensor is not pathologically uniform.
     let value_noise = Uniform::new(-1.0, 1.0);
-    let index_dists: Vec<Uniform<usize>> =
-        spec.dims.iter().map(|&d| Uniform::new(0, d)).collect();
+    let index_dists: Vec<Uniform<usize>> = spec.dims.iter().map(|&d| Uniform::new(0, d)).collect();
     let capacity: f64 = spec.dims.iter().map(|&d| d as f64).product();
     let target = if (spec.nnz as f64) > capacity {
         capacity as usize

@@ -111,7 +111,7 @@ mod tests {
     fn rating_tensor_values_are_integer_ratings() {
         let t = random_rating_tensor(&[30, 30, 12], 500, 5, 11);
         for (_, v) in t.iter() {
-            assert!(v >= 1.0 && v <= 5.0);
+            assert!((1.0..=5.0).contains(&v));
             assert_eq!(v.fract(), 0.0);
         }
     }

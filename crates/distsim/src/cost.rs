@@ -122,7 +122,9 @@ pub fn cost_from_stats(
     let last = order - 1;
     let width_last: usize = ranks[..last].iter().product();
     let core_flops = (0..p)
-        .map(|r| stats.modes[last].trsvd_rows[r] as f64 * width_last as f64 * ranks[last] as f64 * 2.0)
+        .map(|r| {
+            stats.modes[last].trsvd_rows[r] as f64 * width_last as f64 * ranks[last] as f64 * 2.0
+        })
         .fold(0.0, f64::max);
     let core_words: usize = ranks.iter().product();
     let core_seconds =
@@ -149,7 +151,12 @@ mod tests {
         let mut config = SimConfig::new(p, grain, method, vec![4, 4, 4]);
         config.threads_per_rank = threads;
         let setup = DistributedSetup::build(&t, &config);
-        simulate_iteration(&t, &setup, &MachineModel::bluegene_q(), DEFAULT_TRSVD_APPLICATIONS)
+        simulate_iteration(
+            &t,
+            &setup,
+            &MachineModel::bluegene_q(),
+            DEFAULT_TRSVD_APPLICATIONS,
+        )
     }
 
     #[test]

@@ -22,8 +22,8 @@ use hooi::hosvd::random_factors;
 use hooi::symbolic::SymbolicTtmc;
 use hooi::trsvd::trsvd_factor;
 use hooi::ttmc::{ttmc_mode_sequential, ttmc_result_width};
-use hooi::TuckerDecomposition;
 use hooi::TimingBreakdown;
+use hooi::TuckerDecomposition;
 use linalg::Matrix;
 use sptensor::SparseTensor;
 
@@ -229,7 +229,9 @@ mod tests {
     #[test]
     fn four_mode_distributed_execution() {
         let t = random_tensor(&[10, 8, 9, 7], 400, 3);
-        let tucker = TuckerConfig::new(vec![2, 2, 2, 2]).max_iterations(2).seed(8);
+        let tucker = TuckerConfig::new(vec![2, 2, 2, 2])
+            .max_iterations(2)
+            .seed(8);
         let shared = tucker_hooi(&t, &tucker);
         let config = SimConfig::new(4, Grain::Fine, PartitionMethod::Random, vec![2, 2, 2, 2]);
         let setup = DistributedSetup::build(&t, &config);

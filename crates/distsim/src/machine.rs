@@ -79,7 +79,8 @@ impl MachineModel {
     /// compute bound and the node bandwidth bound.
     pub fn trsvd_time(&self, flops: f64, bytes: f64, threads: usize) -> f64 {
         let threads = threads.max(1) as f64;
-        let compute = flops / (self.trsvd_flops_per_thread * threads.min(self.cores_per_node as f64));
+        let compute =
+            flops / (self.trsvd_flops_per_thread * threads.min(self.cores_per_node as f64));
         let bandwidth = bytes / self.memory_bandwidth;
         compute.max(bandwidth)
     }

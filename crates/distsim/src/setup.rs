@@ -141,27 +141,43 @@ impl DistributedSetup {
         };
         let owners = part.parts.clone();
 
-        // Row ownership: the rank with the most local nonzeros of the slice.
+        // Row ownership.  The owner of task `t^n_i` must hold nonzeros of
+        // slice i (it computes the TRSVD update and seeds the merge), and it
+        // pays for `λ_i − 1` partial-row merges plus the factor-row
+        // broadcast — so ownership placement is what balances the per-rank
+        // communication volume.  Among the ranks holding at least half as
+        // many nonzeros of the slice as the best-localized rank, pick the
+        // one with the lightest accumulated owner burden; rows with many
+        // holders are assigned first so the heaviest merge costs spread out.
         let mut row_owner: Vec<Vec<u32>> = Vec::with_capacity(order);
         for mode in 0..order {
             let dim = tensor.dims()[mode];
-            // counts[i][r] would be too large; use a flat map keyed by slice
-            // with a small per-slice tally.
-            let mut best_rank = vec![u32::MAX; dim];
-            let mut best_count = vec![0u32; dim];
             let mut counts: Vec<sptensor::hash::FxHashMap<u32, u32>> = Vec::new();
             counts.resize_with(dim, sptensor::hash::FxHashMap::default);
             for t in 0..nnz {
                 let i = tensor.index(t)[mode];
-                let r = owners[t];
-                let c = counts[i].entry(r).or_insert(0);
-                *c += 1;
-                if *c > best_count[i] || (*c == best_count[i] && r < best_rank[i]) {
-                    best_count[i] = *c;
-                    best_rank[i] = r;
-                }
+                *counts[i].entry(owners[t]).or_insert(0) += 1;
             }
-            row_owner.push(best_rank);
+            let mut slices: Vec<usize> = (0..dim).filter(|&i| !counts[i].is_empty()).collect();
+            slices.sort_by_key(|&i| std::cmp::Reverse(counts[i].len()));
+            let mut burden = vec![0u64; p];
+            let mut owner_of = vec![u32::MAX; dim];
+            for &i in &slices {
+                let holders = counts[i].len() as u64;
+                let max_count = counts[i].values().copied().max().unwrap_or(0);
+                let threshold = max_count.div_ceil(2);
+                // Total order (burden, −count, rank id) keeps the choice
+                // deterministic regardless of hash-map iteration order.
+                let best = counts[i]
+                    .iter()
+                    .filter(|&(_, &c)| c >= threshold)
+                    .min_by_key(|&(&r, &c)| (burden[r as usize], std::cmp::Reverse(c), r))
+                    .map(|(&r, _)| r)
+                    .expect("nonempty slice has a holder");
+                owner_of[i] = best;
+                burden[best as usize] += holders - 1;
+            }
+            row_owner.push(owner_of);
         }
 
         // Local nonzero lists: same per mode for fine grain.
@@ -293,8 +309,7 @@ mod tests {
             if owner == u32::MAX {
                 continue;
             }
-            let has_one = (0..t.nnz())
-                .any(|k| t.index(k)[0] == i && owners[k] == owner);
+            let has_one = (0..t.nnz()).any(|k| t.index(k)[0] == i && owners[k] == owner);
             assert!(has_one, "row {i} owner {owner} holds none of its nonzeros");
         }
     }

@@ -195,7 +195,11 @@ mod tests {
         random_tensor(&[30, 25, 20], 1200, 3)
     }
 
-    fn stats_for(grain: Grain, method: PartitionMethod, p: usize) -> (SparseTensor, IterationStats) {
+    fn stats_for(
+        grain: Grain,
+        method: PartitionMethod,
+        p: usize,
+    ) -> (SparseTensor, IterationStats) {
         let t = tensor();
         let config = SimConfig::new(p, grain, method, vec![4, 4, 4]);
         let setup = DistributedSetup::build(&t, &config);

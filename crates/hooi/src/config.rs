@@ -42,6 +42,13 @@ pub struct TuckerConfig {
     pub trsvd: TrsvdBackend,
     /// RNG seed (initialization and iterative TRSVD starting vectors).
     pub seed: u64,
+    /// Number of worker threads for the parallel TTMc/TRSVD/HOOI sweep;
+    /// `0` (the default) uses every available hardware thread.  The solver
+    /// builds one scoped thread pool from this value and runs the whole
+    /// pipeline inside it, so `num_threads = 1` executes the identical code
+    /// path fully sequentially — the configuration the paper's
+    /// thread-scalability experiments (Table V) sweep.
+    pub num_threads: usize,
 }
 
 impl TuckerConfig {
@@ -58,6 +65,7 @@ impl TuckerConfig {
             initialization: Initialization::Random,
             trsvd: TrsvdBackend::Lanczos,
             seed: 0x7c4a_u64 ^ 0x00c0_ffee,
+            num_threads: 0,
         }
     }
 
@@ -93,6 +101,13 @@ impl TuckerConfig {
     /// Builder-style setter for the seed.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the worker thread count (`0` = all
+    /// available hardware threads).
+    pub fn num_threads(mut self, threads: usize) -> Self {
+        self.num_threads = threads;
         self
     }
 
@@ -157,6 +172,14 @@ mod tests {
         assert_eq!(c.initialization, Initialization::Hosvd);
         assert_eq!(c.trsvd, TrsvdBackend::Dense);
         assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    fn num_threads_builder_and_default() {
+        let c = TuckerConfig::new(vec![2, 2]);
+        assert_eq!(c.num_threads, 0, "default uses all hardware threads");
+        let c = c.num_threads(4);
+        assert_eq!(c.num_threads, 4);
     }
 
     #[test]

@@ -32,11 +32,7 @@ pub fn relative_residual_from_norms(tensor_norm: f64, core_norm: f64) -> f64 {
 /// only: `sqrt(Σ (x − x̂)² / nnz)`.  This is the metric recommender-system
 /// applications of Tucker actually care about, and it does not require the
 /// factors to be orthonormal.
-pub fn rmse_at_nonzeros(
-    tensor: &SparseTensor,
-    core: &DenseTensor,
-    factors: &[Matrix],
-) -> f64 {
+pub fn rmse_at_nonzeros(tensor: &SparseTensor, core: &DenseTensor, factors: &[Matrix]) -> f64 {
     if tensor.nnz() == 0 {
         return 0.0;
     }

@@ -17,7 +17,8 @@ use crate::fit::fit_from_norms;
 use crate::hosvd::{hosvd_factors, random_factors};
 use crate::symbolic::SymbolicTtmc;
 use crate::trsvd::trsvd_factor;
-use crate::ttmc::ttmc_mode;
+use crate::ttmc::ttmc_mode_into;
+use crate::workspace::HooiWorkspace;
 use linalg::Matrix;
 use sptensor::{DenseTensor, SparseTensor};
 use std::time::{Duration, Instant};
@@ -92,9 +93,30 @@ impl TuckerDecomposition {
 
 /// Runs shared-memory parallel HOOI on a sparse tensor.
 ///
+/// The whole pipeline — symbolic TTMc, the per-mode numeric TTMc + TRSVD
+/// sweep, and the core extraction — executes inside one scoped thread pool
+/// sized by [`TuckerConfig::num_threads`], so a single configuration knob
+/// controls every parallel kernel and `num_threads = 1` runs the identical
+/// code path sequentially (the paper's Table V sweep).
+///
 /// # Panics
 /// Panics if the configuration's rank count does not match the tensor order.
 pub fn tucker_hooi(tensor: &SparseTensor, config: &TuckerConfig) -> TuckerDecomposition {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(config.num_threads)
+        .build()
+        .expect("failed to build the HOOI thread pool");
+    pool.install(|| tucker_hooi_in_current_pool(tensor, config))
+}
+
+/// The pool-agnostic HOOI driver: runs in whatever thread context the
+/// caller established.  [`tucker_hooi`] wraps it in a pool sized by the
+/// configuration; embedders that already hold a pool (or want the ambient
+/// thread count) can call this directly.
+pub fn tucker_hooi_in_current_pool(
+    tensor: &SparseTensor,
+    config: &TuckerConfig,
+) -> TuckerDecomposition {
     let order = tensor.order();
     let ranks = config.clamped_ranks(tensor.dims());
     let mut timings = TimingBreakdown::default();
@@ -110,6 +132,10 @@ pub fn tucker_hooi(tensor: &SparseTensor, config: &TuckerConfig) -> TuckerDecomp
     let symbolic = SymbolicTtmc::build(tensor);
     timings.symbolic = t0.elapsed();
 
+    // Per-mode compact TTMc buffers, allocated once and reused by every
+    // iteration's sweep.
+    let mut workspace = HooiWorkspace::new(&symbolic, &ranks);
+
     let tensor_norm = tensor.frobenius_norm();
     let mut fits: Vec<f64> = Vec::with_capacity(config.max_iterations);
     let mut singular_values = vec![Vec::new(); order];
@@ -118,16 +144,16 @@ pub fn tucker_hooi(tensor: &SparseTensor, config: &TuckerConfig) -> TuckerDecomp
 
     for _iter in 0..config.max_iterations {
         iterations += 1;
-        let mut last_compact: Option<Matrix> = None;
 
         for mode in 0..order {
             let t_ttmc = Instant::now();
-            let compact = ttmc_mode(tensor, symbolic.mode(mode), &factors, mode);
+            let compact = workspace.compact_mut(mode);
+            ttmc_mode_into(tensor, symbolic.mode(mode), &factors, mode, compact);
             timings.ttmc += t_ttmc.elapsed();
 
             let t_trsvd = Instant::now();
             let result = trsvd_factor(
-                &compact,
+                compact,
                 symbolic.mode(mode),
                 tensor.dims()[mode],
                 ranks[mode],
@@ -138,16 +164,18 @@ pub fn tucker_hooi(tensor: &SparseTensor, config: &TuckerConfig) -> TuckerDecomp
 
             factors[mode] = result.factor;
             singular_values[mode] = result.singular_values;
-            if mode + 1 == order {
-                last_compact = Some(compact);
-            }
         }
 
         // Core tensor from the last mode's TTMc result (already computed
         // with all other factors at their new values).
         let t_core = Instant::now();
-        let compact = last_compact.expect("at least one mode");
-        core = core_from_last_ttmc(&compact, symbolic.mode(order - 1), &factors[order - 1], &ranks);
+        let compact = workspace.compact(order - 1);
+        core = core_from_last_ttmc(
+            compact,
+            symbolic.mode(order - 1),
+            &factors[order - 1],
+            &ranks,
+        );
         timings.core += t_core.elapsed();
 
         let fit = fit_from_norms(tensor_norm, core.frobenius_norm());
@@ -197,10 +225,8 @@ mod tests {
         let config = TuckerConfig::new(vec![3, 3, 2]).max_iterations(10).seed(7);
         let result = tucker_hooi(&lr.tensor, &config);
         let planted_core = crate::core_tensor::core_from_scratch(&lr.tensor, &lr.factors);
-        let planted_fit = crate::fit::fit_from_norms(
-            lr.tensor.frobenius_norm(),
-            planted_core.frobenius_norm(),
-        );
+        let planted_fit =
+            crate::fit::fit_from_norms(lr.tensor.frobenius_norm(), planted_core.frobenius_norm());
         assert!(
             result.final_fit() >= planted_fit - 0.02,
             "HOOI fit {} vs planted fit {planted_fit}",
@@ -257,12 +283,7 @@ mod tests {
             .fit_tolerance(-1.0); // never early-stop
         let result = tucker_hooi(&t, &config);
         for w in result.fits.windows(2) {
-            assert!(
-                w[1] >= w[0] - 1e-8,
-                "fit decreased: {} -> {}",
-                w[0],
-                w[1]
-            );
+            assert!(w[1] >= w[0] - 1e-8, "fit decreased: {} -> {}", w[0], w[1]);
         }
     }
 

@@ -172,7 +172,10 @@ mod tests {
     fn random_factors_are_orthonormal() {
         let factors = random_factors(&[20, 15, 10], &[4, 3, 2], 7);
         assert_eq!(factors.len(), 3);
-        for (u, (&d, &r)) in factors.iter().zip([20usize, 15, 10].iter().zip([4usize, 3, 2].iter())) {
+        for (u, (&d, &r)) in factors
+            .iter()
+            .zip([20usize, 15, 10].iter().zip([4usize, 3, 2].iter()))
+        {
             assert_eq!(u.shape(), (d, r));
             assert!(orthogonality_error(u) < 1e-10);
         }

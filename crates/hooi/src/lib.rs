@@ -28,14 +28,16 @@
 pub mod config;
 pub mod core_tensor;
 pub mod fit;
-pub mod hosvd;
 pub mod hooi;
+pub mod hosvd;
 pub mod met;
 pub mod symbolic;
 pub mod trsvd;
 pub mod ttmc;
+pub mod workspace;
 
 pub use config::{Initialization, TrsvdBackend, TuckerConfig};
-pub use hooi::{tucker_hooi, TuckerDecomposition, TimingBreakdown};
+pub use hooi::{tucker_hooi, tucker_hooi_in_current_pool, TimingBreakdown, TuckerDecomposition};
 pub use symbolic::{SymbolicMode, SymbolicTtmc};
-pub use ttmc::{ttmc_mode, ttmc_mode_sequential};
+pub use ttmc::{ttmc_mode, ttmc_mode_into, ttmc_mode_sequential};
+pub use workspace::HooiWorkspace;

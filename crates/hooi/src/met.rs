@@ -16,13 +16,13 @@
 //! semi-sparse intermediates, one TTM at a time) so the comparison measures
 //! the algorithmic difference rather than a language difference.
 
+use crate::config::TrsvdBackend;
 use crate::config::TuckerConfig;
 use crate::core_tensor::core_from_scratch;
 use crate::fit::fit_from_norms;
 use crate::hooi::{TimingBreakdown, TuckerDecomposition};
 use crate::hosvd::random_factors;
 use crate::trsvd::TrsvdResult;
-use crate::config::TrsvdBackend;
 use linalg::lanczos::{lanczos_svd, LanczosOptions};
 use linalg::operator::DenseOperator;
 use linalg::randomized::{randomized_svd, RandomizedOptions};
@@ -64,7 +64,10 @@ pub fn met_ttmc(tensor: &SparseTensor, factors: &[Matrix], mode: usize) -> (Vec<
             continue;
         }
         let u = &factors[t];
-        let pos = remaining.iter().position(|&m| m == t).expect("mode present");
+        let pos = remaining
+            .iter()
+            .position(|&m| m == t)
+            .expect("mode present");
         let mut next: FxHashMap<Vec<usize>, Vec<f64>> = FxHashMap::default();
         next.reserve(inter.len());
         let r_t = u.ncols();

@@ -145,7 +145,8 @@ impl SymbolicTtmc {
         self.modes
             .iter()
             .map(|m| {
-                (m.rows.len() + m.row_ptr.len() + m.nonzero_ids.len()) * std::mem::size_of::<usize>()
+                (m.rows.len() + m.row_ptr.len() + m.nonzero_ids.len())
+                    * std::mem::size_of::<usize>()
                     + m.rows.len() * 2 * std::mem::size_of::<usize>()
             })
             .sum()

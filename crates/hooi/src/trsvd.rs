@@ -165,7 +165,11 @@ mod tests {
         // Mode 0 has size 10 but only rows 2 and 7 carry nonzeros.
         let t = sptensor::SparseTensor::from_entries(
             vec![10, 4, 4],
-            &[(vec![2, 1, 1], 1.0), (vec![7, 2, 3], 2.0), (vec![2, 0, 3], 3.0)],
+            &[
+                (vec![2, 1, 1], 1.0),
+                (vec![7, 2, 3], 2.0),
+                (vec![2, 0, 3], 3.0),
+            ],
         );
         let factors = vec![
             Matrix::random(10, 2, 1),

@@ -70,13 +70,39 @@ pub fn ttmc_mode(
     factors: &[Matrix],
     mode: usize,
 ) -> Matrix {
+    let mut out = Matrix::zeros(sym.num_rows(), ttmc_result_width(factors, mode));
+    ttmc_mode_into(tensor, sym, factors, mode, &mut out);
+    out
+}
+
+/// Numeric TTMc for one mode, writing into a caller-provided compact result
+/// matrix — the allocation-free entry point the HOOI loop uses so the
+/// `|J_n| × Π_{t≠mode} R_t` buffer is reused across iterations (see
+/// [`crate::workspace::HooiWorkspace`]).
+///
+/// # Panics
+/// Panics if the factor matrices do not match the tensor's mode sizes or
+/// `out` does not have shape `|J_n| × Π_{t≠mode} R_t`.
+pub fn ttmc_mode_into(
+    tensor: &SparseTensor,
+    sym: &SymbolicMode,
+    factors: &[Matrix],
+    mode: usize,
+    out: &mut Matrix,
+) {
     validate_factors(tensor, factors, mode);
     let width = ttmc_result_width(factors, mode);
-    let nrows = sym.num_rows();
-    let mut out = Matrix::zeros(nrows, width);
-    // Parallelize over rows; each row gets its own scratch buffer through
-    // rayon's per-iteration closure state (allocation is amortized by
-    // chunking rows).
+    assert_eq!(
+        out.shape(),
+        (sym.num_rows(), width),
+        "ttmc_mode_into: result buffer has the wrong shape"
+    );
+    if width == 0 {
+        return;
+    }
+    // Parallelize over rows; each worker gets one scratch buffer through
+    // `for_each_init`, so scratch allocation is amortized over all the rows
+    // a worker processes.
     out.as_mut_slice()
         .par_chunks_mut(width)
         .enumerate()
@@ -86,7 +112,6 @@ pub fn ttmc_mode(
                 compute_row(tensor, sym, factors, mode, p, row_out, scratch);
             },
         );
-    out
 }
 
 /// Sequential numeric TTMc (used for verification, the single-thread
@@ -163,11 +188,7 @@ fn validate_factors(tensor: &SparseTensor, factors: &[Matrix], mode: usize) {
 /// Reference TTMc computed densely: materializes the full tensor, performs
 /// dense TTMs along every mode except `mode`, and unfolds.  Exponential in
 /// memory — tests only.
-pub fn ttmc_dense_reference(
-    tensor: &SparseTensor,
-    factors: &[Matrix],
-    mode: usize,
-) -> Matrix {
+pub fn ttmc_dense_reference(tensor: &SparseTensor, factors: &[Matrix], mode: usize) -> Matrix {
     use sptensor::DenseTensor;
     let mut dense = DenseTensor::zeros(tensor.dims().to_vec());
     for (idx, v) in tensor.iter() {

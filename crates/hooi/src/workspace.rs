@@ -1,0 +1,108 @@
+//! Reusable scratch buffers for the HOOI iteration loop.
+//!
+//! Per iteration, every mode `n` produces a compact TTMc result of shape
+//! `|J_n| × Π_{t≠n} R_t`.  Those shapes depend only on the symbolic data
+//! and the (clamped) Tucker ranks — neither changes across iterations — so
+//! the driver allocates them once here and hands
+//! [`crate::ttmc::ttmc_mode_into`] the same buffers every sweep instead of
+//! allocating `order × max_iterations` matrices in the hot loop.
+
+use crate::symbolic::SymbolicTtmc;
+use linalg::Matrix;
+
+/// Preallocated per-mode buffers for a HOOI run.
+#[derive(Debug)]
+pub struct HooiWorkspace {
+    compact: Vec<Matrix>,
+}
+
+impl HooiWorkspace {
+    /// Allocates one compact TTMc result buffer per mode for the given
+    /// symbolic data and (clamped) Tucker ranks.
+    pub fn new(symbolic: &SymbolicTtmc, ranks: &[usize]) -> Self {
+        assert_eq!(symbolic.order(), ranks.len());
+        let compact = (0..symbolic.order())
+            .map(|mode| {
+                let width: usize = ranks
+                    .iter()
+                    .enumerate()
+                    .filter(|&(t, _)| t != mode)
+                    .map(|(_, &r)| r)
+                    .product();
+                Matrix::zeros(symbolic.mode(mode).num_rows(), width)
+            })
+            .collect();
+        HooiWorkspace { compact }
+    }
+
+    /// The compact TTMc buffer of `mode`, for writing.
+    pub fn compact_mut(&mut self, mode: usize) -> &mut Matrix {
+        &mut self.compact[mode]
+    }
+
+    /// The compact TTMc buffer of `mode`, for reading (e.g. the core-tensor
+    /// extraction from the last mode's result).
+    pub fn compact(&self, mode: usize) -> &Matrix {
+        &self.compact[mode]
+    }
+
+    /// Total number of `f64` entries held by the workspace.
+    pub fn len(&self) -> usize {
+        self.compact.iter().map(|m| m.as_slice().len()).sum()
+    }
+
+    /// Whether the workspace holds no data (all modes empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sptensor::SparseTensor;
+
+    fn sample() -> SparseTensor {
+        SparseTensor::from_entries(
+            vec![4, 3, 5],
+            &[
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 1, 2], 2.0),
+                (vec![2, 1, 2], 3.0),
+                (vec![3, 2, 4], 4.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn buffers_have_compact_shapes() {
+        let t = sample();
+        let sym = SymbolicTtmc::build(&t);
+        let ws = HooiWorkspace::new(&sym, &[2, 3, 4]);
+        assert_eq!(ws.compact(0).shape(), (sym.mode(0).num_rows(), 12));
+        assert_eq!(ws.compact(1).shape(), (sym.mode(1).num_rows(), 8));
+        assert_eq!(ws.compact(2).shape(), (sym.mode(2).num_rows(), 6));
+        assert!(!ws.is_empty());
+    }
+
+    #[test]
+    fn empty_tensor_gives_empty_workspace() {
+        let t = SparseTensor::new(vec![3, 3, 3]);
+        let sym = SymbolicTtmc::build(&t);
+        let ws = HooiWorkspace::new(&sym, &[2, 2, 2]);
+        assert!(ws.is_empty());
+        assert_eq!(ws.compact(1).nrows(), 0);
+    }
+
+    #[test]
+    fn buffers_are_writable_and_stable_across_reuse() {
+        let t = sample();
+        let sym = SymbolicTtmc::build(&t);
+        let mut ws = HooiWorkspace::new(&sym, &[2, 2, 2]);
+        let ptr_before = ws.compact(0).as_slice().as_ptr();
+        ws.compact_mut(0).as_mut_slice().fill(7.0);
+        let ptr_after = ws.compact(0).as_slice().as_ptr();
+        assert_eq!(ptr_before, ptr_after, "reuse must not reallocate");
+        assert!(ws.compact(0).as_slice().iter().all(|&x| x == 7.0));
+    }
+}

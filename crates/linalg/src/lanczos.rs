@@ -81,7 +81,7 @@ pub fn lanczos_svd(op: &dyn LinearOperator, rank: usize, opts: &LanczosOptions) 
         };
     }
 
-    let subspace = opts
+    let mut subspace = opts
         .max_subspace
         .unwrap_or(2 * rank + 10)
         .clamp(rank, max_rank);
@@ -247,15 +247,17 @@ pub fn lanczos_svd(op: &dyn LinearOperator, rank: usize, opts: &LanczosOptions) 
 
         // Thick restart would be the production choice; for the subspace
         // sizes used here simply enlarging the subspace on restart is
-        // sufficient and keeps the code simple.
+        // sufficient and keeps the code simple.  The bases built so far are
+        // kept, so the next pass only expands the factorization from `k`
+        // toward the larger bound.
         let new_subspace = (subspace + subspace / 2 + 1).min(max_rank);
-        if new_subspace == subspace || new_subspace == k {
+        if new_subspace == subspace {
+            // The subspace is already at the small dimension and cannot
+            // grow — another pass cannot improve the estimate.  (Breakdown,
+            // k < subspace, returned above: the factorization is exact.)
             break;
         }
-        // Keep the current bases and continue expanding toward the larger
-        // subspace bound on the next loop iteration.
-        let _ = new_subspace;
-        break;
+        subspace = new_subspace;
     }
 
     best.unwrap_or_else(|| TruncatedSvd {
@@ -298,7 +300,11 @@ mod tests {
         assert_eq!(result.singular_values.len(), 5);
         for i in 0..5 {
             assert!(
-                approx_eq(result.singular_values[i], reference.singular_values[i], 1e-6),
+                approx_eq(
+                    result.singular_values[i],
+                    reference.singular_values[i],
+                    1e-6
+                ),
                 "σ_{i}: {} vs {}",
                 result.singular_values[i],
                 reference.singular_values[i]

@@ -29,7 +29,7 @@ pub mod svd;
 pub use lanczos::{lanczos_svd, LanczosOptions, TruncatedSvd};
 pub use matrix::Matrix;
 pub use operator::{DenseOperator, LinearOperator};
-pub use qr::{qr_thin, orthonormalize_columns};
+pub use qr::{orthonormalize_columns, qr_thin};
 pub use randomized::{randomized_svd, RandomizedOptions};
 pub use svd::dense_svd;
 

@@ -225,7 +225,7 @@ mod tests {
     #[test]
     fn qr_handles_zero_column() {
         let mut a = Matrix::random(10, 3, 9);
-        a.set_col(1, &vec![0.0; 10]);
+        a.set_col(1, &[0.0; 10]);
         let ThinQr { q, r } = qr_thin(&a);
         let qr = gemm(&q, &r);
         assert!(a.frobenius_distance(&qr) < 1e-10);

@@ -205,8 +205,8 @@ mod tests {
     #[test]
     fn svd_rank_one() {
         // a = u v^T has exactly one nonzero singular value = |u||v|.
-        let u = vec![1.0, 2.0, 3.0];
-        let v = vec![4.0, 5.0];
+        let u = [1.0, 2.0, 3.0];
+        let v = [4.0, 5.0];
         let a = Matrix::from_fn(3, 2, |i, j| u[i] * v[j]);
         let svd = dense_svd(&a);
         let expected = (14.0_f64).sqrt() * (41.0_f64).sqrt();

@@ -12,8 +12,8 @@
 use crate::hypergraph::Hypergraph;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use sptensor::hash::{FxHashMap, FxHashSet};
 use std::collections::BinaryHeap;
-use sptensor::hash::FxHashMap;
 
 /// A K-way partition of a set of items (vertices, tasks or nonzeros).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -209,9 +209,14 @@ pub fn greedy_partition(h: &Hypergraph, num_parts: usize, seed: u64) -> Partitio
 }
 
 /// FM-style refinement: repeated passes over the vertices, moving a vertex
-/// to its best-connected part whenever that strictly reduces the
-/// connectivity−1 cutsize and keeps every part under
-/// `(1 + balance_eps) × average` load.  Returns the number of moves made.
+/// whenever that strictly reduces the connectivity−1 cutsize — or, at equal
+/// cutsize, strictly improves the load balance — while keeping every part
+/// under `(1 + balance_eps) × average` load.  Zero-gain balance moves are
+/// what lets a pass drain an overloaded part of an initially unbalanced
+/// (e.g. random) partition without ever increasing the cut; they move
+/// strictly from heavier to lighter parts, so the sum of squared loads
+/// decreases monotonically and passes terminate.  Returns the number of
+/// moves made.
 pub fn refine_partition(
     h: &Hypergraph,
     partition: &mut Partition,
@@ -245,44 +250,58 @@ pub fn refine_partition(
         let mut moves_this_pass = 0usize;
         for v in 0..n {
             let from = partition.parts[v];
-            // Tally how strongly v is connected to each part.
-            let mut connectivity: FxHashMap<u32, i64> = FxHashMap::default();
+            let weight = h.vertex_weights[v];
+            // Candidate targets: every part sharing a net with v.
+            let mut connected: FxHashSet<u32> = FxHashSet::default();
             for &net in &vnets[vptr[v]..vptr[v + 1]] {
-                let w = h.net_weights[net] as i64;
                 for (&part, _) in net_counts[net].iter() {
-                    *connectivity.entry(part).or_insert(0) += w;
+                    connected.insert(part);
                 }
             }
-            // Candidate: the best-connected part other than `from`.
-            let mut best: Option<(u32, i64)> = None;
-            for (&part, &c) in connectivity.iter() {
-                if part == from {
+            // Exact connectivity−1 gain of moving v from `from` to `to`.
+            let exact_gain = |to: u32| -> i64 {
+                let mut gain = 0i64;
+                for &net in &vnets[vptr[v]..vptr[v + 1]] {
+                    let w = h.net_weights[net] as i64;
+                    let cnt_from = *net_counts[net].get(&from).unwrap_or(&0);
+                    let cnt_to = *net_counts[net].get(&to).unwrap_or(&0);
+                    if cnt_from == 1 {
+                        gain += w; // `from` disappears from the net
+                    }
+                    if cnt_to == 0 {
+                        gain -= w; // `to` newly appears in the net
+                    }
+                }
+                gain
+            };
+            // Evaluate every connected part: prefer the highest positive
+            // cutsize gain; failing that, remember the lightest target for
+            // a zero-gain balance move.
+            let mut best_move: Option<(u32, i64)> = None;
+            let mut balance_move: Option<u32> = None;
+            for &to in connected.iter() {
+                if to == from || loads[to as usize] + weight > max_load {
                     continue;
                 }
-                if best.map_or(true, |(_, bc)| c > bc) {
-                    best = Some((part, c));
+                let gain = exact_gain(to);
+                if gain > 0 {
+                    if best_move.is_none_or(|(_, g)| gain > g) {
+                        best_move = Some((to, gain));
+                    }
+                } else if gain == 0
+                    && loads[from as usize] > loads[to as usize] + weight
+                    && balance_move.is_none_or(|b| loads[to as usize] < loads[b as usize])
+                {
+                    balance_move = Some(to);
                 }
             }
-            let Some((to, _)) = best else { continue };
-            if loads[to as usize] + h.vertex_weights[v] > max_load {
-                continue;
-            }
-            // Exact gain of moving v from `from` to `to`.
-            let mut gain = 0i64;
-            for &net in &vnets[vptr[v]..vptr[v + 1]] {
-                let w = h.net_weights[net] as i64;
-                let cnt_from = *net_counts[net].get(&from).unwrap_or(&0);
-                let cnt_to = *net_counts[net].get(&to).unwrap_or(&0);
-                if cnt_from == 1 {
-                    gain += w; // `from` disappears from the net
-                }
-                if cnt_to == 0 {
-                    gain -= w; // `to` newly appears in the net
-                }
-            }
-            if gain <= 0 {
-                continue;
-            }
+            let to = match best_move {
+                Some((to, _)) => to,
+                None => match balance_move {
+                    Some(to) => to,
+                    None => continue,
+                },
+            };
             // Execute the move.
             for &net in &vnets[vptr[v]..vptr[v + 1]] {
                 let e = net_counts[net].entry(from).or_insert(0);
@@ -309,7 +328,10 @@ pub fn refine_partition(
 /// configuration of the experiments.
 pub fn hypergraph_partition(h: &Hypergraph, num_parts: usize, seed: u64) -> Partition {
     let mut p = greedy_partition(h, num_parts, seed);
-    refine_partition(h, &mut p, 0.10, 4);
+    // PaToH-like 3% balance tolerance: tight enough that the busiest rank's
+    // TTMc load stays competitive with a random partition, loose enough to
+    // leave the refiner room for cut-improving moves.
+    refine_partition(h, &mut p, 0.03, 8);
     p
 }
 
@@ -408,7 +430,10 @@ mod tests {
         let mut p = random_partition(h.num_vertices(), 5, 2);
         refine_partition(&h, &mut p, 0.10, 3);
         let imb = h.imbalance(&p.parts, 5);
-        assert!(imb <= 1.12, "imbalance {imb} exceeds the allowed 10% + rounding");
+        assert!(
+            imb <= 1.12,
+            "imbalance {imb} exceeds the allowed 10% + rounding"
+        );
     }
 
     #[test]

@@ -1,0 +1,345 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! The build environment has no access to crates.io, so the workspace ships
+//! this minimal implementation of the subset its tests use: the
+//! [`Strategy`] trait with `prop_map`, range and tuple strategies, the
+//! [`proptest!`] macro (with `#![proptest_config(..)]` support),
+//! [`ProptestConfig::with_cases`], and the `prop_assert!`/`prop_assert_eq!`
+//! assertion macros.
+//!
+//! Differences from the real crate: inputs are drawn from a deterministic
+//! per-test generator (seeded from the test name, so failures are
+//! reproducible run over run) and there is **no shrinking** — on failure the
+//! macro prints the exact generated inputs instead.
+
+use std::ops::Range;
+
+/// Deterministic generator handed to strategies (xoshiro256++ seeded via
+/// SplitMix64 from the test name).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// Creates a generator whose stream is a pure function of `name`.
+    pub fn deterministic(name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut sm = h;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            sm = sm.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            *slot = z ^ (z >> 31);
+        }
+        TestRng { s }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw from `[0, span)`.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        // Rejection sampling keeps the draw unbiased.
+        let limit = u64::MAX - u64::MAX % span;
+        loop {
+            let draw = self.next_u64();
+            if draw < limit {
+                return draw % span;
+            }
+        }
+    }
+
+    /// Uniform draw from `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A recipe for generating test values (mirrors `proptest::strategy::Strategy`,
+/// without shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        T: std::fmt::Debug,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, T> Strategy for Map<S, F>
+where
+    S: Strategy,
+    T: std::fmt::Debug,
+    F: Fn(S::Value) -> T,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy producing a fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+    (A, B, C, D, E, F, G)
+    (A, B, C, D, E, F, G, H)
+}
+
+/// Runner configuration (mirrors `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Prints the failing case when a test body panics (stand-in for
+/// proptest's shrink report).
+pub struct FailureReporter {
+    /// Formatted inputs of the current case.
+    pub description: String,
+}
+
+impl Drop for FailureReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("proptest case failed with inputs: {}", self.description);
+        }
+    }
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        assert_eq!($left, $right);
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        assert_eq!($left, $right, $($fmt)*);
+    };
+}
+
+/// Declares property tests (mirrors `proptest::proptest!`).
+///
+/// Supports the form used across this workspace:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(16))]
+///     #[test]
+///     fn my_property(x in 0usize..10, y in strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@impl ($config) $($rest)*);
+    };
+    (
+        $(#[test] fn $name:ident ($($args:tt)*) $body:block)*
+    ) => {
+        $crate::proptest!(@impl ($crate::ProptestConfig::default())
+            $(#[test] fn $name ($($args)*) $body)*);
+    };
+    (@impl ($config:expr)
+        $(#[test] fn $name:ident ( $($arg:ident in $strategy:expr),+ $(,)? ) $body:block)*
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let strategies = ($($strategy,)+);
+                let mut rng = $crate::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let ($($arg,)+) = $crate::Strategy::generate(&strategies, &mut rng);
+                    let _reporter = $crate::FailureReporter {
+                        description: format!(
+                            concat!("case {} of {}: ",
+                                $(stringify!($arg), " = {:?}, ",)+ ""),
+                            case, config.cases, $(&$arg),+
+                        ),
+                    };
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Glob-import module (mirrors `proptest::prelude`).
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds");
+        for _ in 0..1000 {
+            let x = Strategy::generate(&(3usize..9), &mut rng);
+            assert!((3..9).contains(&x));
+            let y = Strategy::generate(&(-5i32..5), &mut rng);
+            assert!((-5..5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn prop_map_composes() {
+        let strategy = (1usize..5, 1usize..5).prop_map(|(a, b)| a * b);
+        let mut rng = TestRng::deterministic("map");
+        for _ in 0..100 {
+            let v = strategy.generate(&mut rng);
+            assert!((1..25).contains(&v));
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = TestRng::deterministic("same-name");
+        let mut b = TestRng::deterministic("same-name");
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_generates_and_runs(x in 0usize..100, y in 0usize..100) {
+            prop_assert!(x < 100);
+            prop_assert_eq!(x + y, y + x);
+        }
+
+        #[test]
+        fn macro_single_arg(v in (0usize..5).prop_map(|n| vec![0u8; n])) {
+            prop_assert!(v.len() < 5);
+        }
+    }
+}

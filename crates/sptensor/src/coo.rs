@@ -93,6 +93,10 @@ impl SparseTensor {
     }
 
     /// The index tuple of nonzero `t`.
+    // Not `std::ops::Index`: that trait cannot return a computed sub-slice
+    // of a flat buffer by value semantics this API needs, and `index` is the
+    // paper's name for a nonzero's coordinate tuple.
+    #[allow(clippy::should_implement_trait)]
     #[inline]
     pub fn index(&self, t: usize) -> &[usize] {
         let n = self.order();
@@ -201,10 +205,8 @@ impl SparseTensor {
             let key = self.indices[t * n..(t + 1) * n].to_vec();
             *map.entry(key).or_insert(0.0) += self.values[t];
         }
-        let mut entries: Vec<(Vec<usize>, f64)> = map
-            .into_iter()
-            .filter(|(_, v)| *v != 0.0)
-            .collect();
+        let mut entries: Vec<(Vec<usize>, f64)> =
+            map.into_iter().filter(|(_, v)| *v != 0.0).collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         self.indices.clear();
         self.values.clear();

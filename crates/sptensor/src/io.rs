@@ -83,9 +83,9 @@ pub fn read_tns<R: BufRead>(
         }
         let mut idx = Vec::with_capacity(this_order);
         for f in &fields[..this_order] {
-            let one_based: usize = f.parse().map_err(|_| {
-                TensorIoError::Parse(lineno + 1, format!("invalid index '{f}'"))
-            })?;
+            let one_based: usize = f
+                .parse()
+                .map_err(|_| TensorIoError::Parse(lineno + 1, format!("invalid index '{f}'")))?;
             if one_based == 0 {
                 return Err(TensorIoError::Parse(
                     lineno + 1,

@@ -15,11 +15,7 @@ fn main() {
     // popularity, integer-like rating values.
     let profile = DatasetProfile::new(ProfileName::Netflix);
     let full = profile.generate(50_000, 2016);
-    println!(
-        "rating tensor: {:?}, {} ratings",
-        full.dims(),
-        full.nnz()
-    );
+    println!("rating tensor: {:?}, {} ratings", full.dims(), full.nnz());
 
     // Hold out 10% of the ratings for evaluation.
     let mut rng = SmallRng::seed_from_u64(99);
@@ -34,7 +30,11 @@ fn main() {
     }
     let train = full.subset(&train_ids);
     let test = full.subset(&test_ids);
-    println!("train: {} ratings, test: {} ratings", train.nnz(), test.nnz());
+    println!(
+        "train: {} ratings, test: {} ratings",
+        train.nnz(),
+        test.nnz()
+    );
 
     // Decompose the training tensor with the paper's ranks (10 per mode).
     let config = TuckerConfig::new(vec![10, 10, 10])
@@ -58,8 +58,14 @@ fn main() {
         baseline_se += (actual - mean).powi(2);
     }
     let n = test.nnz() as f64;
-    println!("held-out RMSE  (Tucker model): {:.4}", (model_se / n).sqrt());
-    println!("held-out RMSE  (global mean):  {:.4}", (baseline_se / n).sqrt());
+    println!(
+        "held-out RMSE  (Tucker model): {:.4}",
+        (model_se / n).sqrt()
+    );
+    println!(
+        "held-out RMSE  (global mean):  {:.4}",
+        (baseline_se / n).sqrt()
+    );
     println!();
     println!("Note: with zero-imputed training (standard sparse Tucker), predictions are");
     println!("shrunk toward zero; applications typically post-scale or use weighted variants.");

@@ -19,8 +19,13 @@
 //! use tucker_repro::prelude::*;
 //!
 //! // A small random sparse tensor and a rank-(4,4,4) Tucker decomposition.
+//! // `num_threads` sizes the scoped thread pool every parallel kernel of
+//! // the solver runs in (0 = all hardware threads); the same code path
+//! // runs fully sequentially with `num_threads(1)`.
 //! let tensor = random_tensor(&[60, 50, 40], 3_000, 7);
-//! let config = TuckerConfig::new(vec![4, 4, 4]).max_iterations(5);
+//! let config = TuckerConfig::new(vec![4, 4, 4])
+//!     .max_iterations(5)
+//!     .num_threads(2);
 //! let decomposition = tucker_hooi(&tensor, &config);
 //! assert_eq!(decomposition.core.dims(), &[4, 4, 4]);
 //! assert!(decomposition.final_fit() > 0.0);
@@ -41,9 +46,7 @@ pub mod prelude {
     pub use distsim::{
         simulate_iteration, DistributedSetup, Grain, MachineModel, PartitionMethod, SimConfig,
     };
-    pub use hooi::{
-        tucker_hooi, Initialization, TrsvdBackend, TuckerConfig, TuckerDecomposition,
-    };
+    pub use hooi::{tucker_hooi, Initialization, TrsvdBackend, TuckerConfig, TuckerDecomposition};
     pub use linalg::Matrix;
     pub use partition::{fine_grain_hypergraph, hypergraph::Hypergraph};
     pub use sptensor::{io::read_tns_file, io::write_tns_file, DenseTensor, SparseTensor};

@@ -106,12 +106,19 @@ fn four_mode_profile_pipeline() {
     let profile = DatasetProfile::new(ProfileName::Delicious);
     let tensor = profile.generate(5_000, 21);
     assert_eq!(tensor.order(), 4);
-    let config = TuckerConfig::new(vec![3, 3, 3, 3]).max_iterations(2).seed(6);
+    let config = TuckerConfig::new(vec![3, 3, 3, 3])
+        .max_iterations(2)
+        .seed(6);
     let result = tucker_hooi(&tensor, &config);
     assert_eq!(result.core.dims(), &[3, 3, 3, 3]);
 
     // And a 4-mode distributed simulation.
-    let sim = SimConfig::new(4, Grain::Fine, PartitionMethod::Hypergraph, vec![3, 3, 3, 3]);
+    let sim = SimConfig::new(
+        4,
+        Grain::Fine,
+        PartitionMethod::Hypergraph,
+        vec![3, 3, 3, 3],
+    );
     let setup = DistributedSetup::build(&tensor, &sim);
     let cost = simulate_iteration(&tensor, &setup, &MachineModel::bluegene_q(), 20);
     assert!(cost.total_seconds() > 0.0);

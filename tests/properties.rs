@@ -5,13 +5,7 @@ use tucker_repro::prelude::*;
 
 /// Strategy: a small random sparse tensor (3 modes, bounded dims and nnz).
 fn small_tensor_strategy() -> impl Strategy<Value = SparseTensor> {
-    (
-        4usize..12,
-        4usize..12,
-        4usize..12,
-        20usize..120,
-        0u64..1000,
-    )
+    (4usize..12, 4usize..12, 4usize..12, 20usize..120, 0u64..1000)
         .prop_map(|(d1, d2, d3, nnz, seed)| random_tensor(&[d1, d2, d3], nnz, seed))
 }
 
@@ -106,6 +100,98 @@ proptest! {
         partition::refine_partition(&h, &mut p, 0.2, 2);
         let after = h.connectivity_cutsize(&p.parts, num_parts);
         prop_assert!(after <= before);
+    }
+
+    #[test]
+    fn accumulate_scaled_kron_matches_materialized_product(
+        lens in (1usize..5, 1usize..5, 1usize..5),
+        alpha in (0u64..2000).prop_map(|n| n as f64 / 100.0 - 10.0),
+        seed in 0u64..1000,
+    ) {
+        // acc += alpha * (⊗ rows) must agree with materializing the full
+        // Kronecker product first, for 1, 2 and 3 factor rows (the direct
+        // 1/2-factor fast paths and the scratch-buffer fallback).
+        let (l1, l2, l3) = lens;
+        let source = Matrix::random(3, l1.max(l2).max(l3), seed);
+        let rows_storage: Vec<Vec<f64>> = [l1, l2, l3]
+            .iter()
+            .enumerate()
+            .map(|(i, &l)| source.row(i)[..l].to_vec())
+            .collect();
+        for take in 1..=3 {
+            let rows: Vec<&[f64]> = rows_storage[..take].iter().map(|r| r.as_slice()).collect();
+            let len: usize = rows.iter().map(|r| r.len()).product();
+            let mut reference = vec![0.0; len];
+            sptensor::kron::kron_rows(&rows, &mut reference);
+            let mut acc = vec![1.5; len];
+            let mut scratch = vec![0.0; len];
+            sptensor::kron::accumulate_scaled_kron(alpha, &rows, &mut acc, &mut scratch);
+            for (a, r) in acc.iter().zip(reference.iter()) {
+                prop_assert!((a - (1.5 + alpha * r)).abs() < 1e-12,
+                    "{take} factors: {a} vs {}", 1.5 + alpha * r);
+            }
+        }
+    }
+
+    #[test]
+    fn ttmc_result_width_matches_factor_columns(
+        ranks in (1usize..5, 1usize..5, 1usize..5, 1usize..5),
+    ) {
+        let (r1, r2, r3, r4) = ranks;
+        let factors = vec![
+            Matrix::zeros(3, r1),
+            Matrix::zeros(3, r2),
+            Matrix::zeros(3, r3),
+            Matrix::zeros(3, r4),
+        ];
+        let all: usize = r1 * r2 * r3 * r4;
+        for mode in 0..4 {
+            let width = hooi::ttmc::ttmc_result_width(&factors, mode);
+            prop_assert_eq!(width, all / factors[mode].ncols());
+        }
+    }
+
+    #[test]
+    fn compact_ttmc_rows_equal_dense_reference(
+        tensor in (
+            2usize..6,
+            2usize..6,
+            2usize..6,
+            3usize..25,
+            0u64..500,
+        ).prop_map(|(d1, d2, d3, nnz, seed)| random_tensor(&[d1, d2, d3], nnz, seed)),
+        rank in 1usize..4,
+    ) {
+        // Every row of the compact TTMc result must equal the corresponding
+        // row of the dense reference `X ×_{t≠n} U_tᵀ` unfolding, and rows
+        // absent from the compact form must be zero in the reference.
+        let factors: Vec<Matrix> = tensor
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(m, &d)| Matrix::random(d, rank, m as u64 + 11))
+            .collect();
+        let sym = hooi::symbolic::SymbolicTtmc::build(&tensor);
+        for mode in 0..3 {
+            let compact = hooi::ttmc::ttmc_mode(&tensor, sym.mode(mode), &factors, mode);
+            let reference = hooi::ttmc::ttmc_dense_reference(&tensor, &factors, mode);
+            prop_assert_eq!(compact.ncols(), reference.ncols());
+            let tol = 1e-9 * reference.frobenius_norm().max(1.0);
+            let mut covered = vec![false; tensor.dims()[mode]];
+            for (p, &i) in sym.mode(mode).rows.iter().enumerate() {
+                covered[i] = true;
+                for (a, b) in compact.row(p).iter().zip(reference.row(i)) {
+                    prop_assert!((a - b).abs() < tol, "mode {mode} row {i}: {a} vs {b}");
+                }
+            }
+            for (i, was_covered) in covered.iter().enumerate() {
+                if !was_covered {
+                    for &v in reference.row(i) {
+                        prop_assert!(v.abs() < tol, "empty slice {i} has nonzero reference");
+                    }
+                }
+            }
+        }
     }
 
     #[test]
