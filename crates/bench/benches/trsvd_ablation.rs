@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use datagen::{DatasetProfile, ProfileName};
 use hooi::config::TrsvdBackend;
-use hooi::{tucker_hooi, TuckerConfig};
+use hooi::{PlanOptions, TuckerConfig, TuckerSolver};
 use std::time::Duration;
 
 fn bench_trsvd_ablation(c: &mut Criterion) {
@@ -22,13 +22,16 @@ fn bench_trsvd_ablation(c: &mut Criterion) {
         .fit_tolerance(-1.0)
         .seed(3);
 
+    // One plan serves all three backends: the ablation varies only the
+    // per-solve configuration.
+    let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new()).unwrap();
     for (label, backend) in [
         ("lanczos", TrsvdBackend::Lanczos),
         ("randomized", TrsvdBackend::Randomized),
         ("dense", TrsvdBackend::Dense),
     ] {
         let config = base.clone().trsvd(backend);
-        group.bench_function(label, |b| b.iter(|| tucker_hooi(&tensor, &config)));
+        group.bench_function(label, |b| b.iter(|| solver.solve(&config).unwrap()));
     }
     group.finish();
 }

@@ -33,11 +33,11 @@ fn main() {
         .seed(7);
 
     let t0 = Instant::now();
-    let ours = tucker_hooi(&tensor, &config);
+    let ours = tucker_hooi(&tensor, &config).expect("HOOI failed");
     let ours_time = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
-    let met = tucker_met(&tensor, &config);
+    let met = tucker_met(&tensor, &config).expect("MET failed");
     let met_time = t1.elapsed().as_secs_f64();
 
     println!("{:<28} {:>12} {:>12}", "solver", "time (s)", "final fit");

@@ -15,7 +15,7 @@
 use bench::{print_header, profile_tensor, simulated_iteration_seconds, table_nnz};
 use datagen::ProfileName;
 use distsim::{Grain, PartitionMethod};
-use hooi::{tucker_hooi, TuckerConfig};
+use hooi::{PlanOptions, TuckerConfig, TuckerSolver};
 use std::time::Instant;
 
 fn measured_seconds_per_iteration(
@@ -23,15 +23,17 @@ fn measured_seconds_per_iteration(
     ranks: &[usize],
     threads: usize,
 ) -> f64 {
-    // The solver builds its own scoped pool from `num_threads`, so the
-    // thread sweep is just a configuration change.
+    // The session's pool is fixed at plan time, so the thread sweep plans
+    // one session per thread count and times the solve (the symbolic
+    // analysis stays outside the measurement, as in the paper's tables).
+    let mut solver =
+        TuckerSolver::plan(tensor, PlanOptions::new().num_threads(threads)).expect("plan failed");
     let config = TuckerConfig::new(ranks.to_vec())
         .max_iterations(2)
         .fit_tolerance(-1.0)
-        .seed(3)
-        .num_threads(threads);
+        .seed(3);
     let t0 = Instant::now();
-    let result = tucker_hooi(tensor, &config);
+    let result = solver.solve(&config).expect("solve failed");
     t0.elapsed().as_secs_f64() / result.iterations as f64
 }
 

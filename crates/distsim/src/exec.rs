@@ -17,6 +17,7 @@
 use crate::setup::DistributedSetup;
 use hooi::config::TuckerConfig;
 use hooi::core_tensor::core_from_last_ttmc;
+use hooi::error::TuckerError;
 use hooi::fit::fit_from_norms;
 use hooi::hosvd::random_factors;
 use hooi::symbolic::SymbolicTtmc;
@@ -69,14 +70,18 @@ pub fn distributed_ttmc(
 }
 
 /// Runs the distributed HOOI algorithm numerically (per-rank TTMc + merged
-/// TRSVD) and returns the same result type as the shared-memory solver.
+/// TRSVD) and returns the same result type — and the same structured-error
+/// contract — as the shared-memory solver.
 pub fn distributed_hooi(
     tensor: &SparseTensor,
     setup: &DistributedSetup,
     config: &TuckerConfig,
-) -> TuckerDecomposition {
+) -> Result<TuckerDecomposition, TuckerError> {
+    if tensor.order() == 0 || tensor.nnz() == 0 {
+        return Err(TuckerError::EmptyTensor);
+    }
     let order = tensor.order();
-    let ranks = config.clamped_ranks(tensor.dims());
+    let ranks = config.validated_ranks(tensor.dims())?;
     let mut factors = random_factors(tensor.dims(), &ranks, config.seed);
     let global_sym = SymbolicTtmc::build(tensor);
     let tensor_norm = tensor.frobenius_norm();
@@ -123,14 +128,14 @@ pub fn distributed_hooi(
         }
     }
 
-    TuckerDecomposition {
+    Ok(TuckerDecomposition {
         core,
         factors,
         fits,
         iterations,
         singular_values,
         timings: TimingBreakdown::default(),
-    }
+    })
 }
 
 #[cfg(test)]
@@ -189,10 +194,28 @@ mod tests {
     }
 
     #[test]
+    fn distributed_hooi_rejects_invalid_configs_as_values() {
+        let t = tensor();
+        let sim = SimConfig::new(4, Grain::Fine, PartitionMethod::Random, vec![3, 3, 3]);
+        let setup = DistributedSetup::build(&t, &sim);
+        assert_eq!(
+            distributed_hooi(&t, &setup, &TuckerConfig::new(vec![2, 0, 2])).unwrap_err(),
+            TuckerError::ZeroRank { mode: 1 }
+        );
+        assert_eq!(
+            distributed_hooi(&t, &setup, &TuckerConfig::new(vec![2, 2])).unwrap_err(),
+            TuckerError::OrderMismatch {
+                config_modes: 2,
+                tensor_modes: 3,
+            }
+        );
+    }
+
+    #[test]
     fn distributed_hooi_matches_shared_memory_fit() {
         let t = tensor();
         let tucker = TuckerConfig::new(vec![3, 3, 3]).max_iterations(3).seed(9);
-        let shared = tucker_hooi(&t, &tucker);
+        let shared = tucker_hooi(&t, &tucker).unwrap();
         for (grain, method) in [
             (Grain::Fine, PartitionMethod::Hypergraph),
             (Grain::Fine, PartitionMethod::Random),
@@ -200,7 +223,7 @@ mod tests {
         ] {
             let config = SimConfig::new(4, grain, method, vec![3, 3, 3]);
             let setup = DistributedSetup::build(&t, &config);
-            let dist = distributed_hooi(&t, &setup, &tucker);
+            let dist = distributed_hooi(&t, &setup, &tucker).unwrap();
             assert!(
                 (dist.final_fit() - shared.final_fit()).abs() < 1e-8,
                 "{grain:?}/{method:?}: {} vs {}",
@@ -214,10 +237,10 @@ mod tests {
     fn distributed_hooi_core_matches_shared_memory() {
         let t = tensor();
         let tucker = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2).seed(4);
-        let shared = tucker_hooi(&t, &tucker);
+        let shared = tucker_hooi(&t, &tucker).unwrap();
         let config = SimConfig::new(3, Grain::Fine, PartitionMethod::Hypergraph, vec![2, 2, 2]);
         let setup = DistributedSetup::build(&t, &config);
-        let dist = distributed_hooi(&t, &setup, &tucker);
+        let dist = distributed_hooi(&t, &setup, &tucker).unwrap();
         // Cores can differ by column sign flips of the factors; compare the
         // norms and the fits, which are sign-invariant.
         assert!(
@@ -232,10 +255,10 @@ mod tests {
         let tucker = TuckerConfig::new(vec![2, 2, 2, 2])
             .max_iterations(2)
             .seed(8);
-        let shared = tucker_hooi(&t, &tucker);
+        let shared = tucker_hooi(&t, &tucker).unwrap();
         let config = SimConfig::new(4, Grain::Fine, PartitionMethod::Random, vec![2, 2, 2, 2]);
         let setup = DistributedSetup::build(&t, &config);
-        let dist = distributed_hooi(&t, &setup, &tucker);
+        let dist = distributed_hooi(&t, &setup, &tucker).unwrap();
         assert!((dist.final_fit() - shared.final_fit()).abs() < 1e-8);
     }
 }

@@ -1,5 +1,7 @@
 //! Configuration of the HOOI solver.
 
+use crate::error::TuckerError;
+
 /// How the factor matrices are initialized before the first HOOI iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Initialization {
@@ -43,11 +45,14 @@ pub struct TuckerConfig {
     /// RNG seed (initialization and iterative TRSVD starting vectors).
     pub seed: u64,
     /// Number of worker threads for the parallel TTMc/TRSVD/HOOI sweep;
-    /// `0` (the default) uses every available hardware thread.  The solver
-    /// builds one scoped thread pool from this value and runs the whole
-    /// pipeline inside it, so `num_threads = 1` executes the identical code
-    /// path fully sequentially — the configuration the paper's
-    /// thread-scalability experiments (Table V) sweep.
+    /// `0` (the default) uses every available hardware thread.  The one-shot
+    /// [`crate::tucker_hooi`] entry builds one scoped thread pool from this
+    /// value and runs the whole pipeline inside it, so `num_threads = 1`
+    /// executes the identical code path fully sequentially — the
+    /// configuration the paper's thread-scalability experiments (Table V)
+    /// sweep.  A planned [`crate::TuckerSolver`] owns its pool instead (see
+    /// [`crate::PlanOptions::num_threads`]); this field is ignored by
+    /// `solve` so one plan serves any number of configurations.
     pub num_threads: usize,
 }
 
@@ -55,9 +60,12 @@ impl TuckerConfig {
     /// Creates a configuration with the given ranks and the defaults used in
     /// the paper's experiments: 5 HOOI iterations, Lanczos TRSVD, random
     /// initialization.
+    ///
+    /// Construction never fails: the ranks are validated against a concrete
+    /// tensor when the configuration is used (see
+    /// [`validated_ranks`](Self::validated_ranks)), so an invalid
+    /// configuration surfaces as a [`TuckerError`] instead of a panic.
     pub fn new(ranks: Vec<usize>) -> Self {
-        assert!(!ranks.is_empty(), "at least one mode rank is required");
-        assert!(ranks.iter().all(|&r| r > 0), "ranks must be positive");
         TuckerConfig {
             ranks,
             max_iterations: 5,
@@ -111,9 +119,48 @@ impl TuckerConfig {
         self
     }
 
-    /// Validates the configuration against a tensor's mode sizes, clamping
-    /// ranks that exceed their mode size (the decomposition rank can never
-    /// exceed the dimension).
+    /// Validates the configuration against a tensor's mode sizes and returns
+    /// the effective per-mode ranks, clamping requests that exceed their
+    /// mode size (the decomposition rank can never exceed the dimension).
+    ///
+    /// This is the non-panicking validation every public solver entry point
+    /// runs before touching the tensor:
+    ///
+    /// ```
+    /// use hooi::{TuckerConfig, TuckerError};
+    ///
+    /// let config = TuckerConfig::new(vec![10, 10, 0]);
+    /// assert_eq!(
+    ///     config.validated_ranks(&[50, 5, 50]),
+    ///     Err(TuckerError::ZeroRank { mode: 2 })
+    /// );
+    /// let config = TuckerConfig::new(vec![10, 10]);
+    /// assert_eq!(
+    ///     config.validated_ranks(&[50, 5]),
+    ///     Ok(vec![10, 5]) // clamped to the mode size
+    /// );
+    /// ```
+    pub fn validated_ranks(&self, dims: &[usize]) -> Result<Vec<usize>, TuckerError> {
+        if self.ranks.len() != dims.len() {
+            return Err(TuckerError::OrderMismatch {
+                config_modes: self.ranks.len(),
+                tensor_modes: dims.len(),
+            });
+        }
+        if let Some(mode) = self.ranks.iter().position(|&r| r == 0) {
+            return Err(TuckerError::ZeroRank { mode });
+        }
+        Ok(self
+            .ranks
+            .iter()
+            .zip(dims.iter())
+            .map(|(&r, &d)| r.min(d))
+            .collect())
+    }
+
+    /// Like [`validated_ranks`](Self::validated_ranks) but panicking on a
+    /// rank/order mismatch — for internal callers that have already
+    /// validated (the distributed simulator, the MET baseline).
     pub fn clamped_ranks(&self, dims: &[usize]) -> Vec<usize> {
         assert_eq!(
             dims.len(),
@@ -196,16 +243,46 @@ mod tests {
     }
 
     #[test]
+    fn validated_ranks_reject_order_mismatch() {
+        let c = TuckerConfig::new(vec![10, 10]);
+        assert_eq!(
+            c.validated_ranks(&[100, 100, 100]),
+            Err(TuckerError::OrderMismatch {
+                config_modes: 2,
+                tensor_modes: 3,
+            })
+        );
+    }
+
+    #[test]
+    fn validated_ranks_reject_zero_rank() {
+        let c = TuckerConfig::new(vec![2, 0, 3]);
+        assert_eq!(
+            c.validated_ranks(&[10, 10, 10]),
+            Err(TuckerError::ZeroRank { mode: 1 })
+        );
+        // Empty ranks are an order mismatch against any non-empty tensor.
+        let c = TuckerConfig::new(vec![]);
+        assert_eq!(
+            c.validated_ranks(&[10, 10]),
+            Err(TuckerError::OrderMismatch {
+                config_modes: 0,
+                tensor_modes: 2,
+            })
+        );
+    }
+
+    #[test]
+    fn validated_ranks_clamp_like_clamped_ranks() {
+        let c = TuckerConfig::new(vec![10, 10, 10]);
+        assert_eq!(c.validated_ranks(&[100, 5, 50]).unwrap(), vec![10, 5, 10]);
+    }
+
+    #[test]
     fn ttmc_width_excludes_mode() {
         let c = TuckerConfig::new(vec![2, 3, 4]);
         assert_eq!(c.ttmc_width(0), 12);
         assert_eq!(c.ttmc_width(1), 8);
         assert_eq!(c.ttmc_width(2), 6);
-    }
-
-    #[test]
-    #[should_panic]
-    fn zero_rank_rejected() {
-        let _ = TuckerConfig::new(vec![2, 0]);
     }
 }

@@ -25,16 +25,32 @@ pub fn core_from_last_ttmc(
     factor_last: &Matrix,
     ranks: &[usize],
 ) -> DenseTensor {
+    let mut core = DenseTensor::zeros(ranks.to_vec());
+    core_from_last_ttmc_into(compact, sym, factor_last, ranks, &mut core);
+    core
+}
+
+/// [`core_from_last_ttmc`] writing into an existing `R_1 × … × R_N` tensor,
+/// overwriting every entry — the buffer-reusing variant the HOOI loop calls
+/// with the workspace's core buffer every iteration.
+pub fn core_from_last_ttmc_into(
+    compact: &Matrix,
+    sym: &SymbolicMode,
+    factor_last: &Matrix,
+    ranks: &[usize],
+    out: &mut DenseTensor,
+) {
     let last = ranks.len() - 1;
     let width: usize = ranks[..last].iter().product();
     assert_eq!(compact.ncols(), width, "TTMc width does not match ranks");
     assert_eq!(compact.nrows(), sym.num_rows());
     assert_eq!(factor_last.ncols(), ranks[last]);
+    assert_eq!(out.dims(), ranks, "core buffer shape does not match ranks");
 
     // G_(last) = U_lastᵀ (restricted to the nonempty rows) · Y_compact.
     let u_rows = factor_last.select_rows(&sym.rows);
     let g_unfolded = gemm_tn(&u_rows, compact); // R_last × Π_{t≠last} R_t
-    DenseTensor::fold(&g_unfolded, last, ranks)
+    DenseTensor::fold_into(&g_unfolded, last, out);
 }
 
 /// Forms the core tensor directly from the sparse tensor and all factor

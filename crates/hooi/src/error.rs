@@ -1,0 +1,93 @@
+//! Structured errors for the Tucker solver's public entry points.
+//!
+//! The solver treats failures as values: planning and solving return
+//! [`TuckerError`] instead of panicking, so a long-lived service holding
+//! many planned tensors (the ROADMAP's batched-decomposition shape) can
+//! reject one bad request without tearing down the process.
+
+use std::fmt;
+
+/// Everything that can go wrong on the public solver path.
+///
+/// ```
+/// use hooi::{PlanOptions, TuckerConfig, TuckerError, TuckerSolver};
+/// use sptensor::SparseTensor;
+///
+/// // Planning an empty tensor fails as a value, not a panic.
+/// let empty = SparseTensor::new(vec![4, 4, 4]);
+/// let err = TuckerSolver::plan(&empty, PlanOptions::new()).unwrap_err();
+/// assert_eq!(err, TuckerError::EmptyTensor);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TuckerError {
+    /// The tensor has no modes or no stored nonzeros; there is nothing to
+    /// decompose (the fit is undefined for a zero-norm tensor).
+    EmptyTensor,
+    /// The configuration's rank count does not match the tensor order.
+    OrderMismatch {
+        /// Number of ranks in the configuration.
+        config_modes: usize,
+        /// Number of modes of the planned tensor.
+        tensor_modes: usize,
+    },
+    /// A requested decomposition rank is zero.
+    ZeroRank {
+        /// The offending mode.
+        mode: usize,
+    },
+    /// The solver's thread pool could not be built.
+    ThreadPool(String),
+}
+
+impl fmt::Display for TuckerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TuckerError::EmptyTensor => {
+                write!(f, "tensor has no modes or no stored nonzeros")
+            }
+            TuckerError::OrderMismatch {
+                config_modes,
+                tensor_modes,
+            } => write!(
+                f,
+                "configuration has {config_modes} ranks but the tensor has {tensor_modes} modes"
+            ),
+            TuckerError::ZeroRank { mode } => {
+                write!(f, "requested rank for mode {mode} is zero")
+            }
+            TuckerError::ThreadPool(reason) => {
+                write!(f, "failed to build the solver thread pool: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TuckerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_name_the_problem() {
+        assert!(TuckerError::EmptyTensor.to_string().contains("nonzeros"));
+        let msg = TuckerError::OrderMismatch {
+            config_modes: 2,
+            tensor_modes: 3,
+        }
+        .to_string();
+        assert!(msg.contains('2') && msg.contains('3'));
+        assert!(TuckerError::ZeroRank { mode: 1 }
+            .to_string()
+            .contains("mode 1"));
+        assert!(TuckerError::ThreadPool("oom".into())
+            .to_string()
+            .contains("oom"));
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        let err: Box<dyn std::error::Error> = Box::new(TuckerError::EmptyTensor);
+        assert!(!err.to_string().is_empty());
+    }
+}

@@ -1,4 +1,4 @@
-//! The HOOI driver (paper Algorithm 3): shared-memory parallel Tucker-ALS.
+//! The one-shot HOOI entry points and result types (paper Algorithm 3).
 //!
 //! Per iteration, for every mode `n`:
 //!
@@ -8,16 +8,20 @@
 //!
 //! After the last mode, the core tensor is extracted from the already
 //! available TTMc result and the fit is monitored.  Wall-clock time is
-//! accounted per phase (symbolic, TTMc, TRSVD, core) because the paper's
-//! Tables IV and V report exactly those breakdowns.
+//! accounted per phase (symbolic, init, TTMc, TRSVD, core) because the
+//! paper's Tables IV and V report exactly those breakdowns.
+//!
+//! The driver itself lives in [`crate::solver`]: [`tucker_hooi`] is a thin
+//! convenience wrapper over a one-shot [`TuckerSolver`] session.  Callers
+//! that decompose the same tensor more than once should plan a session
+//! instead and amortize the symbolic analysis, thread pool and scratch
+//! buffers across solves.
 
-use crate::config::{Initialization, TuckerConfig};
-use crate::core_tensor::core_from_last_ttmc;
-use crate::fit::fit_from_norms;
-use crate::hosvd::{hosvd_factors, random_factors};
+use crate::config::TuckerConfig;
+use crate::core_tensor::reconstruct_at;
+use crate::error::TuckerError;
+use crate::solver::{PlanOptions, TuckerSolver};
 use crate::symbolic::SymbolicTtmc;
-use crate::trsvd::trsvd_factor;
-use crate::ttmc::ttmc_mode_into;
 use crate::workspace::HooiWorkspace;
 use linalg::Matrix;
 use sptensor::{DenseTensor, SparseTensor};
@@ -26,8 +30,11 @@ use std::time::{Duration, Instant};
 /// Wall-clock time spent in each phase of a HOOI run.
 #[derive(Debug, Clone, Default)]
 pub struct TimingBreakdown {
-    /// Symbolic TTMc preprocessing (once, before the iterations).
+    /// Symbolic TTMc preprocessing (once per plan; a session's later solves
+    /// report zero here because the analysis is reused, not redone).
     pub symbolic: Duration,
+    /// Factor initialization (random or HOSVD), once per solve.
+    pub init: Duration,
     /// Numeric TTMc across all iterations and modes.
     pub ttmc: Duration,
     /// TRSVD across all iterations and modes.
@@ -39,10 +46,11 @@ pub struct TimingBreakdown {
 impl TimingBreakdown {
     /// Total time across all phases.
     pub fn total(&self) -> Duration {
-        self.symbolic + self.ttmc + self.trsvd + self.core
+        self.symbolic + self.init + self.ttmc + self.trsvd + self.core
     }
 
-    /// Time spent inside the iteration loop (everything but symbolic).
+    /// Time spent inside the iteration loop (everything but the symbolic
+    /// analysis and the factor initialization).
     pub fn iteration_time(&self) -> Duration {
         self.ttmc + self.trsvd + self.core
     }
@@ -89,120 +97,74 @@ impl TuckerDecomposition {
     pub fn ranks(&self) -> Vec<usize> {
         self.factors.iter().map(|u| u.ncols()).collect()
     }
+
+    /// Reconstructs the model value `[[G; U₁,…,U_N]]` at one coordinate —
+    /// the prediction a recommender reads off the decomposition for a
+    /// (user, item, …) index.
+    ///
+    /// # Panics
+    /// Panics if `index` has the wrong arity or an entry exceeds its mode
+    /// size.
+    pub fn predict(&self, index: &[usize]) -> f64 {
+        assert_eq!(
+            index.len(),
+            self.factors.len(),
+            "index arity does not match the decomposition order"
+        );
+        reconstruct_at(&self.core, &self.factors, index)
+    }
 }
 
-/// Runs shared-memory parallel HOOI on a sparse tensor.
+/// Runs shared-memory parallel HOOI on a sparse tensor, one-shot.
 ///
-/// The whole pipeline — symbolic TTMc, the per-mode numeric TTMc + TRSVD
-/// sweep, and the core extraction — executes inside one scoped thread pool
-/// sized by [`TuckerConfig::num_threads`], so a single configuration knob
-/// controls every parallel kernel and `num_threads = 1` runs the identical
-/// code path sequentially (the paper's Table V sweep).
+/// This is a thin convenience wrapper over a single-use [`TuckerSolver`]
+/// session: it plans (symbolic TTMc + a scoped thread pool sized by
+/// [`TuckerConfig::num_threads`]), solves once, and discards the plan.
+/// Callers decomposing the same tensor repeatedly — rank sweeps, seed
+/// restarts, services — should call [`TuckerSolver::plan`] once and
+/// [`TuckerSolver::solve`] per request instead.
 ///
-/// # Panics
-/// Panics if the configuration's rank count does not match the tensor order.
-pub fn tucker_hooi(tensor: &SparseTensor, config: &TuckerConfig) -> TuckerDecomposition {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(config.num_threads)
-        .build()
-        .expect("failed to build the HOOI thread pool");
-    pool.install(|| tucker_hooi_in_current_pool(tensor, config))
+/// Invalid input (empty tensor, rank/order mismatch, zero rank) is reported
+/// as a [`TuckerError`], never a panic.
+pub fn tucker_hooi(
+    tensor: &SparseTensor,
+    config: &TuckerConfig,
+) -> Result<TuckerDecomposition, TuckerError> {
+    TuckerSolver::plan(tensor, PlanOptions::new().num_threads(config.num_threads))?.solve(config)
 }
 
-/// The pool-agnostic HOOI driver: runs in whatever thread context the
+/// The pool-agnostic one-shot entry: runs in whatever thread context the
 /// caller established.  [`tucker_hooi`] wraps it in a pool sized by the
 /// configuration; embedders that already hold a pool (or want the ambient
-/// thread count) can call this directly.
+/// thread count) call this directly.
 pub fn tucker_hooi_in_current_pool(
     tensor: &SparseTensor,
     config: &TuckerConfig,
-) -> TuckerDecomposition {
-    let order = tensor.order();
-    let ranks = config.clamped_ranks(tensor.dims());
-    let mut timings = TimingBreakdown::default();
-
-    // Factor initialization.
-    let mut factors = match config.initialization {
-        Initialization::Random => random_factors(tensor.dims(), &ranks, config.seed),
-        Initialization::Hosvd => hosvd_factors(tensor, &ranks, 2_000_000, config.seed),
-    };
-
-    // Symbolic TTMc (once, in parallel over modes).
+) -> Result<TuckerDecomposition, TuckerError> {
+    if tensor.order() == 0 || tensor.nnz() == 0 {
+        return Err(TuckerError::EmptyTensor);
+    }
+    let ranks = config.validated_ranks(tensor.dims())?;
     let t0 = Instant::now();
     let symbolic = SymbolicTtmc::build(tensor);
-    timings.symbolic = t0.elapsed();
-
-    // Per-mode compact TTMc buffers, allocated once and reused by every
-    // iteration's sweep.
+    let symbolic_time = t0.elapsed();
     let mut workspace = HooiWorkspace::new(&symbolic, &ranks);
-
-    let tensor_norm = tensor.frobenius_norm();
-    let mut fits: Vec<f64> = Vec::with_capacity(config.max_iterations);
-    let mut singular_values = vec![Vec::new(); order];
-    let mut core = DenseTensor::zeros(ranks.clone());
-    let mut iterations = 0;
-
-    for _iter in 0..config.max_iterations {
-        iterations += 1;
-
-        for mode in 0..order {
-            let t_ttmc = Instant::now();
-            let compact = workspace.compact_mut(mode);
-            ttmc_mode_into(tensor, symbolic.mode(mode), &factors, mode, compact);
-            timings.ttmc += t_ttmc.elapsed();
-
-            let t_trsvd = Instant::now();
-            let result = trsvd_factor(
-                compact,
-                symbolic.mode(mode),
-                tensor.dims()[mode],
-                ranks[mode],
-                config.trsvd,
-                config.seed ^ ((mode as u64 + 1) << 8),
-            );
-            timings.trsvd += t_trsvd.elapsed();
-
-            factors[mode] = result.factor;
-            singular_values[mode] = result.singular_values;
-        }
-
-        // Core tensor from the last mode's TTMc result (already computed
-        // with all other factors at their new values).
-        let t_core = Instant::now();
-        let compact = workspace.compact(order - 1);
-        core = core_from_last_ttmc(
-            compact,
-            symbolic.mode(order - 1),
-            &factors[order - 1],
-            &ranks,
-        );
-        timings.core += t_core.elapsed();
-
-        let fit = fit_from_norms(tensor_norm, core.frobenius_norm());
-        let improved = match fits.last() {
-            Some(&prev) => fit - prev > config.fit_tolerance,
-            None => true,
-        };
-        fits.push(fit);
-        if !improved {
-            break;
-        }
-    }
-
-    TuckerDecomposition {
-        core,
-        factors,
-        fits,
-        iterations,
-        singular_values,
-        timings,
-    }
+    Ok(crate::solver::run_hooi(
+        tensor,
+        &symbolic,
+        &mut workspace,
+        tensor.frobenius_norm(),
+        &ranks,
+        config,
+        symbolic_time,
+        &mut |_: &crate::solver::IterationReport| crate::solver::IterationControl::Continue,
+    ))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::TrsvdBackend;
+    use crate::config::{Initialization, TrsvdBackend};
     use crate::fit::{full_relative_error, rmse_at_nonzeros};
     use datagen::{lowrank_tensor, random_tensor, LowRankSpec};
     use linalg::qr::orthogonality_error;
@@ -223,7 +185,7 @@ mod tests {
             seed: 42,
         });
         let config = TuckerConfig::new(vec![3, 3, 2]).max_iterations(10).seed(7);
-        let result = tucker_hooi(&lr.tensor, &config);
+        let result = tucker_hooi(&lr.tensor, &config).unwrap();
         let planted_core = crate::core_tensor::core_from_scratch(&lr.tensor, &lr.factors);
         let planted_fit =
             crate::fit::fit_from_norms(lr.tensor.frobenius_norm(), planted_core.frobenius_norm());
@@ -254,7 +216,7 @@ mod tests {
         });
         assert_eq!(lr.tensor.nnz(), total);
         let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(15).seed(3);
-        let result = tucker_hooi(&lr.tensor, &config);
+        let result = tucker_hooi(&lr.tensor, &config).unwrap();
         assert!(
             result.final_fit() > 0.999,
             "fit {} should be ~1",
@@ -268,7 +230,7 @@ mod tests {
     fn factors_are_orthonormal() {
         let t = random_tensor(&[30, 25, 20], 2000, 11);
         let config = TuckerConfig::new(vec![4, 4, 4]).max_iterations(3);
-        let result = tucker_hooi(&t, &config);
+        let result = tucker_hooi(&t, &config).unwrap();
         for u in &result.factors {
             assert!(orthogonality_error(u) < 1e-6);
         }
@@ -281,7 +243,7 @@ mod tests {
         let config = TuckerConfig::new(vec![3, 3, 3])
             .max_iterations(6)
             .fit_tolerance(-1.0); // never early-stop
-        let result = tucker_hooi(&t, &config);
+        let result = tucker_hooi(&t, &config).unwrap();
         for w in result.fits.windows(2) {
             assert!(w[1] >= w[0] - 1e-8, "fit decreased: {} -> {}", w[0], w[1]);
         }
@@ -293,7 +255,7 @@ mod tests {
         let config = TuckerConfig::new(vec![2, 2, 2])
             .max_iterations(50)
             .fit_tolerance(0.5); // huge tolerance: stop after 2 iterations
-        let result = tucker_hooi(&t, &config);
+        let result = tucker_hooi(&t, &config).unwrap();
         assert!(result.iterations <= 3);
     }
 
@@ -301,7 +263,7 @@ mod tests {
     fn works_on_4mode_tensor() {
         let t = random_tensor(&[10, 12, 8, 6], 600, 17);
         let config = TuckerConfig::new(vec![2, 2, 2, 2]).max_iterations(3);
-        let result = tucker_hooi(&t, &config);
+        let result = tucker_hooi(&t, &config).unwrap();
         assert_eq!(result.core.dims(), &[2, 2, 2, 2]);
         assert_eq!(result.factors.len(), 4);
         assert!(result.final_fit() > 0.0);
@@ -311,17 +273,37 @@ mod tests {
     fn ranks_clamped_to_dims() {
         let t = random_tensor(&[5, 30, 30], 400, 2);
         let config = TuckerConfig::new(vec![10, 4, 4]).max_iterations(2);
-        let result = tucker_hooi(&t, &config);
+        let result = tucker_hooi(&t, &config).unwrap();
         assert_eq!(result.ranks(), vec![5, 4, 4]);
+    }
+
+    #[test]
+    fn invalid_input_is_an_error_not_a_panic() {
+        let t = random_tensor(&[10, 10, 10], 200, 1);
+        let config = TuckerConfig::new(vec![2, 2]);
+        assert!(matches!(
+            tucker_hooi(&t, &config),
+            Err(TuckerError::OrderMismatch { .. })
+        ));
+        let config = TuckerConfig::new(vec![2, 0, 2]);
+        assert_eq!(
+            tucker_hooi(&t, &config).unwrap_err(),
+            TuckerError::ZeroRank { mode: 1 }
+        );
+        let empty = SparseTensor::new(vec![4, 4, 4]);
+        assert_eq!(
+            tucker_hooi(&empty, &TuckerConfig::new(vec![2, 2, 2])).unwrap_err(),
+            TuckerError::EmptyTensor
+        );
     }
 
     #[test]
     fn backends_reach_similar_fit() {
         let t = random_tensor(&[25, 20, 15], 1200, 5);
         let base = TuckerConfig::new(vec![3, 3, 3]).max_iterations(4).seed(1);
-        let lanczos = tucker_hooi(&t, &base.clone().trsvd(TrsvdBackend::Lanczos));
-        let dense = tucker_hooi(&t, &base.clone().trsvd(TrsvdBackend::Dense));
-        let randomized = tucker_hooi(&t, &base.clone().trsvd(TrsvdBackend::Randomized));
+        let lanczos = tucker_hooi(&t, &base.clone().trsvd(TrsvdBackend::Lanczos)).unwrap();
+        let dense = tucker_hooi(&t, &base.clone().trsvd(TrsvdBackend::Dense)).unwrap();
+        let randomized = tucker_hooi(&t, &base.clone().trsvd(TrsvdBackend::Randomized)).unwrap();
         assert!((lanczos.final_fit() - dense.final_fit()).abs() < 1e-3);
         assert!((randomized.final_fit() - dense.final_fit()).abs() < 5e-3);
     }
@@ -336,11 +318,12 @@ mod tests {
             seed: 21,
         });
         let base = TuckerConfig::new(vec![2, 2, 2]).max_iterations(1).seed(4);
-        let random = tucker_hooi(&lr.tensor, &base.clone());
+        let random = tucker_hooi(&lr.tensor, &base.clone()).unwrap();
         let hosvd = tucker_hooi(
             &lr.tensor,
             &base.clone().initialization(Initialization::Hosvd),
-        );
+        )
+        .unwrap();
         // After a single iteration the HOSVD start should not be worse by
         // more than a small margin (it is usually better).
         assert!(hosvd.final_fit() >= random.final_fit() - 0.05);
@@ -350,10 +333,11 @@ mod tests {
     fn timing_breakdown_is_populated() {
         let t = random_tensor(&[40, 40, 40], 4000, 7);
         let config = TuckerConfig::new(vec![4, 4, 4]).max_iterations(2);
-        let result = tucker_hooi(&t, &config);
+        let result = tucker_hooi(&t, &config).unwrap();
         assert!(result.timings.ttmc > Duration::ZERO);
         assert!(result.timings.trsvd > Duration::ZERO);
-        assert!(result.timings.total() >= result.timings.iteration_time());
+        assert!(result.timings.init > Duration::ZERO);
+        assert!(result.timings.total() >= result.timings.iteration_time() + result.timings.init);
         let (a, b, c) = result.timings.relative_shares();
         assert!((a + b + c - 100.0).abs() < 1e-6);
     }
@@ -362,11 +346,32 @@ mod tests {
     fn singular_values_recorded_per_mode() {
         let t = random_tensor(&[20, 20, 20], 1000, 13);
         let config = TuckerConfig::new(vec![3, 3, 3]).max_iterations(2);
-        let result = tucker_hooi(&t, &config);
+        let result = tucker_hooi(&t, &config).unwrap();
         assert_eq!(result.singular_values.len(), 3);
         for sv in &result.singular_values {
             assert_eq!(sv.len(), 3);
             assert!(sv[0] >= sv[1]);
         }
+    }
+
+    #[test]
+    fn predict_matches_reconstruct_at() {
+        let t = random_tensor(&[12, 10, 8], 300, 19);
+        let config = TuckerConfig::new(vec![3, 3, 3]).max_iterations(2);
+        let result = tucker_hooi(&t, &config).unwrap();
+        for (idx, _) in t.iter().take(10) {
+            let direct = crate::core_tensor::reconstruct_at(&result.core, &result.factors, idx);
+            assert_eq!(result.predict(idx), direct);
+        }
+    }
+
+    #[test]
+    fn in_current_pool_matches_pooled_entry() {
+        let t = random_tensor(&[15, 12, 10], 400, 23);
+        let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2).seed(8);
+        let pooled = tucker_hooi(&t, &config).unwrap();
+        let ambient = tucker_hooi_in_current_pool(&t, &config).unwrap();
+        assert_eq!(pooled.fits, ambient.fits);
+        assert_eq!(pooled.factors, ambient.factors);
     }
 }

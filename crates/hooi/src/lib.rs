@@ -12,9 +12,15 @@
 //!    its row, computed in parallel over rows with rayon.
 //! 3. [`trsvd`] — the truncated SVD of the matricized result using the
 //!    matrix-free Lanczos solver (the SLEPc stand-in), or alternatives.
-//! 4. [`hooi`] — the ALS driver: per-mode TTMc + TRSVD, core tensor
-//!    formation, fit monitoring, and timing breakdowns used by the
-//!    experiment tables.
+//! 4. [`solver`] — the plan/execute split: [`TuckerSolver::plan`] runs the
+//!    symbolic analysis once and owns the thread pool and scratch
+//!    [`workspace`]; [`TuckerSolver::solve`] /
+//!    [`TuckerSolver::solve_many`] run HOOI at any rank/seed/backend
+//!    without re-planning, report failures as [`TuckerError`] values, and
+//!    stream [`solver::IterationReport`]s to an [`IterationObserver`].
+//! 5. [`hooi`] — the result types ([`TuckerDecomposition`],
+//!    [`TimingBreakdown`]) and the one-shot [`tucker_hooi`] convenience
+//!    wrapper over a single-use solver session.
 //!
 //! Baselines and extras:
 //!
@@ -27,17 +33,21 @@
 
 pub mod config;
 pub mod core_tensor;
+pub mod error;
 pub mod fit;
 pub mod hooi;
 pub mod hosvd;
 pub mod met;
+pub mod solver;
 pub mod symbolic;
 pub mod trsvd;
 pub mod ttmc;
 pub mod workspace;
 
 pub use config::{Initialization, TrsvdBackend, TuckerConfig};
+pub use error::TuckerError;
 pub use hooi::{tucker_hooi, tucker_hooi_in_current_pool, TimingBreakdown, TuckerDecomposition};
+pub use solver::{IterationControl, IterationObserver, IterationReport, PlanOptions, TuckerSolver};
 pub use symbolic::{SymbolicMode, SymbolicTtmc};
 pub use ttmc::{ttmc_mode, ttmc_mode_into, ttmc_mode_sequential};
 pub use workspace::HooiWorkspace;

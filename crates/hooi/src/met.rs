@@ -19,6 +19,7 @@
 use crate::config::TrsvdBackend;
 use crate::config::TuckerConfig;
 use crate::core_tensor::core_from_scratch;
+use crate::error::TuckerError;
 use crate::fit::fit_from_norms;
 use crate::hooi::{TimingBreakdown, TuckerDecomposition};
 use crate::hosvd::random_factors;
@@ -113,11 +114,18 @@ pub fn met_ttmc(tensor: &SparseTensor, factors: &[Matrix], mode: usize) -> (Vec<
 }
 
 /// Full Tucker-HOOI using the MET-style TTMc.  Mirrors
-/// [`crate::hooi::tucker_hooi`] so the two can be compared head-to-head in
-/// the `met_comparison` experiment.
-pub fn tucker_met(tensor: &SparseTensor, config: &TuckerConfig) -> TuckerDecomposition {
+/// [`crate::hooi::tucker_hooi`] — including the structured-error contract —
+/// so the two can be compared head-to-head in the `met_comparison`
+/// experiment.
+pub fn tucker_met(
+    tensor: &SparseTensor,
+    config: &TuckerConfig,
+) -> Result<TuckerDecomposition, TuckerError> {
+    if tensor.order() == 0 || tensor.nnz() == 0 {
+        return Err(TuckerError::EmptyTensor);
+    }
     let order = tensor.order();
-    let ranks = config.clamped_ranks(tensor.dims());
+    let ranks = config.validated_ranks(tensor.dims())?;
     let mut timings = TimingBreakdown::default();
     let mut factors = random_factors(tensor.dims(), &ranks, config.seed);
     let tensor_norm = tensor.frobenius_norm();
@@ -160,14 +168,14 @@ pub fn tucker_met(tensor: &SparseTensor, config: &TuckerConfig) -> TuckerDecompo
     }
 
     let core = core_from_scratch(tensor, &factors);
-    TuckerDecomposition {
+    Ok(TuckerDecomposition {
         core,
         factors,
         fits,
         iterations,
         singular_values,
         timings,
-    }
+    })
 }
 
 /// TRSVD on a MET compact result (same as [`crate::trsvd::trsvd_factor`] but
@@ -284,8 +292,8 @@ mod tests {
     fn tucker_met_reaches_same_fit_as_hooi() {
         let t = random_tensor(&[20, 18, 16], 900, 11);
         let config = TuckerConfig::new(vec![3, 3, 3]).max_iterations(4).seed(2);
-        let met = tucker_met(&t, &config);
-        let hooi = tucker_hooi(&t, &config);
+        let met = tucker_met(&t, &config).unwrap();
+        let hooi = tucker_hooi(&t, &config).unwrap();
         assert!(
             (met.final_fit() - hooi.final_fit()).abs() < 1e-3,
             "MET fit {} vs HOOI fit {}",

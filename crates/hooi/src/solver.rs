@@ -1,0 +1,594 @@
+//! The plan/execute split: a reusable Tucker solver session.
+//!
+//! The paper's central trick is hoisting all index arithmetic into a
+//! one-time *symbolic TTMc* step.  A one-shot `tucker_hooi` call throws
+//! that work away after every decomposition; [`TuckerSolver`] keeps it.
+//! [`TuckerSolver::plan`] performs the symbolic analysis once and owns the
+//! thread pool plus the [`HooiWorkspace`] scratch (compact TTMc buffers,
+//! Lanczos bases, the projected TRSVD problem, the core buffer);
+//! [`TuckerSolver::solve`] then runs HOOI at any rank/seed/backend without
+//! re-planning, and [`TuckerSolver::solve_many`] amortizes one plan across
+//! a batch of configurations — the shape a long-lived decomposition service
+//! needs.
+//!
+//! Failures are values ([`TuckerError`]), and every iteration can be
+//! observed (and stopped early) through an [`IterationObserver`].
+//!
+//! ```
+//! use hooi::{PlanOptions, TuckerConfig, TuckerSolver};
+//! use sptensor::SparseTensor;
+//!
+//! let tensor = SparseTensor::from_entries(
+//!     vec![6, 5, 4],
+//!     &[
+//!         (vec![0, 0, 0], 1.0),
+//!         (vec![1, 2, 3], 2.0),
+//!         (vec![5, 4, 1], 3.0),
+//!         (vec![2, 1, 2], 4.0),
+//!     ],
+//! );
+//! let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1))?;
+//! let coarse = solver.solve(&TuckerConfig::new(vec![2, 2, 2]))?;
+//! let fine = solver.solve(&TuckerConfig::new(vec![3, 3, 3]))?;
+//! // The symbolic analysis ran exactly once, at plan time: the second
+//! // solve reports zero symbolic cost.
+//! assert!(coarse.timings.symbolic >= fine.timings.symbolic);
+//! assert_eq!(fine.timings.symbolic, std::time::Duration::ZERO);
+//! # Ok::<(), hooi::TuckerError>(())
+//! ```
+
+use crate::config::{Initialization, TuckerConfig};
+use crate::core_tensor::core_from_last_ttmc_into;
+use crate::error::TuckerError;
+use crate::fit::fit_from_norms;
+use crate::hooi::{TimingBreakdown, TuckerDecomposition};
+use crate::hosvd::{hosvd_factors, random_factors};
+use crate::symbolic::SymbolicTtmc;
+use crate::trsvd::trsvd_factor_with;
+use crate::ttmc::ttmc_mode_into;
+use crate::workspace::HooiWorkspace;
+use sptensor::SparseTensor;
+use std::time::{Duration, Instant};
+
+/// Options fixed at planning time: everything the session keeps alive
+/// across solves, as opposed to the per-solve [`TuckerConfig`].
+#[derive(Debug, Clone, Default)]
+pub struct PlanOptions {
+    /// Worker thread count of the session's pool; `0` (the default) uses
+    /// every available hardware thread.
+    pub num_threads: usize,
+}
+
+impl PlanOptions {
+    /// Default options: all hardware threads.
+    pub fn new() -> Self {
+        PlanOptions::default()
+    }
+
+    /// Builder-style setter for the worker thread count (`0` = all
+    /// available hardware threads).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+}
+
+/// What one completed HOOI iteration looked like, as handed to an
+/// [`IterationObserver`].
+#[derive(Debug, Clone)]
+pub struct IterationReport {
+    /// 1-based iteration number.
+    pub iteration: usize,
+    /// Fit after this iteration (1 = exact reconstruction).
+    pub fit: f64,
+    /// Fit improvement over the previous iteration; on the first iteration
+    /// this is the fit itself (the baseline model explains nothing).
+    pub fit_improvement: f64,
+    /// Numeric TTMc time of this iteration.
+    pub ttmc: Duration,
+    /// TRSVD time of this iteration.
+    pub trsvd: Duration,
+    /// Core-formation time of this iteration.
+    pub core: Duration,
+}
+
+/// An observer's verdict after seeing an [`IterationReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IterationControl {
+    /// Keep iterating (subject to the configuration's own stopping rules).
+    Continue,
+    /// Stop after this iteration; the decomposition reflects the state at
+    /// the moment of the request.
+    Stop,
+}
+
+/// Per-iteration callback: progress reporting, convergence logging, and
+/// early stopping under a caller-side budget (wall clock, fit target, …).
+///
+/// Any `FnMut(&IterationReport) -> IterationControl` closure is an
+/// observer:
+///
+/// ```
+/// use hooi::{IterationControl, IterationReport, PlanOptions, TuckerConfig, TuckerSolver};
+/// use sptensor::SparseTensor;
+///
+/// let tensor = SparseTensor::from_entries(
+///     vec![5, 5, 5],
+///     &[(vec![0, 1, 2], 1.0), (vec![3, 2, 0], 2.0), (vec![4, 4, 4], 3.0)],
+/// );
+/// let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1))?;
+/// let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(50);
+/// let mut seen = 0;
+/// let result = solver.solve_with_observer(&config, &mut |r: &IterationReport| {
+///     seen += 1;
+///     if r.fit > 0.99 || r.iteration >= 2 {
+///         IterationControl::Stop
+///     } else {
+///         IterationControl::Continue
+///     }
+/// })?;
+/// assert_eq!(result.iterations, seen);
+/// assert!(result.iterations <= 2);
+/// # Ok::<(), hooi::TuckerError>(())
+/// ```
+pub trait IterationObserver {
+    /// Called after every completed iteration (factor sweep + core + fit).
+    fn on_iteration(&mut self, report: &IterationReport) -> IterationControl;
+}
+
+impl<F: FnMut(&IterationReport) -> IterationControl> IterationObserver for F {
+    fn on_iteration(&mut self, report: &IterationReport) -> IterationControl {
+        self(report)
+    }
+}
+
+/// The do-nothing observer used by [`TuckerSolver::solve`].
+struct NoopObserver;
+
+impl IterationObserver for NoopObserver {
+    fn on_iteration(&mut self, _report: &IterationReport) -> IterationControl {
+        IterationControl::Continue
+    }
+}
+
+/// A planned Tucker decomposition session over one sparse tensor.
+///
+/// Created by [`plan`](TuckerSolver::plan), which runs the symbolic TTMc
+/// analysis exactly once; every subsequent [`solve`](TuckerSolver::solve)
+/// reuses it together with the session's thread pool and scratch workspace.
+/// The solver borrows the tensor, so the tensor must outlive the session.
+pub struct TuckerSolver<'a> {
+    tensor: &'a SparseTensor,
+    symbolic: SymbolicTtmc,
+    pool: rayon::ThreadPool,
+    workspace: HooiWorkspace,
+    tensor_norm: f64,
+    symbolic_time: Duration,
+    completed_solves: usize,
+}
+
+impl<'a> TuckerSolver<'a> {
+    /// Plans a session: validates the tensor, builds the thread pool, and
+    /// runs the symbolic TTMc analysis (inside the pool) exactly once.
+    ///
+    /// Returns [`TuckerError::EmptyTensor`] for a tensor with no modes or
+    /// no stored nonzeros and [`TuckerError::ThreadPool`] if the pool
+    /// cannot be built.
+    pub fn plan(tensor: &'a SparseTensor, options: PlanOptions) -> Result<Self, TuckerError> {
+        if tensor.order() == 0 || tensor.nnz() == 0 {
+            return Err(TuckerError::EmptyTensor);
+        }
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(options.num_threads)
+            .build()
+            .map_err(|e| TuckerError::ThreadPool(e.to_string()))?;
+        let t0 = Instant::now();
+        let symbolic = pool.install(|| SymbolicTtmc::build(tensor));
+        let symbolic_time = t0.elapsed();
+        Ok(TuckerSolver {
+            tensor,
+            workspace: HooiWorkspace::for_order(tensor.order()),
+            tensor_norm: tensor.frobenius_norm(),
+            symbolic,
+            pool,
+            symbolic_time,
+            completed_solves: 0,
+        })
+    }
+
+    /// The planned tensor.
+    pub fn tensor(&self) -> &'a SparseTensor {
+        self.tensor
+    }
+
+    /// The symbolic TTMc structure computed at plan time.
+    pub fn symbolic(&self) -> &SymbolicTtmc {
+        &self.symbolic
+    }
+
+    /// Wall-clock time the one-time symbolic analysis took.
+    pub fn symbolic_time(&self) -> Duration {
+        self.symbolic_time
+    }
+
+    /// Worker thread count of the session's pool.
+    pub fn num_threads(&self) -> usize {
+        self.pool.current_num_threads()
+    }
+
+    /// How many solves this session has completed.
+    pub fn completed_solves(&self) -> usize {
+        self.completed_solves
+    }
+
+    /// Checks a configuration against the planned tensor without running
+    /// anything; returns the effective (clamped) per-mode ranks.
+    pub fn validate(&self, config: &TuckerConfig) -> Result<Vec<usize>, TuckerError> {
+        config.validated_ranks(self.tensor.dims())
+    }
+
+    /// Runs HOOI with this configuration, reusing the session's symbolic
+    /// analysis, thread pool and scratch buffers.
+    ///
+    /// Any rank/seed/backend/iteration settings may vary between solves;
+    /// [`TuckerConfig::num_threads`] is ignored here — the session's pool
+    /// (fixed at plan time) runs every solve.  The first solve's
+    /// [`TimingBreakdown::symbolic`] reports the plan-time symbolic cost;
+    /// later solves report [`Duration::ZERO`] there, because the analysis
+    /// is not redone.
+    pub fn solve(&mut self, config: &TuckerConfig) -> Result<TuckerDecomposition, TuckerError> {
+        self.solve_with_observer(config, &mut NoopObserver)
+    }
+
+    /// [`solve`](Self::solve) with a per-iteration [`IterationObserver`]
+    /// that can watch convergence and request an early stop.
+    pub fn solve_with_observer(
+        &mut self,
+        config: &TuckerConfig,
+        observer: &mut dyn IterationObserver,
+    ) -> Result<TuckerDecomposition, TuckerError> {
+        let ranks = self.validate(config)?;
+        let symbolic_time = if self.completed_solves == 0 {
+            self.symbolic_time
+        } else {
+            Duration::ZERO
+        };
+        let tensor = self.tensor;
+        let tensor_norm = self.tensor_norm;
+        let symbolic = &self.symbolic;
+        let workspace = &mut self.workspace;
+        let result = self.pool.install(|| {
+            run_hooi(
+                tensor,
+                symbolic,
+                workspace,
+                tensor_norm,
+                &ranks,
+                config,
+                symbolic_time,
+                observer,
+            )
+        });
+        self.completed_solves += 1;
+        Ok(result)
+    }
+
+    /// Runs a batch of configurations against one plan — the service-scale
+    /// shape (one tensor, many rank/seed requests).
+    ///
+    /// The whole batch is validated up front, so either every configuration
+    /// runs or none does and the first offending configuration's error is
+    /// returned.
+    pub fn solve_many(
+        &mut self,
+        configs: &[TuckerConfig],
+    ) -> Result<Vec<TuckerDecomposition>, TuckerError> {
+        for config in configs {
+            self.validate(config)?;
+        }
+        configs.iter().map(|config| self.solve(config)).collect()
+    }
+}
+
+impl std::fmt::Debug for TuckerSolver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuckerSolver")
+            .field("dims", &self.tensor.dims())
+            .field("nnz", &self.tensor.nnz())
+            .field("num_threads", &self.num_threads())
+            .field("symbolic_time", &self.symbolic_time)
+            .field("completed_solves", &self.completed_solves)
+            .finish()
+    }
+}
+
+/// The pool-agnostic HOOI driver shared by every entry point: per-mode
+/// numeric TTMc + TRSVD sweeps over preplanned symbolic data, core
+/// extraction from the last mode's result, fit monitoring, observer
+/// callbacks, and per-phase timing.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_hooi(
+    tensor: &SparseTensor,
+    symbolic: &SymbolicTtmc,
+    workspace: &mut HooiWorkspace,
+    tensor_norm: f64,
+    ranks: &[usize],
+    config: &TuckerConfig,
+    symbolic_time: Duration,
+    observer: &mut dyn IterationObserver,
+) -> TuckerDecomposition {
+    let order = tensor.order();
+    let mut timings = TimingBreakdown {
+        symbolic: symbolic_time,
+        ..TimingBreakdown::default()
+    };
+
+    // Factor initialization.
+    let t_init = Instant::now();
+    let mut factors = match config.initialization {
+        Initialization::Random => random_factors(tensor.dims(), ranks, config.seed),
+        Initialization::Hosvd => hosvd_factors(tensor, ranks, 2_000_000, config.seed),
+    };
+    timings.init = t_init.elapsed();
+
+    workspace.ensure(symbolic, ranks);
+
+    let mut fits: Vec<f64> = Vec::with_capacity(config.max_iterations);
+    let mut singular_values = vec![Vec::new(); order];
+    let mut iterations = 0;
+
+    for iter in 0..config.max_iterations {
+        iterations += 1;
+        let mut iter_ttmc = Duration::ZERO;
+        let mut iter_trsvd = Duration::ZERO;
+
+        for mode in 0..order {
+            let t_ttmc = Instant::now();
+            ttmc_mode_into(
+                tensor,
+                symbolic.mode(mode),
+                &factors,
+                mode,
+                workspace.compact_mut(mode),
+            );
+            iter_ttmc += t_ttmc.elapsed();
+
+            let t_trsvd = Instant::now();
+            let (compact, scratch) = workspace.trsvd_buffers(mode);
+            let result = trsvd_factor_with(
+                compact,
+                symbolic.mode(mode),
+                tensor.dims()[mode],
+                ranks[mode],
+                config.trsvd,
+                config.seed ^ ((mode as u64 + 1) << 8),
+                scratch,
+            );
+            iter_trsvd += t_trsvd.elapsed();
+
+            factors[mode] = result.factor;
+            singular_values[mode] = result.singular_values;
+        }
+
+        // Core tensor from the last mode's TTMc result (already computed
+        // with all other factors at their new values).
+        let t_core = Instant::now();
+        let (compact, core) = workspace.core_buffers(order - 1);
+        core_from_last_ttmc_into(
+            compact,
+            symbolic.mode(order - 1),
+            &factors[order - 1],
+            ranks,
+            core,
+        );
+        let iter_core = t_core.elapsed();
+
+        timings.ttmc += iter_ttmc;
+        timings.trsvd += iter_trsvd;
+        timings.core += iter_core;
+
+        let fit = fit_from_norms(tensor_norm, workspace.core().frobenius_norm());
+        let (improved, fit_improvement) = match fits.last() {
+            Some(&prev) => (fit - prev > config.fit_tolerance, fit - prev),
+            None => (true, fit),
+        };
+        fits.push(fit);
+
+        let control = observer.on_iteration(&IterationReport {
+            iteration: iter + 1,
+            fit,
+            fit_improvement,
+            ttmc: iter_ttmc,
+            trsvd: iter_trsvd,
+            core: iter_core,
+        });
+        if !improved || control == IterationControl::Stop {
+            break;
+        }
+    }
+
+    TuckerDecomposition {
+        core: workspace.core().clone(),
+        factors,
+        fits,
+        iterations,
+        singular_values,
+        timings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrsvdBackend;
+    use crate::hooi::tucker_hooi;
+    use datagen::random_tensor;
+
+    #[test]
+    fn plan_rejects_empty_tensor() {
+        let empty = SparseTensor::new(vec![5, 5, 5]);
+        assert_eq!(
+            TuckerSolver::plan(&empty, PlanOptions::new()).unwrap_err(),
+            TuckerError::EmptyTensor
+        );
+    }
+
+    #[test]
+    fn solve_rejects_invalid_configs_without_panicking() {
+        let t = random_tensor(&[10, 10, 10], 200, 1);
+        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        assert_eq!(
+            solver.solve(&TuckerConfig::new(vec![2, 2])).unwrap_err(),
+            TuckerError::OrderMismatch {
+                config_modes: 2,
+                tensor_modes: 3,
+            }
+        );
+        assert_eq!(
+            solver.solve(&TuckerConfig::new(vec![2, 0, 2])).unwrap_err(),
+            TuckerError::ZeroRank { mode: 1 }
+        );
+        // The session survives rejected requests.
+        assert!(solver.solve(&TuckerConfig::new(vec![2, 2, 2])).is_ok());
+    }
+
+    #[test]
+    fn second_solve_reports_zero_symbolic_time() {
+        let t = random_tensor(&[20, 15, 10], 600, 3);
+        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let config = TuckerConfig::new(vec![3, 3, 3]).max_iterations(2);
+        let first = solver.solve(&config).unwrap();
+        let second = solver.solve(&config).unwrap();
+        assert_eq!(first.timings.symbolic, solver.symbolic_time());
+        assert_eq!(second.timings.symbolic, Duration::ZERO);
+        assert_eq!(solver.completed_solves(), 2);
+    }
+
+    #[test]
+    fn planned_solves_match_one_shot_solver() {
+        let t = random_tensor(&[25, 20, 15], 1000, 7);
+        let config = TuckerConfig::new(vec![3, 3, 3]).max_iterations(3).seed(5);
+        let one_shot = tucker_hooi(&t, &config).unwrap();
+        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        for _ in 0..2 {
+            let planned = solver.solve(&config).unwrap();
+            assert_eq!(planned.fits, one_shot.fits);
+            assert_eq!(planned.factors, one_shot.factors);
+            assert_eq!(
+                planned.core.as_slice(),
+                one_shot.core.as_slice(),
+                "workspace reuse must not change the core"
+            );
+        }
+    }
+
+    #[test]
+    fn solve_at_different_ranks_reuses_one_plan() {
+        let t = random_tensor(&[20, 20, 20], 800, 11);
+        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let small = solver
+            .solve(&TuckerConfig::new(vec![2, 2, 2]).max_iterations(2))
+            .unwrap();
+        let large = solver
+            .solve(&TuckerConfig::new(vec![4, 3, 2]).max_iterations(2))
+            .unwrap();
+        assert_eq!(small.core.dims(), &[2, 2, 2]);
+        assert_eq!(large.core.dims(), &[4, 3, 2]);
+        assert!(large.final_fit() >= small.final_fit() - 1e-9);
+    }
+
+    #[test]
+    fn solve_many_amortizes_one_plan() {
+        let t = random_tensor(&[15, 15, 15], 500, 9);
+        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let configs = vec![
+            TuckerConfig::new(vec![2, 2, 2]).max_iterations(2),
+            TuckerConfig::new(vec![3, 3, 3])
+                .max_iterations(2)
+                .trsvd(TrsvdBackend::Randomized),
+            TuckerConfig::new(vec![2, 3, 2]).max_iterations(1).seed(42),
+        ];
+        let results = solver.solve_many(&configs).unwrap();
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].ranks(), vec![2, 2, 2]);
+        assert_eq!(results[1].ranks(), vec![3, 3, 3]);
+        assert_eq!(results[2].ranks(), vec![2, 3, 2]);
+        // Only the first solve of the session pays the symbolic cost.
+        assert_eq!(results[1].timings.symbolic, Duration::ZERO);
+        assert_eq!(results[2].timings.symbolic, Duration::ZERO);
+    }
+
+    #[test]
+    fn solve_many_is_all_or_nothing_on_validation() {
+        let t = random_tensor(&[10, 10, 10], 300, 2);
+        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let configs = vec![
+            TuckerConfig::new(vec![2, 2, 2]),
+            TuckerConfig::new(vec![2, 2]), // invalid
+        ];
+        assert_eq!(
+            solver.solve_many(&configs).unwrap_err(),
+            TuckerError::OrderMismatch {
+                config_modes: 2,
+                tensor_modes: 3,
+            }
+        );
+        // Validation happens before any work: no solve was counted.
+        assert_eq!(solver.completed_solves(), 0);
+    }
+
+    #[test]
+    fn observer_sees_every_iteration_and_can_stop() {
+        let t = random_tensor(&[15, 15, 15], 600, 4);
+        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let config = TuckerConfig::new(vec![2, 2, 2])
+            .max_iterations(10)
+            .fit_tolerance(-1.0); // never self-stop
+        let mut reports: Vec<IterationReport> = Vec::new();
+        let result = solver
+            .solve_with_observer(&config, &mut |r: &IterationReport| {
+                reports.push(r.clone());
+                if r.iteration == 3 {
+                    IterationControl::Stop
+                } else {
+                    IterationControl::Continue
+                }
+            })
+            .unwrap();
+        assert_eq!(result.iterations, 3);
+        assert_eq!(reports.len(), 3);
+        assert_eq!(
+            reports.iter().map(|r| r.iteration).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        for (r, &fit) in reports.iter().zip(result.fits.iter()) {
+            assert_eq!(r.fit, fit);
+            assert!(r.ttmc > Duration::ZERO);
+            assert!(r.trsvd > Duration::ZERO);
+        }
+        assert_eq!(reports[0].fit_improvement, reports[0].fit);
+        assert!((reports[1].fit_improvement - (reports[1].fit - reports[0].fit)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_iterations_yield_zero_core_without_stale_state() {
+        let t = random_tensor(&[10, 10, 10], 300, 6);
+        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        // A real solve first, so the workspace core buffer is dirty.
+        let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2);
+        solver.solve(&config).unwrap();
+        let empty_run = solver.solve(&config.clone().max_iterations(0)).unwrap();
+        assert_eq!(empty_run.iterations, 0);
+        assert!(empty_run.fits.is_empty());
+        assert_eq!(empty_run.core.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn debug_format_names_the_session() {
+        let t = random_tensor(&[8, 8, 8], 100, 13);
+        let solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(2)).unwrap();
+        let repr = format!("{solver:?}");
+        assert!(repr.contains("TuckerSolver"));
+        assert!(repr.contains("nnz"));
+    }
+}

@@ -16,7 +16,7 @@
 
 use crate::config::TrsvdBackend;
 use crate::symbolic::SymbolicMode;
-use linalg::lanczos::{lanczos_svd, LanczosOptions};
+use linalg::lanczos::{lanczos_svd_with, LanczosOptions, LanczosWorkspace};
 use linalg::operator::DenseOperator;
 use linalg::randomized::{randomized_svd, RandomizedOptions};
 use linalg::svd::dense_svd;
@@ -49,6 +49,31 @@ pub fn trsvd_factor(
     backend: TrsvdBackend,
     seed: u64,
 ) -> TrsvdResult {
+    trsvd_factor_with(
+        compact,
+        sym,
+        dim,
+        rank,
+        backend,
+        seed,
+        &mut LanczosWorkspace::new(),
+    )
+}
+
+/// [`trsvd_factor`] with caller-provided TRSVD scratch: the Lanczos backend
+/// draws its Krylov bases and projected problem from `scratch` instead of
+/// allocating per call — the HOOI loop passes the workspace buffers here
+/// (see [`crate::workspace::HooiWorkspace`]).  The other backends ignore
+/// the scratch.
+pub fn trsvd_factor_with(
+    compact: &Matrix,
+    sym: &SymbolicMode,
+    dim: usize,
+    rank: usize,
+    backend: TrsvdBackend,
+    seed: u64,
+    scratch: &mut LanczosWorkspace,
+) -> TrsvdResult {
     assert_eq!(compact.nrows(), sym.num_rows());
     let effective_rank = rank.min(compact.nrows().max(1)).min(compact.ncols().max(1));
     let (u_compact, singular_values, applications) = if compact.nrows() == 0 {
@@ -61,7 +86,7 @@ pub fn trsvd_factor(
                     seed,
                     ..LanczosOptions::default()
                 };
-                let svd = lanczos_svd(&op, effective_rank, &opts);
+                let svd = lanczos_svd_with(&op, effective_rank, &opts, scratch);
                 (svd.u, svd.singular_values, svd.operator_applications)
             }
             TrsvdBackend::Randomized => {

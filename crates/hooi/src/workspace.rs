@@ -1,38 +1,81 @@
-//! Reusable scratch buffers for the HOOI iteration loop.
+//! Reusable scratch state for the HOOI iteration loop.
 //!
 //! Per iteration, every mode `n` produces a compact TTMc result of shape
-//! `|J_n| × Π_{t≠n} R_t`.  Those shapes depend only on the symbolic data
-//! and the (clamped) Tucker ranks — neither changes across iterations — so
-//! the driver allocates them once here and hands
-//! [`crate::ttmc::ttmc_mode_into`] the same buffers every sweep instead of
-//! allocating `order × max_iterations` matrices in the hot loop.
+//! `|J_n| × Π_{t≠n} R_t`, runs a TRSVD on it, and the last mode's result is
+//! folded into the core tensor.  All of that scratch depends only on the
+//! symbolic data and the (clamped) Tucker ranks — neither changes across
+//! iterations, and across *solves* of one planned [`crate::TuckerSolver`]
+//! only the ranks can change — so the workspace owns it all and hands the
+//! same buffers to every sweep:
+//!
+//! * the per-mode compact TTMc result matrices
+//!   ([`crate::ttmc::ttmc_mode_into`] writes into them),
+//! * the TRSVD scratch ([`linalg::lanczos::LanczosWorkspace`]: Krylov basis
+//!   vectors and the projected bidiagonal problem),
+//! * the core tensor buffer
+//!   ([`crate::core_tensor::core_from_last_ttmc_into`] folds into it).
+//!
+//! [`ensure`](HooiWorkspace::ensure) reshapes lazily: solving the same
+//! configuration twice reallocates nothing, switching ranks reallocates only
+//! the buffers whose shape actually changed.
 
 use crate::symbolic::SymbolicTtmc;
+use linalg::lanczos::LanczosWorkspace;
 use linalg::Matrix;
+use sptensor::DenseTensor;
 
-/// Preallocated per-mode buffers for a HOOI run.
+/// Preallocated scratch for a HOOI run, reused across iterations and across
+/// the solves of one planned solver session.
 #[derive(Debug)]
 pub struct HooiWorkspace {
     compact: Vec<Matrix>,
+    trsvd: LanczosWorkspace,
+    core: DenseTensor,
 }
 
 impl HooiWorkspace {
-    /// Allocates one compact TTMc result buffer per mode for the given
-    /// symbolic data and (clamped) Tucker ranks.
+    /// Creates an empty workspace for an order-`order` tensor; buffers are
+    /// shaped on the first [`ensure`](Self::ensure).
+    pub fn for_order(order: usize) -> Self {
+        assert!(order > 0, "workspace needs at least one mode");
+        HooiWorkspace {
+            compact: (0..order).map(|_| Matrix::zeros(0, 0)).collect(),
+            trsvd: LanczosWorkspace::new(),
+            core: DenseTensor::zeros(vec![0; order]),
+        }
+    }
+
+    /// Allocates the buffers for the given symbolic data and (clamped)
+    /// Tucker ranks.
     pub fn new(symbolic: &SymbolicTtmc, ranks: &[usize]) -> Self {
-        assert_eq!(symbolic.order(), ranks.len());
-        let compact = (0..symbolic.order())
-            .map(|mode| {
-                let width: usize = ranks
-                    .iter()
-                    .enumerate()
-                    .filter(|&(t, _)| t != mode)
-                    .map(|(_, &r)| r)
-                    .product();
-                Matrix::zeros(symbolic.mode(mode).num_rows(), width)
-            })
-            .collect();
-        HooiWorkspace { compact }
+        let mut ws = HooiWorkspace::for_order(symbolic.order());
+        ws.ensure(symbolic, ranks);
+        ws
+    }
+
+    /// Shapes the buffers for a solve at `ranks`, reallocating only those
+    /// whose shape changed since the previous solve.  The core buffer is
+    /// zeroed so no state can leak between solves.
+    pub fn ensure(&mut self, symbolic: &SymbolicTtmc, ranks: &[usize]) {
+        assert_eq!(symbolic.order(), self.compact.len());
+        assert_eq!(ranks.len(), self.compact.len());
+        for mode in 0..self.compact.len() {
+            let width: usize = ranks
+                .iter()
+                .enumerate()
+                .filter(|&(t, _)| t != mode)
+                .map(|(_, &r)| r)
+                .product();
+            let rows = symbolic.mode(mode).num_rows();
+            if self.compact[mode].shape() != (rows, width) {
+                self.compact[mode] = Matrix::zeros(rows, width);
+            }
+        }
+        if self.core.dims() == ranks {
+            self.core.as_mut_slice().fill(0.0);
+        } else {
+            self.core = DenseTensor::zeros(ranks.to_vec());
+        }
     }
 
     /// The compact TTMc buffer of `mode`, for writing.
@@ -46,12 +89,29 @@ impl HooiWorkspace {
         &self.compact[mode]
     }
 
-    /// Total number of `f64` entries held by the workspace.
+    /// The compact TTMc result of `mode` together with the TRSVD scratch —
+    /// what one factor update reads and mutates.
+    pub fn trsvd_buffers(&mut self, mode: usize) -> (&Matrix, &mut LanczosWorkspace) {
+        (&self.compact[mode], &mut self.trsvd)
+    }
+
+    /// The compact TTMc result of `mode` together with the core buffer —
+    /// what the core extraction reads and writes.
+    pub fn core_buffers(&mut self, mode: usize) -> (&Matrix, &mut DenseTensor) {
+        (&self.compact[mode], &mut self.core)
+    }
+
+    /// The core tensor written by the most recent iteration.
+    pub fn core(&self) -> &DenseTensor {
+        &self.core
+    }
+
+    /// Total number of `f64` entries held by the compact TTMc buffers.
     pub fn len(&self) -> usize {
         self.compact.iter().map(|m| m.as_slice().len()).sum()
     }
 
-    /// Whether the workspace holds no data (all modes empty).
+    /// Whether the compact TTMc buffers hold no data (all modes empty).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -82,6 +142,7 @@ mod tests {
         assert_eq!(ws.compact(0).shape(), (sym.mode(0).num_rows(), 12));
         assert_eq!(ws.compact(1).shape(), (sym.mode(1).num_rows(), 8));
         assert_eq!(ws.compact(2).shape(), (sym.mode(2).num_rows(), 6));
+        assert_eq!(ws.core().dims(), &[2, 3, 4]);
         assert!(!ws.is_empty());
     }
 
@@ -104,5 +165,31 @@ mod tests {
         let ptr_after = ws.compact(0).as_slice().as_ptr();
         assert_eq!(ptr_before, ptr_after, "reuse must not reallocate");
         assert!(ws.compact(0).as_slice().iter().all(|&x| x == 7.0));
+    }
+
+    #[test]
+    fn ensure_with_same_ranks_keeps_allocations() {
+        let t = sample();
+        let sym = SymbolicTtmc::build(&t);
+        let mut ws = HooiWorkspace::new(&sym, &[2, 2, 2]);
+        ws.compact_mut(0).as_mut_slice().fill(3.0);
+        let ptr_before = ws.compact(0).as_slice().as_ptr();
+        ws.ensure(&sym, &[2, 2, 2]);
+        assert_eq!(ws.compact(0).as_slice().as_ptr(), ptr_before);
+        // The core buffer is zeroed between solves.
+        assert!(ws.core().as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn ensure_reshapes_on_rank_change() {
+        let t = sample();
+        let sym = SymbolicTtmc::build(&t);
+        let mut ws = HooiWorkspace::new(&sym, &[2, 2, 2]);
+        ws.ensure(&sym, &[3, 2, 2]);
+        // Mode 0 keeps width 4 = 2·2, but modes 1 and 2 now see rank 3.
+        assert_eq!(ws.compact(0).ncols(), 4);
+        assert_eq!(ws.compact(1).ncols(), 6);
+        assert_eq!(ws.compact(2).ncols(), 6);
+        assert_eq!(ws.core().dims(), &[3, 2, 2]);
     }
 }

@@ -46,6 +46,83 @@ impl Default for LanczosOptions {
     }
 }
 
+/// Reusable scratch buffers for [`lanczos_svd_with`].
+///
+/// One Lanczos solve allocates `O(subspace)` Krylov basis vectors (length
+/// `m` and `n`) plus the small projected bidiagonal problem.  Inside a HOOI
+/// loop the same shapes recur every iteration and every solve, so callers
+/// that run many TRSVDs (see `hooi::HooiWorkspace`) keep one of these
+/// alive and the solver recycles its buffers instead of allocating fresh
+/// ones per call.  A workspace never influences the numerical result: every
+/// buffer handed out is zero-filled first.
+///
+/// ```
+/// use linalg::lanczos::{lanczos_svd, lanczos_svd_with, LanczosOptions, LanczosWorkspace};
+/// use linalg::operator::DenseOperator;
+/// use linalg::Matrix;
+///
+/// let a = Matrix::random(40, 12, 7);
+/// let op = DenseOperator::new(&a);
+/// let mut ws = LanczosWorkspace::new();
+/// let with_ws = lanczos_svd_with(&op, 3, &LanczosOptions::default(), &mut ws);
+/// let fresh = lanczos_svd(&op, 3, &LanczosOptions::default());
+/// assert_eq!(with_ws.singular_values, fresh.singular_values);
+/// ```
+#[derive(Debug, Default)]
+pub struct LanczosWorkspace {
+    /// Recycled row-space buffers (length `m` at last use).
+    left: Vec<Vec<f64>>,
+    /// Recycled column-space buffers (length `n` at last use).
+    right: Vec<Vec<f64>>,
+    /// Recycled storage of the projected bidiagonal problem.
+    projected: Vec<f64>,
+}
+
+impl LanczosWorkspace {
+    /// Creates an empty workspace; buffers are adopted from the first solve.
+    pub fn new() -> Self {
+        LanczosWorkspace::default()
+    }
+
+    fn take(pool: &mut Vec<Vec<f64>>, len: usize) -> Vec<f64> {
+        match pool.pop() {
+            Some(mut v) => {
+                v.clear();
+                v.resize(len, 0.0);
+                v
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    fn take_left(&mut self, len: usize) -> Vec<f64> {
+        Self::take(&mut self.left, len)
+    }
+
+    fn take_right(&mut self, len: usize) -> Vec<f64> {
+        Self::take(&mut self.right, len)
+    }
+
+    fn take_projected(&mut self, len: usize) -> Vec<f64> {
+        let mut v = std::mem::take(&mut self.projected);
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Number of basis buffers currently parked for reuse (diagnostics).
+    pub fn pooled_buffers(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    /// Total `f64` entries currently parked for reuse (diagnostics).
+    pub fn pooled_floats(&self) -> usize {
+        self.left.iter().map(Vec::len).sum::<usize>()
+            + self.right.iter().map(Vec::len).sum::<usize>()
+            + self.projected.len()
+    }
+}
+
 /// A truncated SVD `A ≈ U diag(σ) Vᵀ` with `k` columns.
 #[derive(Debug, Clone)]
 pub struct TruncatedSvd {
@@ -63,9 +140,28 @@ pub struct TruncatedSvd {
 
 /// Computes the `rank` leading singular triplets of a matrix-free operator.
 ///
+/// Allocates fresh scratch buffers; callers running many solves of similar
+/// shape should prefer [`lanczos_svd_with`] and a long-lived
+/// [`LanczosWorkspace`].
+///
 /// # Panics
 /// Panics if `rank == 0`.
 pub fn lanczos_svd(op: &dyn LinearOperator, rank: usize, opts: &LanczosOptions) -> TruncatedSvd {
+    lanczos_svd_with(op, rank, opts, &mut LanczosWorkspace::new())
+}
+
+/// [`lanczos_svd`] with caller-provided scratch buffers: the Krylov basis
+/// vectors and the projected bidiagonal problem are drawn from (and returned
+/// to) `ws` instead of being allocated per call.
+///
+/// # Panics
+/// Panics if `rank == 0`.
+pub fn lanczos_svd_with(
+    op: &dyn LinearOperator,
+    rank: usize,
+    opts: &LanczosOptions,
+    ws: &mut LanczosWorkspace,
+) -> TruncatedSvd {
     assert!(rank > 0, "lanczos_svd: rank must be positive");
     let m = op.nrows();
     let n = op.ncols();
@@ -114,159 +210,177 @@ pub fn lanczos_svd(op: &dyn LinearOperator, rank: usize, opts: &LanczosOptions) 
     let mut rng = SmallRng::seed_from_u64(opts.seed);
     let mut applications = 0usize;
 
-    // Krylov bases: uvecs[i] has length m, vvecs[i] has length n.
+    // Krylov bases: uvecs[i] has length m, vvecs[i] has length n.  The
+    // vectors come from the workspace pool and are returned to it after the
+    // result has been lifted back to the full space.
     let mut uvecs: Vec<Vec<f64>> = Vec::with_capacity(subspace);
     let mut vvecs: Vec<Vec<f64>> = Vec::with_capacity(subspace + 1);
     let mut alphas: Vec<f64> = Vec::with_capacity(subspace);
     let mut betas: Vec<f64> = Vec::with_capacity(subspace);
 
     // Starting vector.
-    let mut v: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() - 0.5).collect();
+    let mut v = ws.take_right(n);
+    v.iter_mut().for_each(|x| *x = rng.gen::<f64>() - 0.5);
     normalize(&mut v);
     vvecs.push(v);
 
     let mut best: Option<TruncatedSvd> = None;
 
-    for _restart in 0..opts.max_restarts.max(1) {
-        // Expand the factorization until the subspace is full.
-        while alphas.len() < subspace {
-            let j = alphas.len();
-            // u_j = A v_j - beta_{j-1} u_{j-1}
-            let mut u = vec![0.0; m];
-            op.apply(&vvecs[j], &mut u);
-            applications += 1;
-            if j > 0 {
-                let beta_prev = betas[j - 1];
-                axpy(-beta_prev, &uvecs[j - 1], &mut u);
-            }
-            // Full reorthogonalization against previous u's.
-            reorthogonalize(&mut u, &uvecs);
-            let alpha = nrm2(&u);
-            if alpha <= f64::EPSILON * (m as f64).sqrt() {
-                // Breakdown: the range has been exhausted.
-                break;
-            }
-            u.iter_mut().for_each(|x| *x /= alpha);
-            alphas.push(alpha);
-            uvecs.push(u);
+    let result = 'solve: {
+        for _restart in 0..opts.max_restarts.max(1) {
+            // Expand the factorization until the subspace is full.
+            while alphas.len() < subspace {
+                let j = alphas.len();
+                // u_j = A v_j - beta_{j-1} u_{j-1}
+                let mut u = ws.take_left(m);
+                op.apply(&vvecs[j], &mut u);
+                applications += 1;
+                if j > 0 {
+                    let beta_prev = betas[j - 1];
+                    axpy(-beta_prev, &uvecs[j - 1], &mut u);
+                }
+                // Full reorthogonalization against previous u's.
+                reorthogonalize(&mut u, &uvecs);
+                let alpha = nrm2(&u);
+                if alpha <= f64::EPSILON * (m as f64).sqrt() {
+                    // Breakdown: the range has been exhausted.
+                    ws.left.push(u);
+                    break;
+                }
+                u.iter_mut().for_each(|x| *x /= alpha);
+                alphas.push(alpha);
+                uvecs.push(u);
 
-            // v_{j+1} = Aᵀ u_j - alpha_j v_j
-            let mut w = vec![0.0; n];
-            op.apply_transpose(&uvecs[j], &mut w);
-            applications += 1;
-            axpy(-alpha, &vvecs[j], &mut w);
-            reorthogonalize(&mut w, &vvecs);
-            let beta = nrm2(&w);
-            if beta <= f64::EPSILON * (n as f64).sqrt() {
-                betas.push(0.0);
-                // Deflation: restart direction is exhausted too.
-                break;
+                // v_{j+1} = Aᵀ u_j - alpha_j v_j
+                let mut w = ws.take_right(n);
+                op.apply_transpose(&uvecs[j], &mut w);
+                applications += 1;
+                axpy(-alpha, &vvecs[j], &mut w);
+                reorthogonalize(&mut w, &vvecs);
+                let beta = nrm2(&w);
+                if beta <= f64::EPSILON * (n as f64).sqrt() {
+                    betas.push(0.0);
+                    // Deflation: restart direction is exhausted too.
+                    ws.right.push(w);
+                    break;
+                }
+                w.iter_mut().for_each(|x| *x /= beta);
+                betas.push(beta);
+                vvecs.push(w);
             }
-            w.iter_mut().for_each(|x| *x /= beta);
-            betas.push(beta);
-            vvecs.push(w);
-        }
 
-        let k = alphas.len();
-        if k == 0 {
-            // Operator is (numerically) zero.
-            return TruncatedSvd {
-                u: Matrix::zeros(m, rank),
-                singular_values: vec![0.0; rank],
-                v: Matrix::zeros(n, rank),
-                operator_applications: applications,
-                converged: true,
+            let k = alphas.len();
+            if k == 0 {
+                // Operator is (numerically) zero.
+                break 'solve TruncatedSvd {
+                    u: Matrix::zeros(m, rank),
+                    singular_values: vec![0.0; rank],
+                    v: Matrix::zeros(n, rank),
+                    operator_applications: applications,
+                    converged: true,
+                };
+            }
+
+            // Build the k×k (upper) bidiagonal projected matrix B with
+            // alphas on the diagonal and betas on the superdiagonal.
+            let mut b = Matrix::from_vec(k, k, ws.take_projected(k * k));
+            for i in 0..k {
+                b[(i, i)] = alphas[i];
+                if i + 1 < k {
+                    b[(i, i + 1)] = betas[i];
+                }
+            }
+            let bsvd = dense_svd(&b);
+            ws.projected = b.into_vec();
+
+            let take = rank.min(k);
+            // Residual estimate for the i-th Ritz triplet:
+            // ‖A v_i - σ_i u_i‖ ≈ |beta_k| * |last component of B's right
+            // vector| (standard GKL bound).
+            let beta_last = if k == betas.len() && k > 0 {
+                betas[k - 1]
+            } else {
+                0.0
             };
-        }
-
-        // Build the k×k (upper) bidiagonal projected matrix B with alphas on
-        // the diagonal and betas on the superdiagonal.
-        let mut b = Matrix::zeros(k, k);
-        for i in 0..k {
-            b[(i, i)] = alphas[i];
-            if i + 1 < k {
-                b[(i, i + 1)] = betas[i];
+            let sigma_max = bsvd.singular_values.first().copied().unwrap_or(0.0);
+            let mut converged = true;
+            for i in 0..take {
+                let resid = beta_last * bsvd.u.col(i)[k - 1].abs();
+                if resid > opts.tol * sigma_max.max(1e-300) {
+                    converged = false;
+                    break;
+                }
             }
-        }
-        let bsvd = dense_svd(&b);
+            let exhausted = k < subspace; // breakdown: the factorization is exact
 
-        let take = rank.min(k);
-        // Residual estimate for the i-th Ritz triplet:
-        // ‖A v_i - σ_i u_i‖ ≈ |beta_k| * |last component of B's right vector|
-        // (standard GKL bound).
-        let beta_last = if k == betas.len() && k > 0 {
-            betas[k - 1]
-        } else {
-            0.0
-        };
-        let sigma_max = bsvd.singular_values.first().copied().unwrap_or(0.0);
-        let mut converged = true;
-        for i in 0..take {
-            let resid = beta_last * bsvd.u.col(i)[k - 1].abs();
-            if resid > opts.tol * sigma_max.max(1e-300) {
-                converged = false;
+            // Lift the projected singular vectors back to the full space.
+            let mut u_full = Matrix::zeros(m, take);
+            let mut v_full = Matrix::zeros(n, take);
+            let mut ucol = ws.take_left(m);
+            let mut vcol = ws.take_right(n);
+            for col in 0..take {
+                let pu = bsvd.u.col(col);
+                let pv = bsvd.v.col(col);
+                ucol.iter_mut().for_each(|x| *x = 0.0);
+                for (j, &c) in pu.iter().enumerate() {
+                    if c != 0.0 {
+                        axpy(c, &uvecs[j], &mut ucol);
+                    }
+                }
+                vcol.iter_mut().for_each(|x| *x = 0.0);
+                for (j, &c) in pv.iter().enumerate() {
+                    if c != 0.0 {
+                        axpy(c, &vvecs[j], &mut vcol);
+                    }
+                }
+                u_full.set_col(col, &ucol);
+                v_full.set_col(col, &vcol);
+            }
+            ws.left.push(ucol);
+            ws.right.push(vcol);
+            let singular_values: Vec<f64> = bsvd.singular_values[..take].to_vec();
+
+            let result = TruncatedSvd {
+                u: u_full,
+                singular_values,
+                v: v_full,
+                operator_applications: applications,
+                converged: converged || exhausted,
+            };
+            if result.converged {
+                break 'solve result;
+            }
+            best = Some(result);
+
+            // Thick restart would be the production choice; for the subspace
+            // sizes used here simply enlarging the subspace on restart is
+            // sufficient and keeps the code simple.  The bases built so far
+            // are kept, so the next pass only expands the factorization from
+            // `k` toward the larger bound.
+            let new_subspace = (subspace + subspace / 2 + 1).min(max_rank);
+            if new_subspace == subspace {
+                // The subspace is already at the small dimension and cannot
+                // grow — another pass cannot improve the estimate.
+                // (Breakdown, k < subspace, broke out above: the
+                // factorization is exact.)
                 break;
             }
+            subspace = new_subspace;
         }
-        let exhausted = k < subspace; // breakdown: the factorization is exact
 
-        // Lift the projected singular vectors back to the full space.
-        let mut u_full = Matrix::zeros(m, take);
-        let mut v_full = Matrix::zeros(n, take);
-        for col in 0..take {
-            let pu = bsvd.u.col(col);
-            let pv = bsvd.v.col(col);
-            let mut ucol = vec![0.0; m];
-            for (j, &c) in pu.iter().enumerate() {
-                if c != 0.0 {
-                    axpy(c, &uvecs[j], &mut ucol);
-                }
-            }
-            let mut vcol = vec![0.0; n];
-            for (j, &c) in pv.iter().enumerate() {
-                if c != 0.0 {
-                    axpy(c, &vvecs[j], &mut vcol);
-                }
-            }
-            u_full.set_col(col, &ucol);
-            v_full.set_col(col, &vcol);
-        }
-        let singular_values: Vec<f64> = bsvd.singular_values[..take].to_vec();
-
-        let result = TruncatedSvd {
-            u: u_full,
-            singular_values,
-            v: v_full,
+        best.take().unwrap_or_else(|| TruncatedSvd {
+            u: Matrix::zeros(m, rank),
+            singular_values: vec![0.0; rank],
+            v: Matrix::zeros(n, rank),
             operator_applications: applications,
-            converged: converged || exhausted,
-        };
-        if result.converged {
-            return result;
-        }
-        best = Some(result);
+            converged: false,
+        })
+    };
 
-        // Thick restart would be the production choice; for the subspace
-        // sizes used here simply enlarging the subspace on restart is
-        // sufficient and keeps the code simple.  The bases built so far are
-        // kept, so the next pass only expands the factorization from `k`
-        // toward the larger bound.
-        let new_subspace = (subspace + subspace / 2 + 1).min(max_rank);
-        if new_subspace == subspace {
-            // The subspace is already at the small dimension and cannot
-            // grow — another pass cannot improve the estimate.  (Breakdown,
-            // k < subspace, returned above: the factorization is exact.)
-            break;
-        }
-        subspace = new_subspace;
-    }
-
-    best.unwrap_or_else(|| TruncatedSvd {
-        u: Matrix::zeros(m, rank),
-        singular_values: vec![0.0; rank],
-        v: Matrix::zeros(n, rank),
-        operator_applications: applications,
-        converged: false,
-    })
+    // Park the Krylov bases for the next solve.
+    ws.left.append(&mut uvecs);
+    ws.right.append(&mut vvecs);
+    result
 }
 
 /// Orthogonalizes `x` against every vector in `basis` (classical Gram-Schmidt
@@ -408,6 +522,29 @@ mod tests {
         let op = DenseOperator::new(&a);
         let result = lanczos_svd(&op, 2, &LanczosOptions::default());
         assert!(result.operator_applications > 0);
+    }
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical_and_pools_buffers() {
+        let a = Matrix::random(70, 20, 9);
+        let op = DenseOperator::new(&a);
+        let opts = LanczosOptions::default();
+        let fresh = lanczos_svd(&op, 4, &opts);
+
+        let mut ws = LanczosWorkspace::new();
+        let first = lanczos_svd_with(&op, 4, &opts, &mut ws);
+        let pooled_after_first = ws.pooled_buffers();
+        assert!(pooled_after_first > 0, "bases should be parked for reuse");
+        let second = lanczos_svd_with(&op, 4, &opts, &mut ws);
+
+        // The workspace must never change the numbers.
+        assert_eq!(first.singular_values, fresh.singular_values);
+        assert_eq!(second.singular_values, fresh.singular_values);
+        assert_eq!(first.u, fresh.u);
+        assert_eq!(second.u, fresh.u);
+        // And the second solve recycles instead of growing the pool.
+        assert_eq!(ws.pooled_buffers(), pooled_after_first);
+        assert!(ws.pooled_floats() > 0);
     }
 
     #[test]

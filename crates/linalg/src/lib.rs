@@ -8,7 +8,7 @@
 //! * a symmetric eigensolver ([`eig`]) for small Gram matrices,
 //! * a dense SVD ([`svd`]) for small projected problems,
 //! * a matrix-free truncated SVD ([`lanczos`], [`randomized`]) built on the
-//!   [`LinearOperator`](operator::LinearOperator) abstraction.  This is the
+//!   [`LinearOperator`] abstraction.  This is the
 //!   Rust stand-in for the PETSc/SLEPc iterative TRSVD solver the paper uses:
 //!   only matrix-vector (`MxV`) and matrix-transpose-vector (`MTxV`) products
 //!   are required, so the operator can be a row-distributed or

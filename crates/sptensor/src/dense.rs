@@ -163,10 +163,20 @@ impl DenseTensor {
     /// Inverse of [`unfold`](Self::unfold): builds a dense tensor with mode
     /// sizes `dims` from its mode-`mode` unfolding.
     pub fn fold(matrix: &Matrix, mode: usize, dims: &[usize]) -> DenseTensor {
+        let mut out = DenseTensor::zeros(dims.to_vec());
+        DenseTensor::fold_into(matrix, mode, &mut out);
+        out
+    }
+
+    /// [`fold`](Self::fold) into an existing tensor, overwriting every entry
+    /// — the allocation-free variant for callers that fold into a reused
+    /// buffer (e.g. the HOOI core buffer).  The target's dimensions define
+    /// the fold shape.
+    pub fn fold_into(matrix: &Matrix, mode: usize, out: &mut DenseTensor) {
+        let dims = out.dims.clone();
         assert!(mode < dims.len());
         assert_eq!(matrix.nrows(), dims[mode]);
-        assert_eq!(matrix.ncols(), dims_product(dims) / dims[mode]);
-        let mut out = DenseTensor::zeros(dims.to_vec());
+        assert_eq!(matrix.ncols(), dims_product(&dims) / dims[mode]);
         let mut index = vec![0usize; dims.len()];
         for pos in 0..out.data.len() {
             out.unlinearize(pos, &mut index);
@@ -180,7 +190,6 @@ impl DenseTensor {
             }
             out.data[pos] = matrix[(row, col)];
         }
-        out
     }
 
     /// Dense tensor-times-matrix along `mode`.

@@ -10,7 +10,7 @@
 
 use tucker_repro::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TuckerError> {
     let profile = DatasetProfile::new(ProfileName::Flickr);
     let tensor = profile.generate(20_000, 5);
     let ranks = profile.paper_ranks().to_vec();
@@ -24,10 +24,10 @@ fn main() {
     // 1. Correctness: the fine-grain distributed execution on 8 simulated
     //    ranks must reproduce the shared-memory result.
     let tucker = TuckerConfig::new(ranks.clone()).max_iterations(3).seed(17);
-    let shared = tucker_hooi(&tensor, &tucker);
+    let shared = tucker_hooi(&tensor, &tucker)?;
     let config = SimConfig::new(8, Grain::Fine, PartitionMethod::Hypergraph, ranks.clone());
     let setup = DistributedSetup::build(&tensor, &config);
-    let distributed = distsim::exec::distributed_hooi(&tensor, &setup, &tucker);
+    let distributed = distsim::exec::distributed_hooi(&tensor, &setup, &tucker)?;
     println!(
         "\nshared-memory fit: {:.6}   distributed (8 ranks, fine-hp) fit: {:.6}",
         shared.final_fit(),
@@ -73,4 +73,5 @@ fn main() {
         }
         println!("{row}");
     }
+    Ok(())
 }

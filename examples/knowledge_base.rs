@@ -8,7 +8,7 @@
 
 use tucker_repro::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TuckerError> {
     // Scaled NELL-profile tensor: a huge entity mode, a tiny skewed relation
     // mode and a large second entity mode.
     let profile = DatasetProfile::new(ProfileName::Nell);
@@ -33,7 +33,7 @@ fn main() {
         .max_iterations(6)
         .initialization(Initialization::Random)
         .seed(11);
-    let model = tucker_hooi(&tensor, &config);
+    let model = tucker_hooi(&tensor, &config)?;
     println!(
         "\nHOOI finished: fit {:.4} after {} iterations",
         model.final_fit(),
@@ -60,4 +60,5 @@ fn main() {
     println!("\n(The Tucker core links these relation components to entity components in");
     println!(" both entity modes — the 'identifying relations among factors' use case the");
     println!(" paper cites for the Tucker formulation.)");
+    Ok(())
 }

@@ -1,5 +1,5 @@
-//! Quickstart: decompose a small sparse tensor with HOOI and inspect the
-//! result.
+//! Quickstart: plan a solver session once, then decompose at several
+//! configurations while watching convergence through an observer.
 //!
 //! ```text
 //! cargo run --release --example quickstart
@@ -7,7 +7,7 @@
 
 use tucker_repro::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TuckerError> {
     // 1. Build (or load) a sparse tensor.  Here: a planted low-rank tensor
     //    with noise, so we know what the decomposition should find.
     let planted = lowrank_tensor(&LowRankSpec {
@@ -25,32 +25,67 @@ fn main() {
         tensor.density()
     );
 
-    // 2. Configure the decomposition: ranks per mode, iteration budget,
-    //    TRSVD backend (Lanczos = the paper's matrix-free iterative solver).
+    // 2. Plan a session: the symbolic TTMc analysis runs exactly once, and
+    //    the session owns the thread pool (0 = all hardware threads) plus
+    //    all scratch buffers.
+    let mut solver = TuckerSolver::plan(tensor, PlanOptions::new())?;
+    println!(
+        "planned: symbolic analysis took {:.1} ms on {} threads",
+        solver.symbolic_time().as_secs_f64() * 1e3,
+        solver.num_threads()
+    );
+
+    // 3. Solve with the planted ranks, watching every iteration through an
+    //    observer that can also request an early stop once the fit is good
+    //    enough.
     let config = TuckerConfig::new(vec![4, 3, 2])
         .max_iterations(10)
         .fit_tolerance(1e-6)
         .trsvd(TrsvdBackend::Lanczos)
         .seed(7);
+    let decomposition = solver.solve_with_observer(&config, &mut |r: &IterationReport| {
+        println!(
+            "  iteration {}: fit {:.5} (+{:.1e}), TTMc {:.1} ms, TRSVD {:.1} ms",
+            r.iteration,
+            r.fit,
+            r.fit_improvement,
+            r.ttmc.as_secs_f64() * 1e3,
+            r.trsvd.as_secs_f64() * 1e3,
+        );
+        if r.fit > 0.999 {
+            IterationControl::Stop
+        } else {
+            IterationControl::Continue
+        }
+    })?;
 
-    // 3. Run shared-memory parallel HOOI (Algorithm 3 of the paper).  The
-    //    whole pipeline executes inside a scoped thread pool sized by
-    //    `num_threads`; 0 means "all hardware threads".  Running the same
-    //    configuration with 1 thread first shows the TTMc wall time
-    //    responding to the knob.
-    let sequential = tucker_hooi(tensor, &config.clone().num_threads(1));
-    let decomposition = tucker_hooi(tensor, &config);
-    let t1 = sequential.timings.ttmc.as_secs_f64() * 1e3;
-    let tn = decomposition.timings.ttmc.as_secs_f64() * 1e3;
+    // 4. Solve again — different ranks, same plan.  No symbolic work is
+    //    redone: the second solve reports zero symbolic time.
+    let coarse = solver.solve(&TuckerConfig::new(vec![2, 2, 2]).max_iterations(5))?;
     println!(
-        "TTMc wall time: {t1:.1} ms with 1 thread, {tn:.1} ms with all {} threads ({:.2}x)",
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1),
-        t1 / tn.max(1e-9),
+        "re-solve at ranks {:?}: fit {:.4}, symbolic time {:?} (reused from the plan)",
+        coarse.ranks(),
+        coarse.final_fit(),
+        coarse.timings.symbolic
+    );
+    assert_eq!(coarse.timings.symbolic, std::time::Duration::ZERO);
+
+    // 5. Thread scaling: a session's pool is fixed at plan time, so a
+    //    1-thread comparison is simply a second (sequential) plan.  On a
+    //    multi-core host the TTMc wall time responds to the knob.
+    let two_iters = config.clone().max_iterations(2);
+    let sequential =
+        TuckerSolver::plan(tensor, PlanOptions::new().num_threads(1))?.solve(&two_iters)?;
+    let parallel = solver.solve(&two_iters)?;
+    let t1 = sequential.timings.ttmc.as_secs_f64() * 1e3;
+    let tn = parallel.timings.ttmc.as_secs_f64() * 1e3;
+    println!(
+        "TTMc wall time over 2 iterations: {t1:.1} ms with 1 thread, {tn:.1} ms with {} threads ({:.2}x)",
+        solver.num_threads(),
+        t1 / tn.max(1e-9)
     );
 
-    // 4. Inspect the result.
+    // 6. Inspect the main result.
     println!("core tensor dims: {:?}", decomposition.core.dims());
     println!("iterations run:   {}", decomposition.iterations);
     println!("fit per iteration: {:?}", decomposition.fits);
@@ -60,15 +95,16 @@ fn main() {
     );
     let (ttmc, trsvd, core) = decomposition.timings.relative_shares();
     println!(
-        "time shares: TTMc {ttmc:.1}%, TRSVD {trsvd:.1}%, core {core:.1}%  (symbolic: {:.1} ms)",
-        decomposition.timings.symbolic.as_secs_f64() * 1e3
+        "time shares: TTMc {ttmc:.1}%, TRSVD {trsvd:.1}%, core {core:.1}%  (init: {:.1} ms)",
+        decomposition.timings.init.as_secs_f64() * 1e3
     );
 
-    // 5. Evaluate the model at the observed entries.
+    // 7. Evaluate the model at the observed entries.
     let rmse = hooi::fit::rmse_at_nonzeros(tensor, &decomposition.core, &decomposition.factors);
     println!("RMSE at the stored nonzeros: {rmse:.4}");
     println!(
         "final fit: {:.4} (1.0 = exact reconstruction)",
         decomposition.final_fit()
     );
+    Ok(())
 }

@@ -10,7 +10,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use tucker_repro::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TuckerError> {
     // A scaled Netflix-profile tensor: user x movie x time with Zipf-skewed
     // popularity, integer-like rating values.
     let profile = DatasetProfile::new(ProfileName::Netflix);
@@ -36,11 +36,14 @@ fn main() {
         test.nnz()
     );
 
-    // Decompose the training tensor with the paper's ranks (10 per mode).
+    // Plan a session on the training tensor and decompose with the paper's
+    // ranks (10 per mode).  A production recommender re-solves the same
+    // plan on a schedule (new seeds, rank sweeps) as ratings change weight.
+    let mut solver = TuckerSolver::plan(&train, PlanOptions::new())?;
     let config = TuckerConfig::new(vec![10, 10, 10])
         .max_iterations(8)
         .seed(3);
-    let model = tucker_hooi(&train, &config);
+    let model = solver.solve(&config)?;
     println!(
         "fit on training data after {} iterations: {:.4}",
         model.iterations,
@@ -53,7 +56,7 @@ fn main() {
     let mut model_se = 0.0;
     let mut baseline_se = 0.0;
     for (idx, actual) in test.iter() {
-        let predicted = hooi::core_tensor::reconstruct_at(&model.core, &model.factors, idx);
+        let predicted = model.predict(idx);
         model_se += (actual - predicted).powi(2);
         baseline_se += (actual - mean).powi(2);
     }
@@ -69,4 +72,5 @@ fn main() {
     println!();
     println!("Note: with zero-imputed training (standard sparse Tucker), predictions are");
     println!("shrunk toward zero; applications typically post-scale or use weighted variants.");
+    Ok(())
 }

@@ -9,7 +9,7 @@
 
 use tucker_repro::prelude::*;
 
-fn main() {
+fn main() -> Result<(), TuckerError> {
     let profile = DatasetProfile::new(ProfileName::Delicious);
     let tensor = profile.generate(50_000, 13);
     println!(
@@ -24,7 +24,7 @@ fn main() {
     let config = TuckerConfig::new(vec![5, 5, 5, 5])
         .max_iterations(5)
         .seed(4);
-    let model = tucker_hooi(&tensor, &config);
+    let model = tucker_hooi(&tensor, &config)?;
     println!(
         "fit {:.4} after {} iterations",
         model.final_fit(),
@@ -63,4 +63,5 @@ fn main() {
     for (idx, w) in entries.iter().take(5) {
         println!("  {:?} -> {w:.4}", idx);
     }
+    Ok(())
 }

@@ -15,20 +15,35 @@
 //!
 //! # Quickstart
 //!
+//! Plan once, solve many times.  [`TuckerSolver::plan`](hooi::TuckerSolver::plan)
+//! runs the symbolic TTMc analysis exactly once and owns the thread pool
+//! plus the scratch workspace; every `solve` after that reuses all of it —
+//! at any rank, seed or TRSVD backend.  Failures are [`TuckerError`](hooi::TuckerError)
+//! values, never panics.
+//!
 //! ```
 //! use tucker_repro::prelude::*;
 //!
-//! // A small random sparse tensor and a rank-(4,4,4) Tucker decomposition.
-//! // `num_threads` sizes the scoped thread pool every parallel kernel of
-//! // the solver runs in (0 = all hardware threads); the same code path
+//! # fn main() -> Result<(), TuckerError> {
+//! // A small random sparse tensor, planned once.  `num_threads` sizes the
+//! // session's thread pool (0 = all hardware threads); the same code path
 //! // runs fully sequentially with `num_threads(1)`.
 //! let tensor = random_tensor(&[60, 50, 40], 3_000, 7);
-//! let config = TuckerConfig::new(vec![4, 4, 4])
-//!     .max_iterations(5)
-//!     .num_threads(2);
-//! let decomposition = tucker_hooi(&tensor, &config);
-//! assert_eq!(decomposition.core.dims(), &[4, 4, 4]);
-//! assert!(decomposition.final_fit() > 0.0);
+//! let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(2))?;
+//!
+//! // Solve at two rank configurations without re-planning: the second
+//! // solve pays zero symbolic cost.
+//! let coarse = solver.solve(&TuckerConfig::new(vec![4, 4, 4]).max_iterations(5))?;
+//! let fine = solver.solve(&TuckerConfig::new(vec![8, 6, 4]).max_iterations(5))?;
+//! assert_eq!(coarse.core.dims(), &[4, 4, 4]);
+//! assert_eq!(fine.timings.symbolic, std::time::Duration::ZERO);
+//! assert!(fine.final_fit() > 0.0);
+//!
+//! // One-shot convenience wrapper (plans, solves, discards the plan).
+//! let one_shot = tucker_hooi(&tensor, &TuckerConfig::new(vec![4, 4, 4]))?;
+//! assert_eq!(one_shot.core.dims(), &[4, 4, 4]);
+//! # Ok(())
+//! # }
 //! ```
 
 pub use datagen;
@@ -46,7 +61,10 @@ pub mod prelude {
     pub use distsim::{
         simulate_iteration, DistributedSetup, Grain, MachineModel, PartitionMethod, SimConfig,
     };
-    pub use hooi::{tucker_hooi, Initialization, TrsvdBackend, TuckerConfig, TuckerDecomposition};
+    pub use hooi::{
+        tucker_hooi, Initialization, IterationControl, IterationObserver, IterationReport,
+        PlanOptions, TrsvdBackend, TuckerConfig, TuckerDecomposition, TuckerError, TuckerSolver,
+    };
     pub use linalg::Matrix;
     pub use partition::{fine_grain_hypergraph, hypergraph::Hypergraph};
     pub use sptensor::{io::read_tns_file, io::write_tns_file, DenseTensor, SparseTensor};
@@ -60,7 +78,21 @@ mod tests {
     fn prelude_workflow_compiles_and_runs() {
         let tensor = random_tensor(&[20, 20, 20], 500, 1);
         let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2);
-        let d = tucker_hooi(&tensor, &config);
+        let d = tucker_hooi(&tensor, &config).unwrap();
         assert_eq!(d.factors.len(), 3);
+    }
+
+    #[test]
+    fn prelude_session_workflow_compiles_and_runs() {
+        let tensor = random_tensor(&[20, 20, 20], 500, 1);
+        let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1)).unwrap();
+        let results = solver
+            .solve_many(&[
+                TuckerConfig::new(vec![2, 2, 2]).max_iterations(2),
+                TuckerConfig::new(vec![3, 2, 2]).max_iterations(2),
+            ])
+            .unwrap();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].timings.symbolic, std::time::Duration::ZERO);
     }
 }

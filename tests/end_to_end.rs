@@ -11,7 +11,7 @@ fn full_pipeline_on_profile_tensor() {
     let profile = DatasetProfile::new(ProfileName::Netflix);
     let tensor = profile.generate(8_000, 1);
     let config = TuckerConfig::new(vec![6, 6, 6]).max_iterations(4).seed(2);
-    let result = tucker_hooi(&tensor, &config);
+    let result = tucker_hooi(&tensor, &config).unwrap();
 
     assert_eq!(result.core.dims(), &[6, 6, 6]);
     assert_eq!(result.factors.len(), 3);
@@ -32,7 +32,7 @@ fn distributed_simulation_matches_shared_memory_on_all_configurations() {
     let tensor = random_tensor(&[30, 25, 20], 1_200, 3);
     let ranks = vec![3, 3, 3];
     let tucker = TuckerConfig::new(ranks.clone()).max_iterations(2).seed(5);
-    let shared = tucker_hooi(&tensor, &tucker);
+    let shared = tucker_hooi(&tensor, &tucker).unwrap();
 
     for (grain, method) in [
         (Grain::Fine, PartitionMethod::Hypergraph),
@@ -42,7 +42,7 @@ fn distributed_simulation_matches_shared_memory_on_all_configurations() {
     ] {
         let config = SimConfig::new(6, grain, method, ranks.clone());
         let setup = DistributedSetup::build(&tensor, &config);
-        let dist = distsim::exec::distributed_hooi(&tensor, &setup, &tucker);
+        let dist = distsim::exec::distributed_hooi(&tensor, &setup, &tucker).unwrap();
         assert!(
             (dist.final_fit() - shared.final_fit()).abs() < 1e-8,
             "{grain:?}/{method:?}: distributed fit {} differs from shared {}",
@@ -81,8 +81,8 @@ fn hypergraph_partitioning_reduces_simulated_time_and_volume() {
 fn met_baseline_agrees_with_hooi() {
     let tensor = random_tensor(&[18, 15, 12], 700, 7);
     let config = TuckerConfig::new(vec![3, 3, 3]).max_iterations(3).seed(9);
-    let ours = tucker_hooi(&tensor, &config);
-    let met = hooi::met::tucker_met(&tensor, &config);
+    let ours = tucker_hooi(&tensor, &config).unwrap();
+    let met = hooi::met::tucker_met(&tensor, &config).unwrap();
     assert!((ours.final_fit() - met.final_fit()).abs() < 1e-3);
 }
 
@@ -96,9 +96,80 @@ fn tensor_io_roundtrip_preserves_decomposition_input() {
     assert_eq!(reloaded.nnz(), tensor.nnz());
 
     let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2).seed(1);
-    let a = tucker_hooi(&tensor, &config);
-    let b = tucker_hooi(&reloaded, &config);
+    let a = tucker_hooi(&tensor, &config).unwrap();
+    let b = tucker_hooi(&reloaded, &config).unwrap();
     assert!((a.final_fit() - b.final_fit()).abs() < 1e-9);
+}
+
+#[test]
+fn solver_session_serves_a_batch_across_the_whole_pipeline() {
+    // One plan, many configurations — the service-scale shape — checked
+    // end to end against the one-shot entry point.
+    let profile = DatasetProfile::new(ProfileName::Netflix);
+    let tensor = profile.generate(6_000, 3);
+    let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1)).unwrap();
+
+    let configs: Vec<TuckerConfig> = [2usize, 4, 6]
+        .iter()
+        .map(|&r| {
+            TuckerConfig::new(vec![r; 3])
+                .max_iterations(3)
+                .seed(r as u64)
+        })
+        .collect();
+    let batch = solver.solve_many(&configs).unwrap();
+    assert_eq!(batch.len(), 3);
+    for (result, config) in batch.iter().zip(configs.iter()) {
+        let one_shot = tucker_hooi(&tensor, config).unwrap();
+        assert_eq!(result.fits, one_shot.fits, "ranks {:?}", config.ranks);
+        assert_eq!(result.factors, one_shot.factors);
+    }
+    // Larger ranks explain at least as much of the tensor.
+    assert!(batch[2].final_fit() >= batch[0].final_fit() - 1e-9);
+    // Only the first solve of the session pays the symbolic cost.
+    assert!(batch[1].timings.symbolic.is_zero());
+    assert!(batch[2].timings.symbolic.is_zero());
+}
+
+#[test]
+fn solver_errors_are_values_across_the_facade() {
+    let empty = SparseTensor::new(vec![5, 5, 5]);
+    assert_eq!(
+        TuckerSolver::plan(&empty, PlanOptions::new()).unwrap_err(),
+        TuckerError::EmptyTensor
+    );
+    let tensor = random_tensor(&[10, 10, 10], 200, 7);
+    let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1)).unwrap();
+    assert!(matches!(
+        solver.solve(&TuckerConfig::new(vec![2, 2])),
+        Err(TuckerError::OrderMismatch { .. })
+    ));
+    assert!(matches!(
+        solver.solve(&TuckerConfig::new(vec![0, 2, 2])),
+        Err(TuckerError::ZeroRank { mode: 0 })
+    ));
+}
+
+#[test]
+fn observer_can_budget_iterations_from_outside() {
+    let tensor = random_tensor(&[20, 20, 20], 1_000, 5);
+    let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1)).unwrap();
+    let config = TuckerConfig::new(vec![3, 3, 3])
+        .max_iterations(25)
+        .fit_tolerance(-1.0);
+    let mut fits_seen = Vec::new();
+    let result = solver
+        .solve_with_observer(&config, &mut |r: &IterationReport| {
+            fits_seen.push(r.fit);
+            if fits_seen.len() >= 4 {
+                IterationControl::Stop
+            } else {
+                IterationControl::Continue
+            }
+        })
+        .unwrap();
+    assert_eq!(result.iterations, 4);
+    assert_eq!(fits_seen, result.fits);
 }
 
 #[test]
@@ -109,7 +180,7 @@ fn four_mode_profile_pipeline() {
     let config = TuckerConfig::new(vec![3, 3, 3, 3])
         .max_iterations(2)
         .seed(6);
-    let result = tucker_hooi(&tensor, &config);
+    let result = tucker_hooi(&tensor, &config).unwrap();
     assert_eq!(result.core.dims(), &[3, 3, 3, 3]);
 
     // And a 4-mode distributed simulation.

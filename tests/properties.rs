@@ -18,7 +18,7 @@ proptest! {
         rank in 1usize..4,
     ) {
         let config = TuckerConfig::new(vec![rank; 3]).max_iterations(2).seed(1);
-        let result = tucker_hooi(&tensor, &config);
+        let result = tucker_hooi(&tensor, &config).unwrap();
         for u in &result.factors {
             prop_assert!(linalg::qr::orthogonality_error(u) < 1e-5
                 // Rank-deficient slices can leave zero columns; the error is
@@ -195,6 +195,26 @@ proptest! {
     }
 
     #[test]
+    fn planned_session_solves_are_deterministic_and_reuse_symbolic(
+        tensor in small_tensor_strategy(),
+        rank in 1usize..4,
+    ) {
+        // Planning once and solving twice with the same configuration must
+        // yield identical factors, fits and core — workspace reuse may not
+        // leak state between solves — and the second solve must report zero
+        // symbolic time, because the plan's analysis is reused, not redone.
+        let config = TuckerConfig::new(vec![rank; 3]).max_iterations(3).seed(7);
+        let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1)).unwrap();
+        let first = solver.solve(&config).unwrap();
+        let second = solver.solve(&config).unwrap();
+        prop_assert_eq!(&first.fits, &second.fits);
+        prop_assert_eq!(&first.factors, &second.factors);
+        prop_assert_eq!(first.core.as_slice(), second.core.as_slice());
+        prop_assert!(first.timings.symbolic == solver.symbolic_time());
+        prop_assert!(second.timings.symbolic == std::time::Duration::ZERO);
+    }
+
+    #[test]
     fn fit_norm_identity_for_hooi_output(
         tensor in small_tensor_strategy(),
     ) {
@@ -202,7 +222,7 @@ proptest! {
         // norm-based fit must agree with the exact dense reconstruction
         // error on small tensors.
         let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2).seed(3);
-        let result = tucker_hooi(&tensor, &config);
+        let result = tucker_hooi(&tensor, &config).unwrap();
         let exact = hooi::fit::full_relative_error(&tensor, &result.core, &result.factors, 1_000_000);
         let from_norms = 1.0 - result.final_fit();
         prop_assert!((exact - from_norms).abs() < 1e-6,
