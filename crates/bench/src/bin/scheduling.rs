@@ -1,0 +1,105 @@
+//! Static versus dynamic scheduling on the Zipf-skewed dataset profiles.
+//!
+//! Two complementary views of the same question — does the persistent
+//! pool's chunked work stealing beat the old static equal-block splitting
+//! on skewed update-list distributions?
+//!
+//! 1. **Deterministic model**: per-mode max-worker-load of both policies
+//!    over the real update-list lengths (machine-independent; this is what
+//!    the CI-facing test in `bench::scheduling` gates on).
+//! 2. **Measured wall clock**: the numeric TTMc kernel timed on two real
+//!    pools of identical width, one built with `SchedulePolicy::Static`,
+//!    one with the default work-stealing policy.  On a single-core host
+//!    the two collapse to the same sequential code path — the model is the
+//!    signal there.
+//!
+//! Run with `cargo run --release -p bench --bin scheduling`; scale the
+//! nonzero budget with `HYPERTENSOR_NNZ`.
+
+use bench::scheduling::{
+    dynamic_chunked_schedule, shim_chunk_size, static_block_schedule, update_list_costs,
+};
+use bench::{print_header, profile_tensor, table_nnz};
+use datagen::ProfileName;
+use hooi::hosvd::random_factors;
+use hooi::symbolic::SymbolicTtmc;
+use hooi::ttmc::ttmc_mode;
+use rayon::{SchedulePolicy, ThreadPoolBuilder};
+use std::time::Instant;
+
+fn main() {
+    let nnz = table_nnz();
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = hw.min(4);
+    print_header(
+        "Static vs dynamic scheduling on skewed profiles",
+        &format!(
+            "update-list load model at 8 workers + measured TTMc at {threads} threads \
+             (host has {hw} hardware threads), ~{nnz} nonzeros per tensor"
+        ),
+    );
+
+    let static_pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .schedule_policy(SchedulePolicy::Static)
+        .build()
+        .expect("static pool");
+    let dynamic_pool = ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .expect("dynamic pool");
+
+    println!(
+        "{:<12} {:>4} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "tensor", "mode", "rows", "imb-static", "imb-dynamic", "ms-static", "ms-dynamic"
+    );
+    for name in ProfileName::all() {
+        let (profile, tensor) = profile_tensor(name, nnz, 42);
+        let sym = SymbolicTtmc::build(&tensor);
+        let factors = random_factors(tensor.dims(), profile.paper_ranks(), 7);
+        for mode in 0..tensor.order() {
+            let costs = update_list_costs(sym.mode(mode));
+            let model_workers = 8;
+            let s = static_block_schedule(&costs, model_workers);
+            let d = dynamic_chunked_schedule(
+                &costs,
+                model_workers,
+                shim_chunk_size(costs.len(), model_workers),
+            );
+
+            let time_with = |pool: &rayon::ThreadPool| -> f64 {
+                pool.install(|| {
+                    // One warm-up, then best of three.
+                    let _ = ttmc_mode(&tensor, sym.mode(mode), &factors, mode);
+                    (0..3)
+                        .map(|_| {
+                            let t0 = Instant::now();
+                            let _ = ttmc_mode(&tensor, sym.mode(mode), &factors, mode);
+                            t0.elapsed().as_secs_f64() * 1e3
+                        })
+                        .fold(f64::INFINITY, f64::min)
+                })
+            };
+            let ms_static = time_with(&static_pool);
+            let ms_dynamic = time_with(&dynamic_pool);
+
+            println!(
+                "{:<12} {:>4} {:>10} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
+                profile.name.as_str(),
+                mode,
+                costs.len(),
+                s.imbalance(),
+                d.imbalance(),
+                ms_static,
+                ms_dynamic
+            );
+        }
+    }
+    println!();
+    println!(
+        "imbalance = max worker load / average worker load under the deterministic model;\n\
+         ms columns are measured wall clock of the real kernel under each pool policy."
+    );
+}

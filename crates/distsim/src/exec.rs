@@ -32,6 +32,14 @@ use sptensor::SparseTensor;
 /// every rank computes its local compact result from its local tensor, and
 /// the partial rows are summed into the global compact layout given by
 /// `global_sym`.
+///
+/// The per-rank local computations are independent, so they run in parallel
+/// on the ambient persistent thread pool (install a `rayon::ThreadPool` to
+/// control the width) — the simulator's analogue of the ranks computing
+/// concurrently on their own nodes.  The merge then proceeds sequentially in
+/// rank order, exactly where the real implementation would communicate, so
+/// the floating-point summation order (and hence the result, bit for bit)
+/// is identical to the serial rank loop.
 pub fn distributed_ttmc(
     tensor: &SparseTensor,
     setup: &DistributedSetup,
@@ -39,32 +47,56 @@ pub fn distributed_ttmc(
     factors: &[Matrix],
     mode: usize,
 ) -> Matrix {
+    use rayon::prelude::*;
+
     let width = ttmc_result_width(factors, mode);
     let sym_mode = global_sym.mode(mode);
     let mut merged = Matrix::zeros(sym_mode.num_rows(), width);
 
-    for rank in 0..setup.config.num_ranks {
-        let ids = setup.nonzeros_for(mode, rank);
-        if ids.is_empty() {
-            continue;
-        }
-        // The rank's local tensor and its local symbolic data.
-        let local = tensor.subset(ids);
-        let local_sym = hooi::symbolic::SymbolicMode::build(&local, mode);
-        let local_compact = ttmc_mode_sequential(&local, &local_sym, factors, mode);
-        // Merge: add each local row into the global row with the same
-        // mode-`mode` index (this is the communication the fine-grain
-        // algorithm folds into the TRSVD solver; for the coarse-grain
-        // algorithm the row sets are disjoint so this is a pure gather).
-        for (p, &i) in local_sym.rows.iter().enumerate() {
-            let g = sym_mode
-                .position_of(i)
-                .expect("local row must exist in the global symbolic data");
-            let dst = merged.row_mut(g);
-            for (d, &s) in dst.iter_mut().zip(local_compact.row(p)) {
-                *d += s;
+    // Ranks are processed in batches: each batch's local tensors, symbolic
+    // data and compact TTMc results are computed in parallel, then merged
+    // sequentially in rank order before the next batch starts.  Batching
+    // caps the retained per-rank intermediates at a small multiple of the
+    // thread count instead of `num_ranks`, while the rank-ordered merge
+    // keeps the summation order of the old serial loop.
+    let num_ranks = setup.config.num_ranks;
+    let batch = rayon::current_num_threads().max(1) * 2;
+    let mut first = 0;
+    while first < num_ranks {
+        let upto = (first + batch).min(num_ranks);
+
+        // Phase 1 (parallel, per rank of the batch).
+        let locals: Vec<Option<(hooi::symbolic::SymbolicMode, Matrix)>> = (first..upto)
+            .into_par_iter()
+            .map(|rank| {
+                let ids = setup.nonzeros_for(mode, rank);
+                if ids.is_empty() {
+                    return None;
+                }
+                let local = tensor.subset(ids);
+                let local_sym = hooi::symbolic::SymbolicMode::build(&local, mode);
+                let local_compact = ttmc_mode_sequential(&local, &local_sym, factors, mode);
+                Some((local_sym, local_compact))
+            })
+            .collect();
+
+        // Phase 2 (sequential, rank order): add each local row into the
+        // global row with the same mode-`mode` index (this is the
+        // communication the fine-grain algorithm folds into the TRSVD
+        // solver; for the coarse-grain algorithm the row sets are disjoint
+        // so this is a pure gather).
+        for (local_sym, local_compact) in locals.into_iter().flatten() {
+            for (p, &i) in local_sym.rows.iter().enumerate() {
+                let g = sym_mode
+                    .position_of(i)
+                    .expect("local row must exist in the global symbolic data");
+                let dst = merged.row_mut(g);
+                for (d, &s) in dst.iter_mut().zip(local_compact.row(p)) {
+                    *d += s;
+                }
             }
         }
+        first = upto;
     }
     merged
 }
@@ -190,6 +222,35 @@ mod tests {
                     "{method:?} mode {mode}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn rank_parallelism_does_not_change_the_merge() {
+        // The per-rank computations run on the ambient pool, but the merge
+        // is sequential in rank order, so the result must be bit-identical
+        // at any pool width.
+        let t = tensor();
+        let factors = factors_for(&t, &[3, 3, 3], 11);
+        let sym = SymbolicTtmc::build(&t);
+        let config = SimConfig::new(6, Grain::Fine, PartitionMethod::Random, vec![3, 3, 3]);
+        let setup = DistributedSetup::build(&t, &config);
+        let wide = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        let narrow = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        for mode in 0..3 {
+            let a = wide.install(|| distributed_ttmc(&t, &setup, &sym, &factors, mode));
+            let b = narrow.install(|| distributed_ttmc(&t, &setup, &sym, &factors, mode));
+            assert_eq!(a.shape(), b.shape());
+            assert!(
+                a.frobenius_distance(&b) == 0.0,
+                "mode {mode}: parallel and serial rank loops diverged"
+            );
         }
     }
 

@@ -35,8 +35,10 @@ pub enum TuckerError {
         /// The offending mode.
         mode: usize,
     },
-    /// The solver's thread pool could not be built.
-    ThreadPool(String),
+    /// The solver's thread pool could not be built; carries the pool
+    /// runtime's reason (e.g. an absurd thread count or an OS spawn
+    /// failure).
+    PoolFailure(String),
 }
 
 impl fmt::Display for TuckerError {
@@ -55,7 +57,7 @@ impl fmt::Display for TuckerError {
             TuckerError::ZeroRank { mode } => {
                 write!(f, "requested rank for mode {mode} is zero")
             }
-            TuckerError::ThreadPool(reason) => {
+            TuckerError::PoolFailure(reason) => {
                 write!(f, "failed to build the solver thread pool: {reason}")
             }
         }
@@ -80,9 +82,25 @@ mod tests {
         assert!(TuckerError::ZeroRank { mode: 1 }
             .to_string()
             .contains("mode 1"));
-        assert!(TuckerError::ThreadPool("oom".into())
+        assert!(TuckerError::PoolFailure("oom".into())
             .to_string()
             .contains("oom"));
+    }
+
+    #[test]
+    fn pool_build_errors_surface_the_builders_reason() {
+        // The rayon shim's build error carries a message; planning must
+        // forward it verbatim inside `PoolFailure`.
+        let build_err = rayon::ThreadPoolBuilder::new()
+            .num_threads(usize::MAX)
+            .build()
+            .unwrap_err();
+        let mapped = TuckerError::PoolFailure(build_err.to_string());
+        let msg = mapped.to_string();
+        assert!(
+            msg.contains("at most"),
+            "mapped error lost the builder's reason: {msg}"
+        );
     }
 
     #[test]

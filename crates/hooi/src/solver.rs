@@ -4,8 +4,11 @@
 //! one-time *symbolic TTMc* step.  A one-shot `tucker_hooi` call throws
 //! that work away after every decomposition; [`TuckerSolver`] keeps it.
 //! [`TuckerSolver::plan`] performs the symbolic analysis once and owns the
-//! thread pool plus the [`HooiWorkspace`] scratch (compact TTMc buffers,
-//! Lanczos bases, the projected TRSVD problem, the core buffer);
+//! persistent worker pool (threads spawn at plan time and serve every
+//! solve — [`TimingBreakdown::pool`](crate::TimingBreakdown::pool) is
+//! nonzero only on the first solve) plus the [`HooiWorkspace`] scratch
+//! (compact TTMc buffers, Lanczos bases, the projected TRSVD problem, the
+//! core buffer);
 //! [`TuckerSolver::solve`] then runs HOOI at any rank/seed/backend without
 //! re-planning, and [`TuckerSolver::solve_many`] amortizes one plan across
 //! a batch of configurations — the shape a long-lived decomposition service
@@ -164,24 +167,31 @@ pub struct TuckerSolver<'a> {
     workspace: HooiWorkspace,
     tensor_norm: f64,
     symbolic_time: Duration,
+    pool_build_time: Duration,
     completed_solves: usize,
 }
 
 impl<'a> TuckerSolver<'a> {
-    /// Plans a session: validates the tensor, builds the thread pool, and
-    /// runs the symbolic TTMc analysis (inside the pool) exactly once.
+    /// Plans a session: validates the tensor, spawns the session's
+    /// persistent worker pool, and runs the symbolic TTMc analysis (inside
+    /// the pool) exactly once.  Worker threads live until the solver is
+    /// dropped, so every solve of the session reuses them — the startup
+    /// cost shows up once, in the first solve's
+    /// [`TimingBreakdown::pool`](crate::TimingBreakdown::pool).
     ///
     /// Returns [`TuckerError::EmptyTensor`] for a tensor with no modes or
-    /// no stored nonzeros and [`TuckerError::ThreadPool`] if the pool
-    /// cannot be built.
+    /// no stored nonzeros and [`TuckerError::PoolFailure`] (carrying the
+    /// pool runtime's reason) if the pool cannot be built.
     pub fn plan(tensor: &'a SparseTensor, options: PlanOptions) -> Result<Self, TuckerError> {
         if tensor.order() == 0 || tensor.nnz() == 0 {
             return Err(TuckerError::EmptyTensor);
         }
+        let t_pool = Instant::now();
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(options.num_threads)
             .build()
-            .map_err(|e| TuckerError::ThreadPool(e.to_string()))?;
+            .map_err(|e| TuckerError::PoolFailure(e.to_string()))?;
+        let pool_build_time = t_pool.elapsed();
         let t0 = Instant::now();
         let symbolic = pool.install(|| SymbolicTtmc::build(tensor));
         let symbolic_time = t0.elapsed();
@@ -192,6 +202,7 @@ impl<'a> TuckerSolver<'a> {
             symbolic,
             pool,
             symbolic_time,
+            pool_build_time,
             completed_solves: 0,
         })
     }
@@ -209,6 +220,12 @@ impl<'a> TuckerSolver<'a> {
     /// Wall-clock time the one-time symbolic analysis took.
     pub fn symbolic_time(&self) -> Duration {
         self.symbolic_time
+    }
+
+    /// Wall-clock time spawning the session's persistent worker pool took
+    /// (paid once at plan time; solves reuse the workers).
+    pub fn pool_build_time(&self) -> Duration {
+        self.pool_build_time
     }
 
     /// Worker thread count of the session's pool.
@@ -248,10 +265,13 @@ impl<'a> TuckerSolver<'a> {
         observer: &mut dyn IterationObserver,
     ) -> Result<TuckerDecomposition, TuckerError> {
         let ranks = self.validate(config)?;
-        let symbolic_time = if self.completed_solves == 0 {
-            self.symbolic_time
+        // Plan-time costs are charged to the first completed solve only:
+        // later solves reuse the symbolic analysis and the persistent
+        // workers, and their breakdowns say so by reporting zero here.
+        let (symbolic_time, pool_time) = if self.completed_solves == 0 {
+            (self.symbolic_time, self.pool_build_time)
         } else {
-            Duration::ZERO
+            (Duration::ZERO, Duration::ZERO)
         };
         let tensor = self.tensor;
         let tensor_norm = self.tensor_norm;
@@ -266,6 +286,7 @@ impl<'a> TuckerSolver<'a> {
                 &ranks,
                 config,
                 symbolic_time,
+                pool_time,
                 observer,
             )
         });
@@ -274,7 +295,10 @@ impl<'a> TuckerSolver<'a> {
     }
 
     /// Runs a batch of configurations against one plan — the service-scale
-    /// shape (one tensor, many rank/seed requests).
+    /// shape (one tensor, many rank/seed requests).  The session's
+    /// persistent workers serve the whole batch; no threads are spawned
+    /// between requests, and every result after the first reports
+    /// [`Duration::ZERO`] pool and symbolic time.
     ///
     /// The whole batch is validated up front, so either every configuration
     /// runs or none does and the first offending configuration's error is
@@ -315,11 +339,13 @@ pub(crate) fn run_hooi(
     ranks: &[usize],
     config: &TuckerConfig,
     symbolic_time: Duration,
+    pool_time: Duration,
     observer: &mut dyn IterationObserver,
 ) -> TuckerDecomposition {
     let order = tensor.order();
     let mut timings = TimingBreakdown {
         symbolic: symbolic_time,
+        pool: pool_time,
         ..TimingBreakdown::default()
     };
 
@@ -460,8 +486,25 @@ mod tests {
         let first = solver.solve(&config).unwrap();
         let second = solver.solve(&config).unwrap();
         assert_eq!(first.timings.symbolic, solver.symbolic_time());
+        assert_eq!(first.timings.pool, solver.pool_build_time());
         assert_eq!(second.timings.symbolic, Duration::ZERO);
+        assert_eq!(second.timings.pool, Duration::ZERO);
         assert_eq!(solver.completed_solves(), 2);
+    }
+
+    #[test]
+    fn pool_build_failure_is_a_pool_failure_value() {
+        let t = random_tensor(&[10, 10, 10], 200, 5);
+        let err = TuckerSolver::plan(&t, PlanOptions::new().num_threads(usize::MAX)).unwrap_err();
+        match err {
+            TuckerError::PoolFailure(reason) => {
+                assert!(
+                    reason.contains("at most"),
+                    "reason should name the limit: {reason}"
+                );
+            }
+            other => panic!("expected PoolFailure, got {other:?}"),
+        }
     }
 
     #[test]

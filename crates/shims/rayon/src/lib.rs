@@ -1,695 +1,44 @@
 //! Offline stand-in for the `rayon` crate.
 //!
 //! The build environment has no access to crates.io, so the workspace ships
-//! this minimal data-parallelism runtime with the subset of the rayon API the
+//! this data-parallelism runtime with the subset of the rayon API the
 //! repository uses: `par_iter_mut`, `par_chunks_mut`, `into_par_iter` on
-//! ranges (with `map`/`chunks`/`collect`/`reduce`/`for_each_init`),
-//! [`current_num_threads`], and [`ThreadPoolBuilder`] / [`ThreadPool`] with
-//! `install`.
+//! ranges and vectors (with `map`/`chunks`/`collect`/`reduce`/
+//! `for_each_init`), [`current_num_threads`], [`join`], [`scope`], and
+//! [`ThreadPoolBuilder`] / [`ThreadPool`] with `install`.
 //!
-//! Unlike a mock, this is a *real* parallel runtime: every adapter splits its
-//! input into one contiguous block per worker and runs the blocks on scoped
-//! OS threads (`std::thread::scope`), with the calling thread acting as
-//! worker 0.  The number of workers is taken from the innermost
-//! [`ThreadPool::install`] scope, so a pool built with `num_threads(1)`
-//! executes the *same code path* fully sequentially — exactly the property
-//! the workspace's thread-scaling experiments need.  Work splitting is
-//! static (contiguous blocks) rather than work-stealing; for the
-//! row-parallel kernels in this workspace that is within a few percent of
-//! rayon's dynamic scheduling.
+//! Unlike a mock, this is a *real* parallel runtime — and since the rewrite
+//! in [`pool`] it is a **persistent work-stealing one**: a pool's worker
+//! threads are spawned once at build time and every parallel region reuses
+//! them; each region's index space is cut into chunked spans dealt to
+//! per-participant deques, and idle participants steal from busy ones.  On
+//! the skewed update-list distributions of this workspace's tensors (the
+//! paper's Delicious/Flickr profiles) that dynamic scheduling is what keeps
+//! all threads busy; the old per-call scoped threads with static equal
+//! blocks are preserved behind [`SchedulePolicy::Static`] as a measurable
+//! baseline.
+//!
+//! The thread count of a region is taken from the innermost
+//! [`ThreadPool::install`] scope (the implicit machine-default global pool
+//! otherwise), and a pool built with `num_threads(1)` executes the *same
+//! code path* fully sequentially on the calling thread — exactly the
+//! property the workspace's thread-scaling experiments need.  Nested
+//! parallel adapters inside a span run sequentially instead of
+//! oversubscribing; a nested `install` on a pool opens a fresh parallel
+//! region on that pool (safe because a region's submitter always
+//! participates in draining it).
 
-use std::cell::Cell;
-use std::ops::Range;
+pub mod iter;
+pub mod pool;
 
-thread_local! {
-    /// Worker count of the innermost `install` scope; 0 means "unset, use
-    /// the machine default".
-    static CURRENT_THREADS: Cell<usize> = const { Cell::new(0) };
-}
-
-fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-}
-
-/// Number of threads the current scope parallelizes over (mirrors
-/// `rayon::current_num_threads`).
-pub fn current_num_threads() -> usize {
-    let set = CURRENT_THREADS.with(|c| c.get());
-    if set == 0 {
-        default_threads()
-    } else {
-        set
-    }
-}
-
-/// Restores the previous thread-count on drop, so panics inside `install`
-/// cannot leak the setting.
-struct ThreadCountGuard {
-    previous: usize,
-}
-
-impl ThreadCountGuard {
-    fn set(n: usize) -> Self {
-        let previous = CURRENT_THREADS.with(|c| c.replace(n));
-        ThreadCountGuard { previous }
-    }
-}
-
-impl Drop for ThreadCountGuard {
-    fn drop(&mut self) {
-        CURRENT_THREADS.with(|c| c.set(self.previous));
-    }
-}
-
-/// Error type of [`ThreadPoolBuilder::build`]; this stand-in cannot actually
-/// fail, the type exists for API compatibility.
-#[derive(Debug)]
-pub struct ThreadPoolBuildError(());
-
-impl std::fmt::Display for ThreadPoolBuildError {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("thread pool build error")
-    }
-}
-
-impl std::error::Error for ThreadPoolBuildError {}
-
-/// Builder for a [`ThreadPool`] (mirrors `rayon::ThreadPoolBuilder`).
-#[derive(Debug, Default)]
-pub struct ThreadPoolBuilder {
-    num_threads: usize,
-}
-
-impl ThreadPoolBuilder {
-    /// Creates a builder with the machine-default thread count.
-    pub fn new() -> Self {
-        ThreadPoolBuilder::default()
-    }
-
-    /// Sets the worker count; 0 means the machine default.
-    pub fn num_threads(mut self, n: usize) -> Self {
-        self.num_threads = n;
-        self
-    }
-
-    /// Builds the pool.  Never fails in this stand-in.
-    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
-        let n = if self.num_threads == 0 {
-            default_threads()
-        } else {
-            self.num_threads
-        };
-        Ok(ThreadPool { num_threads: n })
-    }
-}
-
-/// A handle fixing the worker count for everything run under
-/// [`install`](ThreadPool::install).
-///
-/// The stand-in keeps no persistent worker threads: workers are scoped
-/// threads spawned per parallel call, which keeps the implementation tiny at
-/// the cost of ~10µs spawn overhead per call — irrelevant next to the
-/// millisecond-scale kernels this workspace parallelizes.
-#[derive(Debug)]
-pub struct ThreadPool {
-    num_threads: usize,
-}
-
-impl ThreadPool {
-    /// Runs `f` with this pool's thread count governing every parallel
-    /// adapter reached from it (including nested calls).
-    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
-        let _guard = ThreadCountGuard::set(self.num_threads);
-        f()
-    }
-
-    /// This pool's worker count.
-    pub fn current_num_threads(&self) -> usize {
-        self.num_threads
-    }
-}
-
-/// Balanced contiguous split: the half-open sub-range of `0..len` owned by
-/// worker `w` of `workers`.
-fn worker_slice(len: usize, workers: usize, w: usize) -> Range<usize> {
-    let base = len / workers;
-    let extra = len % workers;
-    let start = w * base + w.min(extra);
-    let end = start + base + usize::from(w < extra);
-    start..end
-}
-
-/// Runs `work(w)` for every worker `0..workers`, worker 0 on the calling
-/// thread, and returns the results in worker order.
-fn run_workers<T: Send>(workers: usize, work: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    if workers <= 1 {
-        return vec![work(0)];
-    }
-    std::thread::scope(|scope| {
-        let work = &work;
-        let handles: Vec<_> = (1..workers)
-            .map(|w| {
-                scope.spawn(move || {
-                    // Nested parallel calls inside a worker run sequentially
-                    // instead of oversubscribing the machine.
-                    let _guard = ThreadCountGuard::set(1);
-                    work(w)
-                })
-            })
-            .collect();
-        let mut results = Vec::with_capacity(workers);
-        results.push({
-            // Worker 0 is the calling thread; guard it like the spawned
-            // workers so nested parallel calls stay sequential on every
-            // worker.
-            let _guard = ThreadCountGuard::set(1);
-            work(0)
-        });
-        for handle in handles {
-            results.push(handle.join().expect("parallel worker panicked"));
-        }
-        results
-    })
-}
-
-fn clamp_workers(tasks: usize) -> usize {
-    current_num_threads().clamp(1, tasks.max(1))
-}
-
-/// Conversion into a parallel iterator (mirrors
-/// `rayon::iter::IntoParallelIterator` for the types the workspace uses).
-pub trait IntoParallelIterator {
-    /// The parallel iterator type.
-    type Iter;
-    /// Converts `self`.
-    fn into_par_iter(self) -> Self::Iter;
-}
-
-impl IntoParallelIterator for Range<usize> {
-    type Iter = ParRange;
-    fn into_par_iter(self) -> ParRange {
-        ParRange { range: self }
-    }
-}
-
-impl<T: Send> IntoParallelIterator for Vec<T> {
-    type Iter = ParVec<T>;
-    fn into_par_iter(self) -> ParVec<T> {
-        ParVec { items: self }
-    }
-}
-
-/// Parallel iterator over `Range<usize>`.
-pub struct ParRange {
-    range: Range<usize>,
-}
-
-impl ParRange {
-    /// Maps every index through `f`.
-    pub fn map<T, F>(self, f: F) -> ParRangeMap<F>
-    where
-        T: Send,
-        F: Fn(usize) -> T + Sync,
-    {
-        ParRangeMap {
-            range: self.range,
-            f,
-        }
-    }
-
-    /// Groups the indices into consecutive chunks of `size` (the last chunk
-    /// may be shorter); each chunk is one item downstream.
-    pub fn chunks(self, size: usize) -> ParRangeChunks {
-        assert!(size > 0, "chunk size must be positive");
-        ParRangeChunks {
-            range: self.range,
-            size,
-        }
-    }
-
-    /// Runs `f` on every index.
-    pub fn for_each<F>(self, f: F)
-    where
-        F: Fn(usize) + Sync,
-    {
-        let start = self.range.start;
-        let len = self.range.len();
-        let workers = clamp_workers(len);
-        run_workers(workers, |w| {
-            for i in worker_slice(len, workers, w) {
-                f(start + i);
-            }
-        });
-    }
-}
-
-/// `map` adapter over a parallel range.
-pub struct ParRangeMap<F> {
-    range: Range<usize>,
-    f: F,
-}
-
-impl<F> ParRangeMap<F> {
-    /// Collects the mapped values in index order.
-    pub fn collect<T, C>(self) -> C
-    where
-        T: Send,
-        F: Fn(usize) -> T + Sync,
-        C: From<Vec<T>>,
-    {
-        let start = self.range.start;
-        let len = self.range.len();
-        let workers = clamp_workers(len);
-        let f = &self.f;
-        let parts = run_workers(workers, |w| {
-            worker_slice(len, workers, w)
-                .map(|i| f(start + i))
-                .collect::<Vec<T>>()
-        });
-        let mut out = Vec::with_capacity(len);
-        for part in parts {
-            out.extend(part);
-        }
-        C::from(out)
-    }
-
-    /// Folds the mapped values with `op`, seeding every worker with
-    /// `identity()`.
-    pub fn reduce<T>(self, identity: impl Fn() -> T + Sync, op: impl Fn(T, T) -> T + Sync) -> T
-    where
-        T: Send,
-        F: Fn(usize) -> T + Sync,
-    {
-        let start = self.range.start;
-        let len = self.range.len();
-        let workers = clamp_workers(len);
-        let f = &self.f;
-        let parts = run_workers(workers, |w| {
-            let mut acc = identity();
-            for i in worker_slice(len, workers, w) {
-                acc = op(acc, f(start + i));
-            }
-            acc
-        });
-        parts.into_iter().fold(identity(), &op)
-    }
-
-    /// Sums the mapped values.
-    pub fn sum<T>(self) -> T
-    where
-        T: Send + std::iter::Sum<T> + std::ops::Add<Output = T> + Default,
-        F: Fn(usize) -> T + Sync,
-    {
-        self.reduce(T::default, |a, b| a + b)
-    }
-}
-
-/// `chunks` adapter over a parallel range: items are `Vec<usize>` index
-/// chunks.
-pub struct ParRangeChunks {
-    range: Range<usize>,
-    size: usize,
-}
-
-impl ParRangeChunks {
-    /// Maps every index chunk through `f`.
-    pub fn map<T, F>(self, f: F) -> ParRangeChunksMap<F>
-    where
-        T: Send,
-        F: Fn(Vec<usize>) -> T + Sync,
-    {
-        ParRangeChunksMap {
-            range: self.range,
-            size: self.size,
-            f,
-        }
-    }
-}
-
-/// `chunks(..).map(..)` adapter over a parallel range.
-pub struct ParRangeChunksMap<F> {
-    range: Range<usize>,
-    size: usize,
-    f: F,
-}
-
-impl<F> ParRangeChunksMap<F> {
-    /// Folds the mapped chunk values with `op`, seeding every worker with
-    /// `identity()`.
-    pub fn reduce<T>(self, identity: impl Fn() -> T + Sync, op: impl Fn(T, T) -> T + Sync) -> T
-    where
-        T: Send,
-        F: Fn(Vec<usize>) -> T + Sync,
-    {
-        let start = self.range.start;
-        let len = self.range.len();
-        let num_chunks = len.div_ceil(self.size);
-        let workers = clamp_workers(num_chunks);
-        let f = &self.f;
-        let size = self.size;
-        let parts = run_workers(workers, |w| {
-            let mut acc = identity();
-            for c in worker_slice(num_chunks, workers, w) {
-                let lo = start + c * size;
-                let hi = (lo + size).min(start + len);
-                acc = op(acc, f((lo..hi).collect()));
-            }
-            acc
-        });
-        parts.into_iter().fold(identity(), &op)
-    }
-
-    /// Collects the mapped chunk values in chunk order.
-    pub fn collect<T, C>(self) -> C
-    where
-        T: Send,
-        F: Fn(Vec<usize>) -> T + Sync,
-        C: From<Vec<T>>,
-    {
-        let start = self.range.start;
-        let len = self.range.len();
-        let num_chunks = len.div_ceil(self.size);
-        let workers = clamp_workers(num_chunks);
-        let f = &self.f;
-        let size = self.size;
-        let parts = run_workers(workers, |w| {
-            worker_slice(num_chunks, workers, w)
-                .map(|c| {
-                    let lo = start + c * size;
-                    let hi = (lo + size).min(start + len);
-                    f((lo..hi).collect())
-                })
-                .collect::<Vec<T>>()
-        });
-        let mut out = Vec::with_capacity(num_chunks);
-        for part in parts {
-            out.extend(part);
-        }
-        C::from(out)
-    }
-}
-
-/// Parallel iterator over an owned `Vec`.
-pub struct ParVec<T> {
-    items: Vec<T>,
-}
-
-impl<T: Send> ParVec<T> {
-    /// Maps every element through `f` and collects in order.
-    pub fn map<U, F>(self, f: F) -> ParVecMap<T, F>
-    where
-        U: Send,
-        F: Fn(T) -> U + Sync,
-    {
-        ParVecMap {
-            items: self.items,
-            f,
-        }
-    }
-
-    /// Runs `f` on every element.
-    pub fn for_each<F>(self, f: F)
-    where
-        F: Fn(T) + Sync,
-    {
-        self.map(f).collect::<(), Vec<()>>();
-    }
-}
-
-/// `map` adapter over an owned `Vec`.
-pub struct ParVecMap<T, F> {
-    items: Vec<T>,
-    f: F,
-}
-
-impl<T: Send, F> ParVecMap<T, F> {
-    /// Collects the mapped values in input order.
-    pub fn collect<U, C>(self) -> C
-    where
-        U: Send,
-        F: Fn(T) -> U + Sync,
-        C: From<Vec<U>>,
-    {
-        let len = self.items.len();
-        let workers = clamp_workers(len);
-        let f = &self.f;
-        // Hand each worker an owned block of the input, preserving order.
-        let mut blocks: Vec<(usize, Vec<T>)> = Vec::with_capacity(workers);
-        let mut items = self.items;
-        for w in (0..workers).rev() {
-            let slice = worker_slice(len, workers, w);
-            blocks.push((w, items.split_off(slice.start)));
-        }
-        let parts = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            let mut first = None;
-            for (w, block) in blocks.into_iter().rev() {
-                if w == 0 {
-                    first = Some(block);
-                } else {
-                    handles.push(scope.spawn(move || {
-                        let _guard = ThreadCountGuard::set(1);
-                        block.into_iter().map(f).collect::<Vec<U>>()
-                    }));
-                }
-            }
-            let mut results = Vec::with_capacity(workers);
-            results.push({
-                // Guard worker 0 (the calling thread) like the spawned
-                // workers when actually fanning out.
-                let _guard = (workers > 1).then(|| ThreadCountGuard::set(1));
-                first
-                    .expect("worker 0 block")
-                    .into_iter()
-                    .map(f)
-                    .collect::<Vec<U>>()
-            });
-            for handle in handles {
-                results.push(handle.join().expect("parallel worker panicked"));
-            }
-            results
-        });
-        let mut out = Vec::with_capacity(len);
-        for part in parts {
-            out.extend(part);
-        }
-        C::from(out)
-    }
-}
-
-/// Mutable-slice parallelism (mirrors `rayon::slice::ParallelSliceMut`).
-pub trait ParallelSliceMut<T: Send> {
-    /// Parallel iterator over `&mut` elements.
-    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
-    /// Parallel iterator over non-overlapping `&mut` chunks of `chunk_size`
-    /// (the last chunk may be shorter).
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T>;
-}
-
-impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
-        ParIterMut { slice: self }
-    }
-
-    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParChunksMut<'_, T> {
-        assert!(chunk_size > 0, "chunk size must be positive");
-        ParChunksMut {
-            slice: self,
-            chunk_size,
-        }
-    }
-}
-
-/// Splits `slice` into one contiguous sub-slice per worker, tagged with its
-/// global element offset.
-fn split_for_workers<T>(slice: &mut [T], workers: usize) -> Vec<(usize, &mut [T])> {
-    let len = slice.len();
-    let mut parts = Vec::with_capacity(workers);
-    let mut rest = slice;
-    let mut offset = 0;
-    for w in 0..workers {
-        let take = worker_slice(len, workers, w).len();
-        let (head, tail) = rest.split_at_mut(take);
-        parts.push((offset, head));
-        offset += take;
-        rest = tail;
-    }
-    parts
-}
-
-/// Runs one closure per worker over tagged sub-slices, worker 0 on the
-/// calling thread.
-fn run_slice_workers<T: Send>(
-    parts: Vec<(usize, &mut [T])>,
-    work: impl Fn(usize, &mut [T]) + Sync,
-) {
-    if parts.len() <= 1 {
-        for (offset, part) in parts {
-            work(offset, part);
-        }
-        return;
-    }
-    std::thread::scope(|scope| {
-        let work = &work;
-        let mut first = None;
-        let mut handles = Vec::new();
-        for (w, (offset, part)) in parts.into_iter().enumerate() {
-            if w == 0 {
-                first = Some((offset, part));
-            } else {
-                handles.push(scope.spawn(move || {
-                    let _guard = ThreadCountGuard::set(1);
-                    work(offset, part);
-                }));
-            }
-        }
-        if let Some((offset, part)) = first {
-            // Worker 0 is the calling thread; guard it like the spawned
-            // workers.
-            let _guard = ThreadCountGuard::set(1);
-            work(offset, part);
-        }
-        for handle in handles {
-            handle.join().expect("parallel worker panicked");
-        }
-    });
-}
-
-/// Parallel iterator over `&mut` elements of a slice.
-pub struct ParIterMut<'a, T> {
-    slice: &'a mut [T],
-}
-
-impl<'a, T: Send> ParIterMut<'a, T> {
-    /// Pairs every element with its index.
-    pub fn enumerate(self) -> ParIterMutEnumerate<'a, T> {
-        ParIterMutEnumerate { slice: self.slice }
-    }
-
-    /// Runs `f` on every element.
-    pub fn for_each(self, f: impl Fn(&mut T) + Sync) {
-        self.enumerate().for_each(|(_, item)| f(item));
-    }
-}
-
-/// Enumerated parallel iterator over `&mut` elements.
-pub struct ParIterMutEnumerate<'a, T> {
-    slice: &'a mut [T],
-}
-
-impl<T: Send> ParIterMutEnumerate<'_, T> {
-    /// Runs `f` on every `(index, &mut element)` pair.
-    pub fn for_each(self, f: impl Fn((usize, &mut T)) + Sync) {
-        let workers = clamp_workers(self.slice.len());
-        let parts = split_for_workers(self.slice, workers);
-        run_slice_workers(parts, |offset, part| {
-            for (j, item) in part.iter_mut().enumerate() {
-                f((offset + j, item));
-            }
-        });
-    }
-}
-
-/// Parallel iterator over `&mut` chunks of a slice.
-pub struct ParChunksMut<'a, T> {
-    slice: &'a mut [T],
-    chunk_size: usize,
-}
-
-impl<'a, T: Send> ParChunksMut<'a, T> {
-    /// Pairs every chunk with its chunk index.
-    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
-        ParChunksMutEnumerate {
-            slice: self.slice,
-            chunk_size: self.chunk_size,
-        }
-    }
-
-    /// Runs `f` on every chunk.
-    pub fn for_each(self, f: impl Fn(&mut [T]) + Sync) {
-        self.enumerate().for_each(|(_, chunk)| f(chunk));
-    }
-}
-
-/// Enumerated parallel iterator over `&mut` chunks.
-pub struct ParChunksMutEnumerate<'a, T> {
-    slice: &'a mut [T],
-    chunk_size: usize,
-}
-
-impl<T: Send> ParChunksMutEnumerate<'_, T> {
-    /// Runs `f` on every `(chunk_index, &mut chunk)` pair.
-    pub fn for_each(self, f: impl Fn((usize, &mut [T])) + Sync) {
-        self.for_each_init(|| (), |(), item| f(item));
-    }
-
-    /// Runs `f` on every `(chunk_index, &mut chunk)` pair with one `init()`
-    /// state per worker — the scratch-buffer amortization pattern.
-    pub fn for_each_init<S>(
-        self,
-        init: impl Fn() -> S + Sync,
-        f: impl Fn(&mut S, (usize, &mut [T])) + Sync,
-    ) {
-        let chunk_size = self.chunk_size;
-        let len = self.slice.len();
-        let num_chunks = len.div_ceil(chunk_size);
-        let workers = clamp_workers(num_chunks);
-        // Split at whole-chunk boundaries so chunks never straddle workers.
-        let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(workers);
-        let mut rest = self.slice;
-        let mut chunk_offset = 0;
-        for w in 0..workers {
-            let chunks_here = worker_slice(num_chunks, workers, w).len();
-            let take = (chunks_here * chunk_size).min(rest.len());
-            let (head, tail) = rest.split_at_mut(take);
-            parts.push((chunk_offset, head));
-            chunk_offset += chunks_here;
-            rest = tail;
-        }
-        if parts.len() <= 1 {
-            for (first_chunk, part) in parts {
-                let mut state = init();
-                for (j, chunk) in part.chunks_mut(chunk_size).enumerate() {
-                    f(&mut state, (first_chunk + j, chunk));
-                }
-            }
-            return;
-        }
-        std::thread::scope(|scope| {
-            let f = &f;
-            let init = &init;
-            let mut first = None;
-            let mut handles = Vec::new();
-            for (w, (first_chunk, part)) in parts.into_iter().enumerate() {
-                if w == 0 {
-                    first = Some((first_chunk, part));
-                } else {
-                    handles.push(scope.spawn(move || {
-                        let _guard = ThreadCountGuard::set(1);
-                        let mut state = init();
-                        for (j, chunk) in part.chunks_mut(chunk_size).enumerate() {
-                            f(&mut state, (first_chunk + j, chunk));
-                        }
-                    }));
-                }
-            }
-            if let Some((first_chunk, part)) = first {
-                // Worker 0 is the calling thread; guard it like the spawned
-                // workers.
-                let _guard = ThreadCountGuard::set(1);
-                let mut state = init();
-                for (j, chunk) in part.chunks_mut(chunk_size).enumerate() {
-                    f(&mut state, (first_chunk + j, chunk));
-                }
-            }
-            for handle in handles {
-                handle.join().expect("parallel worker panicked");
-            }
-        });
-    }
-}
+pub use iter::{
+    IntoParallelIterator, ParChunksMut, ParChunksMutEnumerate, ParIterMut, ParIterMutEnumerate,
+    ParRange, ParRangeChunks, ParRangeChunksMap, ParRangeMap, ParVec, ParVecMap, ParallelSliceMut,
+};
+pub use pool::{
+    current_num_threads, join, participant_block, scope, worker_threads_spawned, SchedulePolicy,
+    Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder, SPANS_PER_WORKER,
+};
 
 /// Glob-import module (mirrors `rayon::prelude`).
 pub mod prelude {
@@ -762,12 +111,12 @@ mod tests {
     }
 
     #[test]
-    fn nested_parallelism_in_workers_is_sequential() {
+    fn nested_parallelism_in_spans_is_sequential() {
         let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
         pool.install(|| {
-            // Every worker — including worker 0, which runs on the calling
-            // thread — sees a single-thread scope so nested parallel calls
-            // never oversubscribe.
+            // Every span — including ones the calling thread executes —
+            // sees a single-thread scope, so nested parallel calls never
+            // oversubscribe.
             let observed: Vec<usize> = (0..4usize)
                 .into_par_iter()
                 .map(|_| current_num_threads())
@@ -799,5 +148,79 @@ mod tests {
             });
         let total: usize = acc.iter().sum();
         assert_eq!(total, 257);
+    }
+
+    #[test]
+    fn order_sensitive_collect_is_input_ordered() {
+        // Concatenating per-chunk markers must reproduce the input order
+        // even though spans complete in an arbitrary order.
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let v: Vec<String> = (0..100usize)
+                .into_par_iter()
+                .map(|i| i.to_string())
+                .collect();
+            let expected: Vec<String> = (0..100).map(|i| i.to_string()).collect();
+            assert_eq!(v, expected);
+        });
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let (a, b) = pool.install(|| join(|| 6 * 7, || "ok".to_string()));
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+        // Sequential fallback inside a single-thread pool.
+        let single = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let (a, b) = single.install(|| join(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn scope_runs_all_spawned_tasks() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.install(|| {
+            scope(|s| {
+                for _ in 0..10 {
+                    s.spawn(|s| {
+                        hits.fetch_add(1, Ordering::SeqCst);
+                        // Tasks may spawn further tasks.
+                        s.spawn(|_| {
+                            hits.fetch_add(1, Ordering::SeqCst);
+                        });
+                    });
+                }
+            });
+        });
+        assert_eq!(hits.load(Ordering::SeqCst), 20);
+    }
+
+    #[test]
+    fn static_policy_produces_identical_results() {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(3)
+            .schedule_policy(SchedulePolicy::Static)
+            .build()
+            .unwrap();
+        pool.install(|| {
+            let v: Vec<usize> = (0..500).into_par_iter().map(|i| i * 3).collect();
+            assert_eq!(v, (0..500).map(|i| i * 3).collect::<Vec<_>>());
+            let mut w = vec![0usize; 97];
+            w.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
+            assert!(w.iter().enumerate().all(|(i, &x)| x == i));
+        });
+    }
+
+    #[test]
+    fn build_error_carries_a_reason() {
+        let err = ThreadPoolBuilder::new()
+            .num_threads(usize::MAX)
+            .build()
+            .unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("at most"), "unhelpful error: {message}");
     }
 }

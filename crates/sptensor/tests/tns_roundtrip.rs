@@ -1,0 +1,174 @@
+//! `.tns` round-trip and malformed-input coverage for `sptensor::io`
+//! (feeds the ROADMAP's FROSTT validation item: real tensor files must load
+//! exactly or fail with an error value, never a panic).
+
+use sptensor::io::{read_tns, read_tns_file, write_tns, write_tns_file, TensorIoError};
+use sptensor::SparseTensor;
+use std::io::Cursor;
+
+/// Tiny deterministic generator (xorshift64*) so the round-trip covers many
+/// shapes without pulling `datagen` into sptensor's dev-dependencies.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    fn value(&mut self) -> f64 {
+        // Mix magnitudes (including subnormal-ish and large) and signs.
+        let mantissa = (self.next() >> 11) as f64 / (1u64 << 53) as f64;
+        let exponent = self.below(61) as i32 - 30;
+        let sign = if self.next().is_multiple_of(2) {
+            1.0
+        } else {
+            -1.0
+        };
+        sign * mantissa * 2f64.powi(exponent)
+    }
+}
+
+fn random_tensor(rng: &mut Rng, dims: &[usize], nnz: usize) -> SparseTensor {
+    let mut seen = std::collections::BTreeSet::new();
+    let mut entries = Vec::new();
+    while entries.len() < nnz {
+        let idx: Vec<usize> = dims.iter().map(|&d| rng.below(d)).collect();
+        if seen.insert(idx.clone()) {
+            entries.push((idx, rng.value()));
+        }
+    }
+    SparseTensor::from_entries(dims.to_vec(), &entries)
+}
+
+#[test]
+fn write_read_identity_across_shapes() {
+    let mut rng = Rng(0x5eed_cafe);
+    for dims in [
+        vec![7, 5],
+        vec![9, 8, 7],
+        vec![6, 5, 4, 3],
+        vec![3, 3, 3, 3, 3],
+    ] {
+        let capacity: usize = dims.iter().product();
+        let t = random_tensor(&mut rng, &dims, capacity / 3);
+        let mut buf = Vec::new();
+        write_tns(&t, &mut buf).unwrap();
+        let back = read_tns(Cursor::new(&buf), Some(t.dims().to_vec())).unwrap();
+        assert_eq!(back.dims(), t.dims());
+        assert_eq!(back.nnz(), t.nnz(), "dims {dims:?}");
+        for k in 0..t.nnz() {
+            assert_eq!(back.index(k), t.index(k), "dims {dims:?} entry {k}");
+            // Rust's f64 Display prints the shortest representation that
+            // parses back to the same bits, so the round-trip is exact.
+            assert_eq!(
+                back.value(k).to_bits(),
+                t.value(k).to_bits(),
+                "dims {dims:?} entry {k}: {} vs {}",
+                back.value(k),
+                t.value(k)
+            );
+        }
+    }
+}
+
+#[test]
+fn inferred_dims_match_max_index_per_mode() {
+    let mut rng = Rng(0xfeed);
+    let t = random_tensor(&mut rng, &[12, 10, 8], 120);
+    let mut buf = Vec::new();
+    write_tns(&t, &mut buf).unwrap();
+    let back = read_tns(Cursor::new(&buf), None).unwrap();
+    // Inferred sizes are the per-mode maxima actually present, which can
+    // only shrink relative to the declared dims.
+    assert_eq!(back.order(), 3);
+    for (inferred, &declared) in back.dims().iter().zip(t.dims()) {
+        assert!(*inferred <= declared);
+    }
+    assert_eq!(back.nnz(), t.nnz());
+}
+
+#[test]
+fn file_roundtrip_on_disk() {
+    let mut rng = Rng(0xd15c);
+    let t = random_tensor(&mut rng, &[11, 9, 7], 80);
+    let path = std::env::temp_dir().join("sptensor_tns_roundtrip_test.tns");
+    write_tns_file(&t, &path).unwrap();
+    let back = read_tns_file(&path, Some(t.dims().to_vec())).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert_eq!(back.nnz(), t.nnz());
+    for k in 0..t.nnz() {
+        assert_eq!(back.index(k), t.index(k));
+        assert_eq!(back.value(k).to_bits(), t.value(k).to_bits());
+    }
+}
+
+#[test]
+fn comments_blanks_and_whitespace_are_tolerated() {
+    let data =
+        "# header comment\n\n% matrix-market style comment\n  1\t2\t3   1.5  \n2 1 1 -0.25\n";
+    let t = read_tns(Cursor::new(data), None).unwrap();
+    assert_eq!(t.nnz(), 2);
+    assert_eq!(t.index(0), &[0, 1, 2]);
+    assert_eq!(t.value(0), 1.5);
+    assert_eq!(t.value(1), -0.25);
+}
+
+#[test]
+fn malformed_inputs_are_errors_not_panics() {
+    // (input, expected 1-based line of the parse error)
+    let cases: &[(&str, usize)] = &[
+        // A lone value with no index.
+        ("3.25\n", 1),
+        // Zero index (the format is 1-based).
+        ("0 1 1 2.0\n", 1),
+        // Index too large for usize.
+        ("99999999999999999999999999 1 1 2.0\n", 1),
+        // Negative index.
+        ("-3 1 1 2.0\n", 1),
+        // Non-numeric index.
+        ("a 1 1 2.0\n", 1),
+        // Non-numeric value.
+        ("1 1 1 xyz\n", 1),
+        // Arity changes mid-file.
+        ("1 1 1 1.0\n1 1 1 1 1.0\n", 2),
+        // Good line, then a bad one: error names the right line.
+        ("1 2 3 4.0\n1 2 oops 4.0\n", 2),
+    ];
+    for (input, line) in cases {
+        match read_tns(Cursor::new(*input), None) {
+            Err(TensorIoError::Parse(l, msg)) => {
+                assert_eq!(l, *line, "input {input:?}: wrong line in {msg:?}");
+                assert!(!msg.is_empty());
+            }
+            other => panic!("input {input:?}: expected parse error, got {other:?}"),
+        }
+    }
+
+    // Only comments / nothing at all: a distinct "empty" error.
+    for input in ["", "# nothing\n", "% still nothing\n\n"] {
+        assert!(
+            matches!(
+                read_tns(Cursor::new(input), None),
+                Err(TensorIoError::Empty)
+            ),
+            "input {input:?}"
+        );
+    }
+
+    // Explicit dims with the wrong arity.
+    let err = read_tns(Cursor::new("1 1 1 1.0\n"), Some(vec![4, 4])).unwrap_err();
+    assert!(matches!(err, TensorIoError::Parse(_, _)));
+
+    // A missing file is an I/O error value.
+    let err = read_tns_file("/nonexistent/definitely/missing.tns", None).unwrap_err();
+    assert!(matches!(err, TensorIoError::Io(_)));
+}

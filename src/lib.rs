@@ -26,8 +26,9 @@
 //!
 //! # fn main() -> Result<(), TuckerError> {
 //! // A small random sparse tensor, planned once.  `num_threads` sizes the
-//! // session's thread pool (0 = all hardware threads); the same code path
-//! // runs fully sequentially with `num_threads(1)`.
+//! // session's persistent worker pool (0 = all hardware threads; workers
+//! // spawn once here and serve every solve); the same code path runs
+//! // fully sequentially with `num_threads(1)`.
 //! let tensor = random_tensor(&[60, 50, 40], 3_000, 7);
 //! let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(2))?;
 //!

@@ -1,0 +1,58 @@
+//! Pool-reuse stress: a planned session must spawn its workers exactly once
+//! and serve every subsequent solve — including repeated `solve_many`
+//! batches — without creating another thread.
+//!
+//! This file holds a single test because it asserts on the process-wide
+//! `rayon::worker_threads_spawned` counter; unrelated tests building pools
+//! in the same process would perturb it.
+
+use hooi::{PlanOptions, TuckerConfig, TuckerSolver};
+use std::time::Duration;
+
+#[test]
+fn repeated_solve_many_reuses_the_session_pool() {
+    let tensor = datagen::random_tensor(&[20, 18, 16], 900, 3);
+    let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(3)).unwrap();
+    let after_plan = rayon::worker_threads_spawned();
+
+    let configs = vec![
+        TuckerConfig::new(vec![2, 2, 2]).max_iterations(2),
+        TuckerConfig::new(vec![3, 3, 3]).max_iterations(2).seed(9),
+        TuckerConfig::new(vec![2, 3, 2]).max_iterations(1),
+    ];
+    let mut first_batch_pool_time = None;
+    for round in 0..4 {
+        let results = solver.solve_many(&configs).unwrap();
+        assert_eq!(results.len(), configs.len());
+        for (i, result) in results.iter().enumerate() {
+            if round == 0 && i == 0 {
+                // Only the very first solve of the session pays for pool
+                // bring-up (and symbolic analysis).
+                assert_eq!(result.timings.pool, solver.pool_build_time());
+                assert_eq!(result.timings.symbolic, solver.symbolic_time());
+                first_batch_pool_time = Some(result.timings.pool);
+            } else {
+                assert_eq!(
+                    result.timings.pool,
+                    Duration::ZERO,
+                    "round {round} solve {i} should reuse the pool"
+                );
+                assert_eq!(result.timings.symbolic, Duration::ZERO);
+            }
+        }
+        assert_eq!(
+            rayon::worker_threads_spawned(),
+            after_plan,
+            "round {round}: solves must not spawn threads"
+        );
+    }
+    assert!(first_batch_pool_time.is_some());
+    assert_eq!(solver.completed_solves(), 4 * configs.len());
+
+    // Individual solves after the batches also reuse the same workers.
+    let extra = solver
+        .solve(&TuckerConfig::new(vec![2, 2, 2]).max_iterations(1))
+        .unwrap();
+    assert_eq!(extra.timings.pool, Duration::ZERO);
+    assert_eq!(rayon::worker_threads_spawned(), after_plan);
+}
