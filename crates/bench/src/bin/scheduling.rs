@@ -19,12 +19,13 @@
 use bench::scheduling::{
     dynamic_chunked_schedule, shim_chunk_size, static_block_schedule, update_list_costs,
 };
-use bench::{print_header, profile_tensor, table_nnz};
+use bench::{cli_args, cli_tensor, print_header, profile_tensor, table_nnz};
 use datagen::ProfileName;
 use hooi::hosvd::random_factors;
 use hooi::symbolic::SymbolicTtmc;
 use hooi::ttmc::ttmc_mode;
 use rayon::{SchedulePolicy, ThreadPoolBuilder};
+use sptensor::SparseTensor;
 use std::time::Instant;
 
 fn main() {
@@ -55,10 +56,25 @@ fn main() {
         "{:<12} {:>4} {:>10} {:>12} {:>12} {:>12} {:>12}",
         "tensor", "mode", "rows", "imb-static", "imb-dynamic", "ms-static", "ms-dynamic"
     );
-    for name in ProfileName::all() {
-        let (profile, tensor) = profile_tensor(name, nnz, 42);
-        let sym = SymbolicTtmc::build(&tensor);
-        let factors = random_factors(tensor.dims(), profile.paper_ranks(), 7);
+    // Either the real `.tns` tensor named on the command line (ROADMAP
+    // "Large-scale validation") or the four synthetic paper profiles.
+    let inputs: Vec<(String, SparseTensor, Vec<usize>)> = match cli_tensor(&cli_args()) {
+        Some(input) => vec![input],
+        None => ProfileName::all()
+            .iter()
+            .map(|&name| {
+                let (profile, tensor) = profile_tensor(name, nnz, 42);
+                (
+                    name.as_str().to_string(),
+                    tensor,
+                    profile.paper_ranks().to_vec(),
+                )
+            })
+            .collect(),
+    };
+    for (label, tensor, ranks) in &inputs {
+        let sym = SymbolicTtmc::build(tensor);
+        let factors = random_factors(tensor.dims(), ranks, 7);
         for mode in 0..tensor.order() {
             let costs = update_list_costs(sym.mode(mode));
             let model_workers = 8;
@@ -72,11 +88,11 @@ fn main() {
             let time_with = |pool: &rayon::ThreadPool| -> f64 {
                 pool.install(|| {
                     // One warm-up, then best of three.
-                    let _ = ttmc_mode(&tensor, sym.mode(mode), &factors, mode);
+                    let _ = ttmc_mode(tensor, sym.mode(mode), &factors, mode);
                     (0..3)
                         .map(|_| {
                             let t0 = Instant::now();
-                            let _ = ttmc_mode(&tensor, sym.mode(mode), &factors, mode);
+                            let _ = ttmc_mode(tensor, sym.mode(mode), &factors, mode);
                             t0.elapsed().as_secs_f64() * 1e3
                         })
                         .fold(f64::INFINITY, f64::min)
@@ -87,7 +103,7 @@ fn main() {
 
             println!(
                 "{:<12} {:>4} {:>10} {:>12.3} {:>12.3} {:>12.3} {:>12.3}",
-                profile.name.as_str(),
+                label,
                 mode,
                 costs.len(),
                 s.imbalance(),

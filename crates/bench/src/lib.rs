@@ -75,6 +75,89 @@ pub fn simulated_iteration_seconds(
     cost.total_seconds()
 }
 
+/// Command-line options shared by the table/executor binaries: an optional
+/// real `.tns` tensor to run on instead of the synthetic profiles
+/// (ROADMAP "Large-scale validation"), and the Tucker ranks to use for it.
+#[derive(Debug, Default, Clone)]
+pub struct CliArgs {
+    /// Path passed via `--tns <path>`: a FROSTT-format coordinate file.
+    pub tns: Option<String>,
+    /// Ranks passed via `--ranks r1,r2,…` (only meaningful with `--tns`;
+    /// defaults to 4 per mode).
+    pub ranks: Option<Vec<usize>>,
+}
+
+/// Parses `--tns <path>` and `--ranks r1,r2,…` from the process arguments,
+/// ignoring anything else (so Cargo's own flags pass through).
+pub fn cli_args() -> CliArgs {
+    let mut out = CliArgs::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--tns" => {
+                out.tns = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--tns requires a path argument");
+                    std::process::exit(2);
+                }))
+            }
+            "--ranks" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("--ranks requires a comma-separated list, e.g. --ranks 4,4,4");
+                    std::process::exit(2);
+                });
+                let parsed: Result<Vec<usize>, _> =
+                    spec.split(',').map(|r| r.trim().parse()).collect();
+                match parsed {
+                    Ok(ranks) if !ranks.is_empty() => out.ranks = Some(ranks),
+                    _ => {
+                        eprintln!("could not parse --ranks '{spec}' as comma-separated integers");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Loads the `--tns` tensor if one was requested: returns its display
+/// label, the tensor, and the per-mode Tucker ranks (from `--ranks`, else
+/// 4 per mode, clamped to the mode sizes).  Exits with a message on a
+/// malformed file — a bad path should fail loudly, not fall back.
+pub fn cli_tensor(args: &CliArgs) -> Option<(String, SparseTensor, Vec<usize>)> {
+    let path = args.tns.as_ref()?;
+    let tensor = match sptensor::io::read_tns_file(path, None) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ranks: Vec<usize> = match &args.ranks {
+        Some(r) if r.len() == tensor.order() => r.clone(),
+        Some(r) => {
+            eprintln!(
+                "--ranks has {} entries but {path} has {} modes",
+                r.len(),
+                tensor.order()
+            );
+            std::process::exit(2);
+        }
+        None => vec![4; tensor.order()],
+    };
+    let ranks = ranks
+        .iter()
+        .zip(tensor.dims())
+        .map(|(&r, &d)| r.min(d).max(1))
+        .collect();
+    let label = std::path::Path::new(path)
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.clone());
+    Some((label, tensor, ranks))
+}
+
 /// Formats a number in the `K`/`M` style used by the paper's Table III.
 pub fn format_kilo(x: f64) -> String {
     if x >= 1e6 {

@@ -246,6 +246,57 @@ impl DistributedSetup {
         &self.local_nonzeros[mode][rank]
     }
 
+    /// Derives, for every mode and row, which ranks *hold* nonzeros of the
+    /// row's slice (and how many) and which ranks *need* the corresponding
+    /// factor row for their local TTMc of some other mode.  These two
+    /// relations drive both the analytic communication predictions of
+    /// [`crate::stats::iteration_stats`] and the executor's actual
+    /// fold/expand message plan in [`crate::exec`] — sharing the derivation
+    /// is what lets the tests assert measured traffic equals predicted
+    /// traffic word for word.
+    pub fn row_relations(&self, tensor: &SparseTensor) -> RowRelations {
+        let order = self.order();
+        let p = self.config.num_ranks;
+        let mut modes = Vec::with_capacity(order);
+        for mode in 0..order {
+            let dim = self.dims[mode];
+            let mut holder_counts: Vec<sptensor::hash::FxHashMap<u32, u32>> = Vec::new();
+            holder_counts.resize_with(dim, sptensor::hash::FxHashMap::default);
+            let mut needer_sets: Vec<sptensor::hash::FxHashSet<u32>> = Vec::new();
+            needer_sets.resize_with(dim, sptensor::hash::FxHashSet::default);
+            for m in 0..order {
+                for r in 0..p {
+                    for &id in self.nonzeros_for(m, r) {
+                        let i = tensor.index(id)[mode];
+                        if m == mode {
+                            *holder_counts[i].entry(r as u32).or_insert(0) += 1;
+                        } else {
+                            needer_sets[i].insert(r as u32);
+                        }
+                    }
+                }
+            }
+            let holders = holder_counts
+                .into_iter()
+                .map(|counts| {
+                    let mut h: Vec<(u32, u32)> = counts.into_iter().collect();
+                    h.sort_unstable();
+                    h
+                })
+                .collect();
+            let needers = needer_sets
+                .into_iter()
+                .map(|set| {
+                    let mut n: Vec<u32> = set.into_iter().collect();
+                    n.sort_unstable();
+                    n
+                })
+                .collect();
+            modes.push(ModeRelations { holders, needers });
+        }
+        RowRelations { modes }
+    }
+
     /// The number of rows of `U_n` owned by each rank (task counts).
     pub fn owned_rows_per_rank(&self, mode: usize) -> Vec<usize> {
         let mut counts = vec![0usize; self.config.num_ranks];
@@ -256,6 +307,28 @@ impl DistributedSetup {
         }
         counts
     }
+}
+
+/// Holder/needer relations of one mode (see
+/// [`DistributedSetup::row_relations`]).
+#[derive(Debug, Clone)]
+pub struct ModeRelations {
+    /// `holders[i]` — the ranks holding nonzeros of slice `i` in this
+    /// mode's TTMc, with their nonzero counts, sorted by rank.  Rows with
+    /// more than one holder are the fine-grain algorithm's shared rows:
+    /// their partial results must be folded at the row's owner.
+    pub holders: Vec<Vec<(u32, u32)>>,
+    /// `needers[i]` — the ranks that read factor row `U_mode(i, :)` during
+    /// the TTMc of some *other* mode, sorted.  The owner sends the updated
+    /// row to every needer but itself (Algorithm 4's expand).
+    pub needers: Vec<Vec<u32>>,
+}
+
+/// Holder/needer relations for every mode of a distribution.
+#[derive(Debug, Clone)]
+pub struct RowRelations {
+    /// One [`ModeRelations`] per mode, in mode order.
+    pub modes: Vec<ModeRelations>,
 }
 
 #[cfg(test)]
@@ -350,6 +423,63 @@ mod tests {
         assert_eq!(c.label(), "coarse-bl");
         let c = SimConfig::new(2, Grain::Fine, PartitionMethod::Random, vec![2, 2]);
         assert_eq!(c.label(), "fine-rd");
+    }
+
+    #[test]
+    fn relations_are_sorted_and_cover_all_nonzeros() {
+        let t = tensor();
+        for (grain, method) in [
+            (Grain::Fine, PartitionMethod::Hypergraph),
+            (Grain::Coarse, PartitionMethod::Block),
+        ] {
+            let config = SimConfig::new(5, grain, method, vec![3, 3, 3]);
+            let s = DistributedSetup::build(&t, &config);
+            let rel = s.row_relations(&t);
+            for mode in 0..3 {
+                let m = &rel.modes[mode];
+                let total: u64 = m
+                    .holders
+                    .iter()
+                    .flat_map(|h| h.iter().map(|&(_, c)| c as u64))
+                    .sum();
+                assert_eq!(total, t.nnz() as u64, "{grain:?} mode {mode}");
+                for h in &m.holders {
+                    assert!(h.windows(2).all(|w| w[0].0 < w[1].0));
+                }
+                for n in &m.needers {
+                    assert!(n.windows(2).all(|w| w[0] < w[1]));
+                }
+                // Coarse grain: the owner holds the whole slice, so every
+                // nonempty row has exactly one holder.
+                if grain == Grain::Coarse {
+                    for (i, h) in m.holders.iter().enumerate() {
+                        if !h.is_empty() {
+                            assert_eq!(h.len(), 1);
+                            assert_eq!(h[0].0, s.row_owner[mode][i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fine_grain_holders_include_the_owner() {
+        let t = tensor();
+        let config = SimConfig::new(6, Grain::Fine, PartitionMethod::Random, vec![3, 3, 3]);
+        let s = DistributedSetup::build(&t, &config);
+        let rel = s.row_relations(&t);
+        for mode in 0..3 {
+            for (i, h) in rel.modes[mode].holders.iter().enumerate() {
+                let owner = s.row_owner[mode][i];
+                if owner != u32::MAX {
+                    assert!(
+                        h.iter().any(|&(r, _)| r == owner),
+                        "mode {mode} row {i}: owner {owner} holds nothing"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

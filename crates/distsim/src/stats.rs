@@ -17,7 +17,6 @@
 //!   per solver application).
 
 use crate::setup::{DistributedSetup, Grain};
-use sptensor::hash::FxHashSet;
 use sptensor::SparseTensor;
 
 /// Statistics of one mode for every rank.
@@ -31,6 +30,21 @@ pub struct ModeRankStats {
     pub trsvd_rows: Vec<u64>,
     /// Words sent + received per rank for this mode.
     pub comm_volume: Vec<u64>,
+    /// Predicted expand volume per rank (words sent + received): the
+    /// updated factor rows `U_mode(i, :)` the row's owner ships to every
+    /// other rank needing them, `R_mode` words each.  The executor's
+    /// measured [`crate::comm::Phase::Expand`] float counters must equal
+    /// this, times the number of iterations.
+    pub expand_words: Vec<u64>,
+    /// Predicted fold volume per rank (words sent + received) under the
+    /// executor's bit-exact merge: each non-owner holder of a shared row
+    /// ships one `Π_{t≠mode} R_t`-word contribution *per held nonzero* of
+    /// that row to the owner, so the owner can replay the global
+    /// accumulation order.  Zero for the coarse-grain distribution (rows
+    /// are never split).  The executor's measured
+    /// [`crate::comm::Phase::Fold`] float counters must equal this, times
+    /// the number of iterations.
+    pub fold_words: Vec<u64>,
 }
 
 impl ModeRankStats {
@@ -80,6 +94,30 @@ impl IterationStats {
             .max()
             .unwrap_or(0)
     }
+
+    /// Predicted expand words per rank, summed over modes — sent plus
+    /// received, per HOOI iteration.
+    pub fn expand_words_per_rank(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.num_ranks];
+        for m in &self.modes {
+            for (o, &w) in out.iter_mut().zip(m.expand_words.iter()) {
+                *o += w;
+            }
+        }
+        out
+    }
+
+    /// Predicted fold words per rank, summed over modes — sent plus
+    /// received, per HOOI iteration.
+    pub fn fold_words_per_rank(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.num_ranks];
+        for m in &self.modes {
+            for (o, &w) in out.iter_mut().zip(m.fold_words.iter()) {
+                *o += w;
+            }
+        }
+        out
+    }
 }
 
 /// Default number of TRSVD operator applications assumed per mode: the
@@ -98,32 +136,17 @@ pub fn iteration_stats(
     let order = tensor.order();
     let p = setup.config.num_ranks;
     let ranks = setup.config.ranks.clone();
+    let relations = setup.row_relations(tensor);
     let mut modes = Vec::with_capacity(order);
 
     for mode in 0..order {
         let dim = tensor.dims()[mode];
-        // Which ranks need row i of U_mode?  A rank needs it if it processes
-        // (in the TTMc of any mode m ≠ mode) a nonzero whose mode-`mode`
-        // index is i.
-        let mut needers: Vec<FxHashSet<u32>> = Vec::new();
-        needers.resize_with(dim, FxHashSet::default);
-        // Which ranks hold a partial row i of Y_(mode)?  (= process a
-        // nonzero of slice i in the TTMc of `mode` itself.)
-        let mut holders: Vec<FxHashSet<u32>> = Vec::new();
-        holders.resize_with(dim, FxHashSet::default);
-
-        for m in 0..order {
-            for r in 0..p {
-                for &id in setup.nonzeros_for(m, r) {
-                    let i = tensor.index(id)[mode];
-                    if m == mode {
-                        holders[i].insert(r as u32);
-                    } else {
-                        needers[i].insert(r as u32);
-                    }
-                }
-            }
-        }
+        // Holder/needer relations shared with the executor: a rank *needs*
+        // row i of U_mode if it processes (in the TTMc of any mode m ≠
+        // mode) a nonzero whose mode-`mode` index is i, and *holds* a
+        // partial row i of Y_(mode) if it processes a nonzero of slice i in
+        // the TTMc of `mode` itself.
+        let rel = &relations.modes[mode];
 
         // W_TTMc and W_TRSVD.
         let mut ttmc_nonzeros = vec![0u64; p];
@@ -131,15 +154,24 @@ pub fn iteration_stats(
             ttmc_nonzeros[r] = setup.nonzeros_for(mode, r).len() as u64;
         }
         let mut trsvd_rows = vec![0u64; p];
-        for holder_set in &holders {
-            for &r in holder_set {
+        for holders in &rel.holders {
+            for &(r, _) in holders {
                 trsvd_rows[r as usize] += 1;
             }
         }
 
-        // Communication volume.
+        // Communication volume (the paper's model) and the executor-facing
+        // expand/fold predictions.
         let mut comm = vec![0u64; p];
+        let mut expand = vec![0u64; p];
+        let mut fold = vec![0u64; p];
         let r_mode = ranks[mode] as u64;
+        let width: u64 = ranks
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| t != mode)
+            .map(|(_, &r)| r as u64)
+            .product();
         for i in 0..dim {
             let owner = setup.row_owner[mode][i];
             if owner == u32::MAX {
@@ -147,24 +179,35 @@ pub fn iteration_stats(
             }
             // Factor-row exchange after the TRSVD update: the owner sends
             // U_mode(i, :) to every other rank that needs it.
-            for &need in &needers[i] {
+            for &need in &rel.needers[i] {
                 if need != owner {
                     comm[owner as usize] += r_mode; // send
                     comm[need as usize] += r_mode; // receive
+                    expand[owner as usize] += r_mode;
+                    expand[need as usize] += r_mode;
                 }
             }
             // Fine grain: partial rows of Y_(mode) are merged entry-wise in
             // the TRSVD solver (one word per application per partial copy).
-            if setup.config.grain == Grain::Fine {
-                let lambda = holders[i].len() as u64;
-                if lambda > 1 {
-                    let per_application = lambda - 1;
-                    for &h in &holders[i] {
-                        if h != owner {
-                            comm[h as usize] += trsvd_applications as u64;
-                        }
+            let lambda = rel.holders[i].len() as u64;
+            if setup.config.grain == Grain::Fine && lambda > 1 {
+                let per_application = lambda - 1;
+                for &(h, _) in &rel.holders[i] {
+                    if h != owner {
+                        comm[h as usize] += trsvd_applications as u64;
                     }
-                    comm[owner as usize] += per_application * trsvd_applications as u64;
+                }
+                comm[owner as usize] += per_application * trsvd_applications as u64;
+            }
+            // Executor fold: every non-owner holder ships one width-word
+            // contribution per held nonzero of the row to the owner.
+            if lambda > 1 {
+                for &(h, cnt) in &rel.holders[i] {
+                    if h != owner {
+                        let w = cnt as u64 * width;
+                        fold[h as usize] += w;
+                        fold[owner as usize] += w;
+                    }
                 }
             }
         }
@@ -174,6 +217,8 @@ pub fn iteration_stats(
             ttmc_nonzeros,
             trsvd_rows,
             comm_volume: comm,
+            expand_words: expand,
+            fold_words: fold,
         });
     }
 
@@ -279,6 +324,31 @@ mod tests {
             st_hp.total_comm_volume(),
             st_rd.total_comm_volume()
         );
+    }
+
+    #[test]
+    fn coarse_grain_predicts_no_fold_and_expand_equals_comm() {
+        // Coarse-grain rows are never split, so the executor folds nothing,
+        // and the paper's comm volume is exactly the factor-row exchange.
+        let (_, stats) = stats_for(Grain::Coarse, PartitionMethod::Hypergraph, 4);
+        for m in &stats.modes {
+            assert!(m.fold_words.iter().all(|&w| w == 0));
+            assert_eq!(m.expand_words, m.comm_volume);
+        }
+    }
+
+    #[test]
+    fn fold_sends_match_fold_receives_globally() {
+        let (_, stats) = stats_for(Grain::Fine, PartitionMethod::Random, 8);
+        // Every predicted fold word is sent once and received once, so the
+        // per-rank totals (send + receive) sum to an even number, and the
+        // single-rank case predicts zero.
+        let total: u64 = stats.fold_words_per_rank().iter().sum();
+        assert_eq!(total % 2, 0);
+        assert!(total > 0, "8 random ranks must split at least one row");
+        let (_, solo) = stats_for(Grain::Fine, PartitionMethod::Random, 1);
+        assert_eq!(solo.fold_words_per_rank().iter().sum::<u64>(), 0);
+        assert_eq!(solo.expand_words_per_rank().iter().sum::<u64>(), 0);
     }
 
     #[test]

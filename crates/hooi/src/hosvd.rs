@@ -14,6 +14,13 @@ use linalg::qr::orthonormalize_columns;
 use linalg::Matrix;
 use sptensor::SparseTensor;
 
+/// Default cap on a mode unfolding's column count for HOSVD-style
+/// initialization; wider modes fall back to random factors.  The solver
+/// and the distributed executor must use the same cap — a divergence
+/// would make them take the fallback branch for different modes and break
+/// the executor's bit-identity contract.
+pub const DEFAULT_HOSVD_MAX_COLS: usize = 2_000_000;
+
 /// Generates random orthonormal factor matrices, one per mode.
 pub fn random_factors(dims: &[usize], ranks: &[usize], seed: u64) -> Vec<Matrix> {
     assert_eq!(dims.len(), ranks.len());

@@ -49,5 +49,7 @@ pub use error::TuckerError;
 pub use hooi::{tucker_hooi, tucker_hooi_in_current_pool, TimingBreakdown, TuckerDecomposition};
 pub use solver::{IterationControl, IterationObserver, IterationReport, PlanOptions, TuckerSolver};
 pub use symbolic::{SymbolicMode, SymbolicTtmc};
-pub use ttmc::{ttmc_mode, ttmc_mode_into, ttmc_mode_sequential};
+pub use ttmc::{
+    ttmc_contribution_into, ttmc_mode, ttmc_mode_into, ttmc_mode_sequential, ttmc_row_into,
+};
 pub use workspace::HooiWorkspace;

@@ -45,7 +45,7 @@ use crate::core_tensor::core_from_last_ttmc_into;
 use crate::error::TuckerError;
 use crate::fit::fit_from_norms;
 use crate::hooi::{TimingBreakdown, TuckerDecomposition};
-use crate::hosvd::{hosvd_factors, random_factors};
+use crate::hosvd::{hosvd_factors, random_factors, DEFAULT_HOSVD_MAX_COLS};
 use crate::symbolic::SymbolicTtmc;
 use crate::trsvd::trsvd_factor_with;
 use crate::ttmc::ttmc_mode_into;
@@ -353,7 +353,7 @@ pub(crate) fn run_hooi(
     let t_init = Instant::now();
     let mut factors = match config.initialization {
         Initialization::Random => random_factors(tensor.dims(), ranks, config.seed),
-        Initialization::Hosvd => hosvd_factors(tensor, ranks, 2_000_000, config.seed),
+        Initialization::Hosvd => hosvd_factors(tensor, ranks, DEFAULT_HOSVD_MAX_COLS, config.seed),
     };
     timings.init = t_init.elapsed();
 

@@ -114,6 +114,61 @@ pub fn ttmc_mode_into(
         );
 }
 
+/// Computes one row of the compact TTMc result into `out`, overwriting it.
+///
+/// `row_position` indexes the non-empty rows of `sym` (`sym.rows[p]` is the
+/// tensor index along `mode`); `out` must have length `Π_{t≠mode} R_t` and
+/// `scratch` at least that length.  This is the per-task kernel the parallel
+/// and sequential sweeps share; the distributed executor also calls it
+/// directly for rows whose update list is entirely local to one rank.
+pub fn ttmc_row_into(
+    tensor: &SparseTensor,
+    sym: &SymbolicMode,
+    factors: &[Matrix],
+    mode: usize,
+    row_position: usize,
+    out: &mut [f64],
+    scratch: &mut [f64],
+) {
+    compute_row(tensor, sym, factors, mode, row_position, out, scratch);
+}
+
+/// Computes the contribution of a single nonzero to its row of the mode-
+/// `mode` TTMc result: `x · ⊗_{t≠mode} U_t(i_t, :)`, overwriting `out`.
+///
+/// Adding these vectors to a row accumulator in update-list order produces
+/// exactly the same floating-point result as [`ttmc_row_into`] — each
+/// accumulation step `acc[j] += x · k_j` performs the identical multiply and
+/// add either way.  The distributed executor relies on this to merge
+/// remotely computed contributions bit-identically to the shared-memory
+/// sweep.
+///
+/// `rows` is caller-provided scratch for the factor-row list (cleared and
+/// refilled here); hoisting it keeps the executor's per-nonzero fold loop
+/// allocation-free.
+pub fn ttmc_contribution_into<'a>(
+    tensor: &SparseTensor,
+    factors: &'a [Matrix],
+    mode: usize,
+    nonzero_id: usize,
+    out: &mut [f64],
+    scratch: &mut [f64],
+    rows: &mut Vec<&'a [f64]>,
+) {
+    out.iter_mut().for_each(|v| *v = 0.0);
+    let order = tensor.order();
+    let index = tensor.index(nonzero_id);
+    let value = tensor.value(nonzero_id);
+    rows.clear();
+    for t in 0..order {
+        if t == mode {
+            continue;
+        }
+        rows.push(factors[t].row(index[t]));
+    }
+    accumulate_scaled_kron(value, rows, out, scratch);
+}
+
 /// Sequential numeric TTMc (used for verification, the single-thread
 /// baselines of Table V, and inside the per-rank loops of the distributed
 /// simulator where parallelism is across ranks instead).
@@ -306,6 +361,49 @@ mod tests {
         sptensor::kron::kron_rows(&[factors[1].row(2), factors[2].row(3)], &mut expected);
         for (a, b) in compact.row(0).iter().zip(expected.iter()) {
             assert!((a - 2.5 * b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn contribution_replay_is_bit_identical_to_row_sweep() {
+        // Accumulating per-nonzero contribution vectors in update-list order
+        // must reproduce ttmc_row_into bit for bit — the property the
+        // distributed executor's fold/merge builds on.
+        let t = random_tensor(&[12, 10, 8], 300, 17);
+        let ranks = [3, 2, 4];
+        let factors = factors_for(&t, &ranks, 5);
+        let sym = SymbolicTtmc::build(&t);
+        for mode in 0..3 {
+            let width = ttmc_result_width(&factors, mode);
+            let sm = sym.mode(mode);
+            let mut direct = vec![0.0; width];
+            let mut replayed = vec![0.0; width];
+            let mut contrib = vec![0.0; width];
+            let mut scratch = vec![0.0; width];
+            let mut rows_buf = Vec::new();
+            for p in 0..sm.num_rows() {
+                ttmc_row_into(&t, sm, &factors, mode, p, &mut direct, &mut scratch);
+                replayed.iter_mut().for_each(|v| *v = 0.0);
+                for &id in sm.update_list(p) {
+                    ttmc_contribution_into(
+                        &t,
+                        &factors,
+                        mode,
+                        id,
+                        &mut contrib,
+                        &mut scratch,
+                        &mut rows_buf,
+                    );
+                    for (r, &c) in replayed.iter_mut().zip(contrib.iter()) {
+                        *r += c;
+                    }
+                }
+                assert_eq!(
+                    direct.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    replayed.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "mode {mode} row {p} diverged"
+                );
+            }
         }
     }
 

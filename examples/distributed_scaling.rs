@@ -1,13 +1,21 @@
-//! Distributed-memory scenario: partition a tensor for a simulated cluster,
-//! verify that the distributed algorithm computes exactly the same
-//! decomposition as the shared-memory solver, and report the per-rank work,
-//! communication volumes and simulated strong-scaling curve for the paper's
-//! four configurations.
+//! Distributed-memory scenario, in three acts:
+//!
+//! 1. **Execute** the distributed algorithm for real: 8 message-passing
+//!    ranks (long-lived threads exchanging expand/fold messages through the
+//!    `Communicator` abstraction) decompose a Flickr-profile tensor and the
+//!    result is compared *bit for bit* against the shared-memory
+//!    `TuckerSolver`.
+//! 2. **Cross-validate** the cost model: the words the executor actually
+//!    moved (measured by the communicator's counters) against the words
+//!    `iteration_stats` predicted.
+//! 3. **Simulate** strong scaling to 32 ranks with the BlueGene/Q cost
+//!    model — the part that extrapolates beyond one machine.
 //!
 //! ```text
 //! cargo run --release --example distributed_scaling
 //! ```
 
+use tucker_repro::distsim::{iteration_stats, Phase};
 use tucker_repro::prelude::*;
 
 fn main() -> Result<(), TuckerError> {
@@ -21,34 +29,61 @@ fn main() -> Result<(), TuckerError> {
         ranks
     );
 
-    // 1. Correctness: the fine-grain distributed execution on 8 simulated
-    //    ranks must reproduce the shared-memory result.
+    // 1. Execute: 8 fine-grain ranks over the channel backend must
+    //    reproduce the shared-memory result exactly, not approximately.
     let tucker = TuckerConfig::new(ranks.clone()).max_iterations(3).seed(17);
-    let shared = tucker_hooi(&tensor, &tucker)?;
+    let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1))?;
+    let shared = solver.solve(&tucker)?;
     let config = SimConfig::new(8, Grain::Fine, PartitionMethod::Hypergraph, ranks.clone());
     let setup = DistributedSetup::build(&tensor, &config);
-    let distributed = distsim::exec::distributed_hooi(&tensor, &setup, &tucker)?;
+    let run = execute_hooi(&tensor, &setup, &tucker, &ExecOptions::default())?;
+    let identical = run.decomposition.factors == shared.factors
+        && run.decomposition.core.as_slice() == shared.core.as_slice()
+        && run.decomposition.fits == shared.fits;
     println!(
-        "\nshared-memory fit: {:.6}   distributed (8 ranks, fine-hp) fit: {:.6}",
-        shared.final_fit(),
-        distributed.final_fit()
+        "\n8 ranks, fine-hp, {} backend: fit {:.6} in {:.1} ms wall — bit-identical to TuckerSolver: {}",
+        run.backend.label(),
+        run.decomposition.final_fit(),
+        run.wall.as_secs_f64() * 1e3,
+        identical
     );
-
-    // 2. Per-rank statistics for the 8-rank fine-hp run (a miniature of the
-    //    paper's Table III).
-    let stats = distsim::iteration_stats(&tensor, &setup, 20);
-    println!("\nper-mode statistics, 8 ranks, fine-hp (max / avg over ranks):");
-    for m in &stats.modes {
+    assert!(identical, "executor must match the solver exactly");
+    if loopback_tcp_available() {
+        let tcp = execute_hooi(
+            &tensor,
+            &setup,
+            &tucker,
+            &ExecOptions::new().backend(CommBackend::Tcp),
+        )?;
         println!(
-            "  mode {}: W_TTMc {} / {:.0}   W_TRSVD {} / {:.0}   comm words {} / {:.0}",
-            m.mode + 1,
-            distsim::ModeRankStats::max(&m.ttmc_nonzeros),
-            distsim::ModeRankStats::avg(&m.ttmc_nonzeros),
-            distsim::ModeRankStats::max(&m.trsvd_rows),
-            distsim::ModeRankStats::avg(&m.trsvd_rows),
-            distsim::ModeRankStats::max(&m.comm_volume),
-            distsim::ModeRankStats::avg(&m.comm_volume),
+            "same run over real loopback TCP sockets: fit {:.6} in {:.1} ms wall, {} KB through the kernel",
+            tcp.decomposition.final_fit(),
+            tcp.wall.as_secs_f64() * 1e3,
+            tcp.total_bytes() / 1024
         );
+    } else {
+        println!("(loopback TCP unavailable here — skipping the socket backend)");
+    }
+
+    // 2. Cross-validate: measured expand/fold words vs the analytic
+    //    prediction, rank by rank.
+    let stats = iteration_stats(&tensor, &setup, 20);
+    let iters = run.decomposition.iterations as u64;
+    let expand_pred = stats.expand_words_per_rank();
+    let fold_pred = stats.fold_words_per_rank();
+    println!("\nmeasured vs predicted words per rank ({iters} iterations):");
+    println!(
+        "{:>5} {:>14} {:>14} {:>14} {:>14}",
+        "rank", "expand-meas", "expand-pred", "fold-meas", "fold-pred"
+    );
+    for (r, counters) in run.comm.iter().enumerate() {
+        let em = counters.phase(Phase::Expand).floats_transferred();
+        let fm = counters.phase(Phase::Fold).floats_transferred();
+        let ep = iters * expand_pred[r];
+        let fp = iters * fold_pred[r];
+        assert_eq!(em, ep, "rank {r}: expand prediction missed");
+        assert_eq!(fm, fp, "rank {r}: fold prediction missed");
+        println!("{r:>5} {em:>14} {ep:>14} {fm:>14} {fp:>14}");
     }
 
     // 3. Simulated strong scaling (a miniature of Table II).

@@ -9,7 +9,9 @@
 //! * [`hooi`] — the shared-memory parallel HOOI solver (symbolic TTMc,
 //!   nonzero-based TTMc, matrix-free TRSVD, MET baseline),
 //! * [`distsim`] — the distributed-memory simulator (coarse/fine grain,
-//!   statistics and cost model),
+//!   statistics and cost model) and the message-passing executor that runs
+//!   Algorithm 4 over real channel/TCP backends, bit-identically to the
+//!   shared-memory solver,
 //! * [`partition`] — hypergraph models and partitioners,
 //! * [`sptensor`], [`linalg`], [`datagen`] — the substrates.
 //!
@@ -60,7 +62,9 @@ pub use sptensor;
 pub mod prelude {
     pub use datagen::{lowrank_tensor, random_tensor, DatasetProfile, LowRankSpec, ProfileName};
     pub use distsim::{
-        simulate_iteration, DistributedSetup, Grain, MachineModel, PartitionMethod, SimConfig,
+        distributed_hooi, execute_hooi, loopback_tcp_available, simulate_iteration, CommBackend,
+        CommCounters, Communicator, DistributedRun, DistributedSetup, ExecOptions, Grain,
+        MachineModel, PartitionMethod, SimConfig,
     };
     pub use hooi::{
         tucker_hooi, Initialization, IterationControl, IterationObserver, IterationReport,
