@@ -1,0 +1,263 @@
+//! Per-mode vs dimension-tree TTMc: measured wall time and counted work.
+//!
+//! For every generated dataset profile (and an optional real `--tns` dump),
+//! this bin plans one solver session per `(strategy, threads)` cell, runs a
+//! short HOOI solve, and reports
+//!
+//! * the *counted* per-iteration flops/words of each strategy (the
+//!   deterministic [`hooi::DimTree::costs`] / [`hooi::per_mode_costs`]
+//!   model — identical on every machine), and
+//! * the *measured* TTMc seconds per iteration at 1 and 4 threads, plus the
+//!   whole-iteration time, with a cross-check that both strategies reach
+//!   the same fits within 1e-10 relative.
+//!
+//! Machine-readable output goes to `BENCH_ttmc.json` (override with
+//! `--out <path>`), seeding the repo's perf trajectory; CI uploads it as an
+//! artifact on every push.
+//!
+//! Run with `cargo run --release -p bench --bin ttmc_strategy`; scale the
+//! nonzero budget with `HYPERTENSOR_NNZ`.
+
+use bench::{cli_args, cli_tensor, print_header, table_nnz};
+use datagen::{DatasetProfile, ProfileName};
+use hooi::symbolic::SymbolicTtmc;
+use hooi::{per_mode_costs, DimTree, PlanOptions, TtmcStrategy, TuckerConfig, TuckerSolver};
+use sptensor::SparseTensor;
+
+/// One measured cell of the strategy × threads grid.
+struct Cell {
+    dataset: String,
+    order: usize,
+    nnz: usize,
+    ranks: Vec<usize>,
+    strategy: &'static str,
+    threads: usize,
+    flops_per_iter: u64,
+    words_per_iter: u64,
+    ttmc_s_per_it: f64,
+    iter_s_per_it: f64,
+}
+
+fn strategy_label(strategy: TtmcStrategy) -> &'static str {
+    match strategy {
+        TtmcStrategy::PerMode => "per_mode",
+        TtmcStrategy::DimensionTree => "dimension_tree",
+    }
+}
+
+/// Runs one solver session and returns (ttmc s/it, iteration s/it, fits).
+fn measure(
+    tensor: &SparseTensor,
+    ranks: &[usize],
+    strategy: TtmcStrategy,
+    threads: usize,
+) -> (f64, f64, Vec<f64>) {
+    let mut solver = TuckerSolver::plan(
+        tensor,
+        PlanOptions::new()
+            .num_threads(threads)
+            .ttmc_strategy(strategy),
+    )
+    .expect("plan");
+    let config = TuckerConfig::new(ranks.to_vec())
+        .max_iterations(3)
+        .fit_tolerance(-1.0) // fixed iteration count: comparable timings
+        .seed(13);
+    // Warm-up solve pays pool startup and faults in the buffers; the timed
+    // solve reuses everything, which is the steady state a service sees.
+    let _ = solver.solve(&config).expect("warm-up solve");
+    let result = solver.solve(&config).expect("timed solve");
+    let iters = result.iterations.max(1) as f64;
+    (
+        result.timings.ttmc.as_secs_f64() / iters,
+        result.timings.iteration_time().as_secs_f64() / iters,
+        result.fits,
+    )
+}
+
+/// Measures the full grid on one tensor, asserting strategy agreement.
+fn run_tensor(label: &str, tensor: &SparseTensor, ranks: &[usize], cells: &mut Vec<Cell>) {
+    let symbolic = SymbolicTtmc::build(tensor);
+    let tree = DimTree::build(tensor);
+    let per_mode = per_mode_costs(&symbolic, tensor.nnz(), ranks);
+    let tree_costs = tree.costs(ranks);
+
+    println!(
+        "\n{label}: order {}, {} nonzeros, ranks {ranks:?}",
+        tensor.order(),
+        tensor.nnz()
+    );
+    println!(
+        "  counted per-iteration flops: per-mode {} vs tree {} ({:.2}x)",
+        per_mode.flops,
+        tree_costs.flops,
+        per_mode.flops as f64 / tree_costs.flops as f64
+    );
+
+    let mut reference_fits: Option<Vec<f64>> = None;
+    for threads in [1usize, 4] {
+        for strategy in [TtmcStrategy::PerMode, TtmcStrategy::DimensionTree] {
+            let (ttmc_s, iter_s, fits) = measure(tensor, ranks, strategy, threads);
+            match &reference_fits {
+                None => reference_fits = Some(fits),
+                Some(r) => {
+                    for (a, b) in fits.iter().zip(r.iter()) {
+                        assert!(
+                            (a - b).abs() <= 1e-10 * b.abs().max(1e-300),
+                            "{label}: {strategy:?} fits diverged from reference"
+                        );
+                    }
+                }
+            }
+            let costs = match strategy {
+                TtmcStrategy::PerMode => per_mode,
+                TtmcStrategy::DimensionTree => tree_costs,
+            };
+            println!(
+                "  {:<15} {} thread(s): TTMc {:>9.3} ms/it, iteration {:>9.3} ms/it",
+                strategy_label(strategy),
+                threads,
+                ttmc_s * 1e3,
+                iter_s * 1e3
+            );
+            cells.push(Cell {
+                dataset: label.to_string(),
+                order: tensor.order(),
+                nnz: tensor.nnz(),
+                ranks: ranks.to_vec(),
+                strategy: strategy_label(strategy),
+                threads,
+                flops_per_iter: costs.flops,
+                words_per_iter: costs.words,
+                ttmc_s_per_it: ttmc_s,
+                iter_s_per_it: iter_s,
+            });
+        }
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal (the dataset
+/// label can be a user-supplied `--tns` file stem).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serializes the cells as a JSON document (no serde in the workspace; the
+/// format is flat enough to assemble by hand).
+fn to_json(nnz_budget: usize, cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"ttmc_strategy\",\n");
+    out.push_str("  \"command\": \"cargo run --release -p bench --bin ttmc_strategy\",\n");
+    out.push_str(&format!("  \"nnz_budget\": {nnz_budget},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let ranks = c
+            .ranks
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"order\": {}, \"nnz\": {}, \"ranks\": [{}], \
+             \"strategy\": \"{}\", \"threads\": {}, \"flops_per_iter\": {}, \
+             \"words_per_iter\": {}, \"ttmc_s_per_it\": {:e}, \"iter_s_per_it\": {:e}}}{}\n",
+            json_escape(&c.dataset),
+            c.order,
+            c.nnz,
+            ranks,
+            c.strategy,
+            c.threads,
+            c.flops_per_iter,
+            c.words_per_iter,
+            c.ttmc_s_per_it,
+            c.iter_s_per_it,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses `--out <path>` (defaults to `BENCH_ttmc.json` in the working
+/// directory).
+fn out_path() -> String {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            return args.next().unwrap_or_else(|| {
+                eprintln!("--out requires a path argument");
+                std::process::exit(2);
+            });
+        }
+    }
+    "BENCH_ttmc.json".to_string()
+}
+
+fn main() {
+    let nnz = table_nnz();
+    print_header(
+        "TTMc strategy comparison: per-mode vs dimension tree",
+        &format!(
+            "counted flops/words + measured s/it at 1 and 4 threads, \
+             ~{nnz} nonzeros per generated tensor, 3 fixed HOOI iterations"
+        ),
+    );
+
+    let mut cells = Vec::new();
+    if let Some((label, tensor, ranks)) = cli_tensor(&cli_args()) {
+        run_tensor(&label, &tensor, &ranks, &mut cells);
+    } else {
+        for name in ProfileName::all() {
+            let profile = DatasetProfile::new(name);
+            let tensor = profile.generate(nnz, 1);
+            run_tensor(name.as_str(), &tensor, profile.paper_ranks(), &mut cells);
+        }
+    }
+
+    // Wall-time verdict: best tree TTMc s/it vs best per-mode s/it per
+    // dataset, at matching thread counts.
+    println!("\nTTMc wall-time speedup (per-mode / tree, same thread count):");
+    let mut any_improvement = false;
+    let datasets: Vec<String> = {
+        let mut seen = Vec::new();
+        for c in &cells {
+            if !seen.contains(&c.dataset) {
+                seen.push(c.dataset.clone());
+            }
+        }
+        seen
+    };
+    for dataset in &datasets {
+        for threads in [1usize, 4] {
+            let find = |strategy: &str| {
+                cells
+                    .iter()
+                    .find(|c| {
+                        &c.dataset == dataset && c.threads == threads && c.strategy == strategy
+                    })
+                    .map(|c| c.ttmc_s_per_it)
+            };
+            if let (Some(base), Some(tree)) = (find("per_mode"), find("dimension_tree")) {
+                let speedup = base / tree;
+                any_improvement |= speedup > 1.0;
+                println!("  {dataset:<12} {threads} thread(s): {speedup:>6.2}x");
+            }
+        }
+    }
+
+    let path = out_path();
+    std::fs::write(&path, to_json(nnz, &cells)).expect("write BENCH_ttmc.json");
+    println!(
+        "\nwrote {path} ({} cells); measured improvement on at least one dataset: {any_improvement}",
+        cells.len()
+    );
+}

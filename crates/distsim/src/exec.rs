@@ -43,7 +43,11 @@
 //! Each rank pins its numeric kernels to a private pool of
 //! [`ExecOptions::rank_threads`] workers; run the comparison solver at the
 //! same width to get bit-identical results (floating-point reductions in
-//! the TRSVD are deterministic *per width*, not across widths).
+//! the TRSVD are deterministic *per width*, not across widths).  The
+//! executor's arithmetic replays the *per-mode* TTMc, so the comparison
+//! solver must be planned with `TtmcStrategy::PerMode` — the shared-memory
+//! solver's default dimension-tree fast path reassociates the accumulation
+//! and agrees only within tolerance, not bit for bit.
 //!
 //! The analytic tables (256-rank scaling) still come from
 //! [`crate::stats`]/[`crate::cost`], which never execute numerics; this
@@ -85,7 +89,8 @@ pub struct ExecOptions {
     pub backend: CommBackend,
     /// Worker threads per rank (the hybrid implementation's "OpenMP
     /// threads").  Defaults to 1; results are bit-identical to a
-    /// [`hooi::TuckerSolver`] planned with the *same* width.
+    /// [`hooi::TuckerSolver`] planned with the *same* width and
+    /// `TtmcStrategy::PerMode`.
     pub rank_threads: usize,
 }
 
@@ -1033,7 +1038,7 @@ mod tests {
     use crate::stats::iteration_stats;
     use datagen::random_tensor;
     use hooi::ttmc::ttmc_mode;
-    use hooi::{PlanOptions, TuckerSolver};
+    use hooi::{PlanOptions, TtmcStrategy, TuckerSolver};
 
     fn tensor() -> SparseTensor {
         random_tensor(&[25, 20, 15], 900, 13)
@@ -1094,7 +1099,13 @@ mod tests {
     fn executor_matches_planned_solver_bit_for_bit() {
         let t = tensor();
         let tucker = TuckerConfig::new(vec![3, 3, 3]).max_iterations(3).seed(9);
-        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let mut solver = TuckerSolver::plan(
+            &t,
+            PlanOptions::new()
+                .num_threads(1)
+                .ttmc_strategy(TtmcStrategy::PerMode),
+        )
+        .unwrap();
         let shared = solver.solve(&tucker).unwrap();
         for (grain, method) in [
             (Grain::Fine, PartitionMethod::Hypergraph),
@@ -1113,7 +1124,13 @@ mod tests {
         // must match a solver planned with num_threads = 2.
         let t = tensor();
         let tucker = TuckerConfig::new(vec![3, 3, 3]).max_iterations(2).seed(3);
-        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(2)).unwrap();
+        let mut solver = TuckerSolver::plan(
+            &t,
+            PlanOptions::new()
+                .num_threads(2)
+                .ttmc_strategy(TtmcStrategy::PerMode),
+        )
+        .unwrap();
         let shared = solver.solve(&tucker).unwrap();
         let config = SimConfig::new(3, Grain::Fine, PartitionMethod::Random, vec![3, 3, 3]);
         let setup = DistributedSetup::build(&t, &config);
@@ -1125,7 +1142,13 @@ mod tests {
     fn single_rank_needs_no_messages_and_still_matches() {
         let t = tensor();
         let tucker = TuckerConfig::new(vec![2, 2, 2]).max_iterations(2).seed(4);
-        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let mut solver = TuckerSolver::plan(
+            &t,
+            PlanOptions::new()
+                .num_threads(1)
+                .ttmc_strategy(TtmcStrategy::PerMode),
+        )
+        .unwrap();
         let shared = solver.solve(&tucker).unwrap();
         let config = SimConfig::new(1, Grain::Fine, PartitionMethod::Random, vec![2, 2, 2]);
         let setup = DistributedSetup::build(&t, &config);
@@ -1215,7 +1238,13 @@ mod tests {
         let tucker = TuckerConfig::new(vec![2, 2, 2, 2])
             .max_iterations(2)
             .seed(8);
-        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let mut solver = TuckerSolver::plan(
+            &t,
+            PlanOptions::new()
+                .num_threads(1)
+                .ttmc_strategy(TtmcStrategy::PerMode),
+        )
+        .unwrap();
         let shared = solver.solve(&tucker).unwrap();
         let config = SimConfig::new(4, Grain::Fine, PartitionMethod::Random, vec![2, 2, 2, 2]);
         let setup = DistributedSetup::build(&t, &config);
@@ -1259,7 +1288,13 @@ mod tests {
             .max_iterations(2)
             .seed(2)
             .initialization(Initialization::Hosvd);
-        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let mut solver = TuckerSolver::plan(
+            &t,
+            PlanOptions::new()
+                .num_threads(1)
+                .ttmc_strategy(TtmcStrategy::PerMode),
+        )
+        .unwrap();
         let shared = solver.solve(&tucker).unwrap();
         let config = SimConfig::new(3, Grain::Fine, PartitionMethod::Hypergraph, vec![2, 2, 2]);
         let setup = DistributedSetup::build(&t, &config);

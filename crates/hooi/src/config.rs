@@ -16,6 +16,23 @@ pub enum Initialization {
     Hosvd,
 }
 
+/// How the per-iteration TTMc sweep is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TtmcStrategy {
+    /// One independent nonzero-based TTMc per mode (paper Algorithm 2) —
+    /// the baseline the distributed executor's bit-identity contract is
+    /// pinned to.
+    PerMode,
+    /// Flop-sharing dimension-tree TTMc ([`crate::dimtree`]): partial
+    /// contractions are materialized once per iteration at the internal
+    /// nodes of a binary mode tree and every leaf serves its mode's compact
+    /// result from them.  Strictly fewer flops for order ≥ 4 and the
+    /// solver's default; tensors with a single mode silently fall back to
+    /// [`PerMode`](Self::PerMode).
+    #[default]
+    DimensionTree,
+}
+
 /// Which truncated-SVD backend updates the factor matrices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrsvdBackend {
@@ -54,6 +71,12 @@ pub struct TuckerConfig {
     /// [`crate::PlanOptions::num_threads`]); this field is ignored by
     /// `solve` so one plan serves any number of configurations.
     pub num_threads: usize,
+    /// How the TTMc sweep is computed by the one-shot entry points
+    /// ([`crate::tucker_hooi`], [`crate::tucker_hooi_in_current_pool`]);
+    /// defaults to [`TtmcStrategy::DimensionTree`].  A planned
+    /// [`crate::TuckerSolver`] fixes the strategy at plan time instead (see
+    /// [`crate::PlanOptions::ttmc_strategy`]) and ignores this field.
+    pub ttmc_strategy: TtmcStrategy,
 }
 
 impl TuckerConfig {
@@ -74,6 +97,7 @@ impl TuckerConfig {
             trsvd: TrsvdBackend::Lanczos,
             seed: 0x7c4a_u64 ^ 0x00c0_ffee,
             num_threads: 0,
+            ttmc_strategy: TtmcStrategy::default(),
         }
     }
 
@@ -116,6 +140,13 @@ impl TuckerConfig {
     /// available hardware threads).
     pub fn num_threads(mut self, threads: usize) -> Self {
         self.num_threads = threads;
+        self
+    }
+
+    /// Builder-style setter for the TTMc strategy used by the one-shot
+    /// entry points.
+    pub fn ttmc_strategy(mut self, strategy: TtmcStrategy) -> Self {
+        self.ttmc_strategy = strategy;
         self
     }
 

@@ -1,0 +1,877 @@
+//! Flop-sharing dimension-tree TTMc.
+//!
+//! The baseline HOOI loop recomputes `N` independent per-mode TTMc's per
+//! iteration; the Kronecker factors of different modes overlap almost
+//! entirely, so most of that work is repeated.  A *dimension tree* (Kaya &
+//! Uçar's follow-up line of work) shares it: a binary tree over the modes
+//! where node `ν` with contiguous mode range `[lo, hi)` holds the tensor
+//! contracted with the factors of every mode *outside* the range —
+//!
+//! `T_ν[j] = Σ_{x : proj_{[lo,hi)}(x) = j} x · ⊗_t U_t(i_t^x)` over `t ∉ [lo, hi)`
+//!
+//! — stored sparsely: one row per *distinct projection* of the nonzeros onto
+//! `[lo, hi)`, each row a dense vector of length `Π_{t ∉ [lo,hi)} R_t`.  The
+//! root is the tensor itself; each child contracts the sibling range's
+//! factor rows into the parent's rows (a single Kronecker-accumulate per
+//! parent entry), and the leaf of mode `n` *is* the compact mode-`n` TTMc
+//! result.  Two flop-sharing effects compound: a child reuses the parent's
+//! already-contracted value vector instead of rebuilding the full Kronecker
+//! product, and parent entries that collide under projection are contracted
+//! once instead of once per nonzero.
+//!
+//! Column ordering: a node's value columns are the Kronecker product of the
+//! contracted modes in *contraction order* along the root path (each
+//! contracted range ascending internally), because appending new factors on
+//! the right is what lets a child reuse `parent_value ⊗ K` with one
+//! bilinear accumulate.  Leaves whose contraction order happens to be
+//! ascending (every leaf for order ≤ 3, the two rightmost leaves in
+//! general) are *canonical* and served by a straight copy; the rest get a
+//! precomputed column permutation.  Column permutations do not change left
+//! singular vectors, so the TRSVD that consumes the result is unaffected
+//! either way; serving canonical layouts keeps the core extraction and all
+//! downstream consumers oblivious to the strategy.
+//!
+//! Factor-version semantics match the per-mode Gauss–Seidel sweep exactly:
+//! a node is recomputed lazily when a factor *outside* its range has been
+//! updated since it was last built, so every leaf sees new factors for
+//! already-visited modes and old factors for the rest — the same values the
+//! per-mode path would use, up to floating-point reassociation.
+//!
+//! [`DimTree::costs`] / [`per_mode_costs`] count the floating-point
+//! operations and memory words each strategy performs per iteration as
+//! deterministic functions of the sparsity structure and the ranks, so the
+//! flop reduction is assertable in tests rather than inferred from wall
+//! time.
+
+use crate::symbolic::{SymbolicMode, SymbolicTtmc};
+use crate::workspace::HooiWorkspace;
+use linalg::Matrix;
+use rayon::prelude::*;
+use sptensor::kron::{accumulate_scaled_kron, kron_rows};
+use sptensor::SparseTensor;
+
+/// Sentinel for "no node" in parent/child links.
+const NONE: usize = usize::MAX;
+
+/// One node of the dimension tree.
+#[derive(Debug, Clone)]
+struct Node {
+    /// Contiguous mode range `[lo, hi)` this node retains.
+    lo: usize,
+    hi: usize,
+    /// Parent node id (`NONE` for the root).
+    parent: usize,
+    /// Child node ids (`NONE` for leaves).
+    children: [usize; 2],
+    /// Modes of the value columns in contraction order (slowest first).
+    col_modes: Vec<usize>,
+    /// Modes contracted when computing this node from its parent
+    /// (`parent range \ [lo, hi)`, ascending).  Empty only for the root.
+    d_modes: Vec<usize>,
+    /// CSR offsets over [`members`](Self::members): group `g` (this node's
+    /// entry `g`) covers `members[group_ptr[g]..group_ptr[g+1]]`.
+    group_ptr: Vec<usize>,
+    /// Parent entry ids grouped by projection onto `[lo, hi)`; groups are
+    /// sorted by projected tuple, members ascending within a group.
+    members: Vec<usize>,
+    /// For each member, the `d_modes` indices of that parent entry
+    /// (`d_modes.len()` entries per member, streamed by the kernel).
+    contract_idx: Vec<usize>,
+    /// Number of stored entries (distinct projections).
+    entries: usize,
+    /// The projected index tuple of each entry (`hi - lo` entries per
+    /// entry).  Children group on these during the build; once a node's
+    /// children exist the runtime kernels never read it again, so
+    /// [`DimTree::split`] drops it for the root and internal nodes (the
+    /// root's copy alone is a full `nnz × order` duplicate of the COO
+    /// indices).  Leaves keep theirs: it is their sorted row set.
+    entry_idx: Vec<usize>,
+}
+
+impl Node {
+    fn span(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    fn num_entries(&self) -> usize {
+        self.entries
+    }
+
+    fn is_leaf(&self) -> bool {
+        self.children[0] == NONE
+    }
+}
+
+/// A binary dimension tree over the modes of one sparse tensor: structure
+/// plus the per-node symbolic grouping, built once at plan time and reused
+/// by every iteration of every solve.
+#[derive(Debug, Clone)]
+pub struct DimTree {
+    order: usize,
+    nnz: usize,
+    /// Preorder storage: a parent always precedes its children.
+    nodes: Vec<Node>,
+    leaf_of_mode: Vec<usize>,
+}
+
+/// Deterministic per-iteration cost of a TTMc strategy: floating-point
+/// operations and memory words moved (reads of nonzero data, factor rows
+/// and partial values, plus result writes), as executed by the kernels in
+/// this crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TtmcCosts {
+    /// Floating-point operations per HOOI iteration (all modes).
+    pub flops: u64,
+    /// Words read and written per HOOI iteration (all modes).
+    pub words: u64,
+}
+
+/// Flops [`kron_rows`] spends materializing the product of rows with the
+/// given lengths: the running prefix is expanded once per factor.
+fn kron_materialize_flops(lens: &[usize]) -> u64 {
+    let mut total = 0u64;
+    let mut filled = 1u64;
+    for &l in lens {
+        filled *= l as u64;
+        total += filled;
+    }
+    total
+}
+
+/// Flops [`accumulate_scaled_kron`] spends adding `alpha · (⊗ rows)` into an
+/// accumulator, per its per-arity branches (the order-3 micro-kernel in
+/// [`crate::ttmc`] performs exactly the two-factor count).
+fn accumulate_flops(lens: &[usize]) -> u64 {
+    let width: u64 = lens.iter().map(|&l| l as u64).product();
+    match lens.len() {
+        0 => 1,
+        1 => 2 * width,
+        2 => lens[0] as u64 + 2 * width,
+        _ => kron_materialize_flops(lens) + 2 * width,
+    }
+}
+
+/// Per-iteration cost of the baseline per-mode strategy: every mode visits
+/// every nonzero once, accumulating one scaled Kronecker product, streaming
+/// the mode-sorted layout (value + foreign indices + factor rows) and
+/// writing the compact result once.
+pub fn per_mode_costs(symbolic: &SymbolicTtmc, nnz: usize, ranks: &[usize]) -> TtmcCosts {
+    let order = ranks.len();
+    let mut costs = TtmcCosts::default();
+    for mode in 0..order {
+        let lens: Vec<usize> = ranks
+            .iter()
+            .enumerate()
+            .filter(|&(t, _)| t != mode)
+            .map(|(_, &r)| r)
+            .collect();
+        let width: u64 = lens.iter().map(|&l| l as u64).product();
+        let row_words: u64 = lens.iter().map(|&l| l as u64).sum();
+        costs.flops += nnz as u64 * accumulate_flops(&lens);
+        // Reads: value + (order-1) coords + factor rows per nonzero; writes:
+        // the compact result once.
+        costs.words +=
+            nnz as u64 * (order as u64 + row_words) + symbolic.mode(mode).num_rows() as u64 * width;
+    }
+    costs
+}
+
+impl DimTree {
+    /// Builds the tree and its symbolic grouping for a tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has fewer than two modes (callers fall back to
+    /// the per-mode strategy there) or no nonzeros.
+    pub fn build(tensor: &SparseTensor) -> Self {
+        let order = tensor.order();
+        assert!(order >= 2, "a dimension tree needs at least two modes");
+        assert!(tensor.nnz() > 0, "a dimension tree needs nonzeros");
+        // Root: one entry per nonzero, the full index tuple, nothing
+        // contracted.
+        let mut entry_idx = Vec::with_capacity(tensor.nnz() * order);
+        for t in 0..tensor.nnz() {
+            entry_idx.extend_from_slice(tensor.index(t));
+        }
+        let root = Node {
+            lo: 0,
+            hi: order,
+            parent: NONE,
+            children: [NONE, NONE],
+            col_modes: Vec::new(),
+            d_modes: Vec::new(),
+            group_ptr: Vec::new(),
+            members: Vec::new(),
+            contract_idx: Vec::new(),
+            entries: tensor.nnz(),
+            entry_idx,
+        };
+        let mut tree = DimTree {
+            order,
+            nnz: tensor.nnz(),
+            nodes: vec![root],
+            leaf_of_mode: vec![NONE; order],
+        };
+        tree.split(0);
+        debug_assert!(tree.leaf_of_mode.iter().all(|&id| id != NONE));
+        tree
+    }
+
+    /// Recursively splits `node_id` (preorder, so parents precede children).
+    fn split(&mut self, node_id: usize) {
+        let (lo, hi) = (self.nodes[node_id].lo, self.nodes[node_id].hi);
+        if hi - lo == 1 {
+            self.leaf_of_mode[lo] = node_id;
+            return;
+        }
+        let mid = lo + (hi - lo) / 2;
+        let left = self.make_child(node_id, lo, mid);
+        let left_id = self.nodes.len();
+        self.nodes.push(left);
+        self.nodes[node_id].children[0] = left_id;
+        self.split(left_id);
+        let right = self.make_child(node_id, mid, hi);
+        let right_id = self.nodes.len();
+        self.nodes.push(right);
+        self.nodes[node_id].children[1] = right_id;
+        self.split(right_id);
+        // Both children are grouped; the projected tuples have served their
+        // purpose (see the field docs) — free them.
+        self.nodes[node_id].entry_idx = Vec::new();
+    }
+
+    /// Builds the symbolic grouping of a child `[lo, hi)` of `parent_id`.
+    fn make_child(&self, parent_id: usize, lo: usize, hi: usize) -> Node {
+        let parent = &self.nodes[parent_id];
+        let span_p = parent.span();
+        let span = hi - lo;
+        let off = lo - parent.lo;
+        let d_modes: Vec<usize> = (parent.lo..parent.hi)
+            .filter(|t| !(lo..hi).contains(t))
+            .collect();
+        let d_len = d_modes.len();
+        // Positions of the contracted modes within the parent tuple: the
+        // range split is contiguous, so they are a prefix (right child) or a
+        // suffix (left child) of the parent tuple.
+        let d_off = if lo == parent.lo { span } else { 0 };
+        let n_parent = parent.num_entries();
+        let key = |e: usize| &parent.entry_idx[e * span_p + off..e * span_p + off + span];
+
+        let mut by_key: Vec<usize> = (0..n_parent).collect();
+        by_key.sort_unstable_by(|&a, &b| key(a).cmp(key(b)).then(a.cmp(&b)));
+
+        let mut group_ptr = vec![0usize];
+        let mut entry_idx = Vec::new();
+        let mut contract_idx = Vec::with_capacity(n_parent * d_len);
+        for (pos, &e) in by_key.iter().enumerate() {
+            if pos == 0 || key(by_key[pos - 1]) != key(e) {
+                if pos > 0 {
+                    group_ptr.push(pos);
+                }
+                entry_idx.extend_from_slice(key(e));
+            }
+            let d_src = e * span_p + d_off;
+            contract_idx.extend_from_slice(&parent.entry_idx[d_src..d_src + d_len]);
+        }
+        group_ptr.push(n_parent);
+        if n_parent == 0 {
+            group_ptr = Vec::new();
+        }
+
+        let mut col_modes = parent.col_modes.clone();
+        col_modes.extend_from_slice(&d_modes);
+        let entries = entry_idx.len() / span;
+        Node {
+            lo,
+            hi,
+            parent: parent_id,
+            children: [NONE, NONE],
+            col_modes,
+            d_modes,
+            group_ptr,
+            members: by_key,
+            contract_idx,
+            entries,
+            entry_idx,
+        }
+    }
+
+    /// Number of modes the tree spans.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Number of nonzeros of the tensor the tree was built for.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Number of nodes (`2·order − 1`).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Id of the leaf node of `mode`.
+    pub fn leaf_of_mode(&self, mode: usize) -> usize {
+        self.leaf_of_mode[mode]
+    }
+
+    /// Parent id of a node (`usize::MAX` for the root).
+    pub fn parent_of(&self, id: usize) -> usize {
+        self.nodes[id].parent
+    }
+
+    /// Whether `id` is a leaf.
+    pub fn is_leaf(&self, id: usize) -> bool {
+        self.nodes[id].is_leaf()
+    }
+
+    /// The mode a leaf node serves.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a leaf.
+    pub fn leaf_mode(&self, id: usize) -> usize {
+        assert!(self.nodes[id].is_leaf(), "node {id} is not a leaf");
+        self.nodes[id].lo
+    }
+
+    /// Whether `id` retains `mode` (nodes retaining an updated mode stay
+    /// valid; all others go stale).
+    pub fn node_contains_mode(&self, id: usize, mode: usize) -> bool {
+        (self.nodes[id].lo..self.nodes[id].hi).contains(&mode)
+    }
+
+    /// Number of stored entries (distinct projections) of a node.
+    pub fn node_entries(&self, id: usize) -> usize {
+        self.nodes[id].num_entries()
+    }
+
+    /// Width of a node's value vectors at the given ranks
+    /// (`Π_{t ∉ [lo,hi)} R_t`).
+    pub fn node_width(&self, id: usize, ranks: &[usize]) -> usize {
+        self.nodes[id].col_modes.iter().map(|&t| ranks[t]).product()
+    }
+
+    /// Whether `mode`'s leaf already produces the canonical (ascending
+    /// foreign-mode) column order.
+    pub fn leaf_is_canonical(&self, mode: usize) -> bool {
+        self.nodes[self.leaf_of_mode[mode]]
+            .col_modes
+            .windows(2)
+            .all(|w| w[0] < w[1])
+    }
+
+    /// Column permutation mapping `mode`'s leaf layout to the canonical
+    /// compact layout (`perm[tree_col] = canonical_col`), or `None` when the
+    /// leaf is already canonical.
+    pub fn leaf_permutation(&self, mode: usize, ranks: &[usize]) -> Option<Vec<usize>> {
+        if self.leaf_is_canonical(mode) {
+            return None;
+        }
+        let col_modes = &self.nodes[self.leaf_of_mode[mode]].col_modes;
+        let width: usize = col_modes.iter().map(|&t| ranks[t]).product();
+        // Canonical strides: ascending foreign modes, last fastest.
+        let mut sorted = col_modes.clone();
+        sorted.sort_unstable();
+        let mut canon_stride = vec![0usize; self.order];
+        let mut stride = 1;
+        for &t in sorted.iter().rev() {
+            canon_stride[t] = stride;
+            stride *= ranks[t];
+        }
+        let mut perm = vec![0usize; width];
+        for (c, slot) in perm.iter_mut().enumerate() {
+            let mut rem = c;
+            let mut canonical = 0usize;
+            for &t in col_modes.iter().rev() {
+                let digit = rem % ranks[t];
+                rem /= ranks[t];
+                canonical += digit * canon_stride[t];
+            }
+            *slot = canonical;
+        }
+        Some(perm)
+    }
+
+    /// Per-iteration cost of the tree strategy at the given ranks: every
+    /// non-root node is rebuilt once per iteration (one Kronecker-accumulate
+    /// per member, sharing the parent's partial value), plus the copy
+    /// serving non-canonical leaves into canonical order.
+    pub fn costs(&self, ranks: &[usize]) -> TtmcCosts {
+        let mut costs = TtmcCosts::default();
+        for node in self.nodes.iter().skip(1) {
+            let d_lens: Vec<usize> = node.d_modes.iter().map(|&t| ranks[t]).collect();
+            let wd: u64 = d_lens.iter().map(|&l| l as u64).product();
+            let width = self.width_of(node, ranks) as u64;
+            let wp = width / wd.max(1);
+            let members = node.members.len() as u64;
+            let entries = node.num_entries() as u64;
+            let parent_is_root = node.parent == 0;
+            let per_member_flops = if parent_is_root {
+                accumulate_flops(&d_lens)
+            } else if d_lens.len() == 1 {
+                accumulate_flops(&[wp as usize, d_lens[0]])
+            } else {
+                kron_materialize_flops(&d_lens) + accumulate_flops(&[wp as usize, wd as usize])
+            };
+            costs.flops += members * per_member_flops;
+            // Reads per member: contracted indices + factor rows + the
+            // parent value (the nonzero value itself at the root); writes:
+            // this node's entries once.
+            let d_row_words: u64 = d_lens.iter().map(|&l| l as u64).sum();
+            let parent_words = if parent_is_root { 1 } else { wp };
+            costs.words += members * (node.d_modes.len() as u64 + d_row_words + parent_words)
+                + entries * width;
+            if node.is_leaf() {
+                let mode = node.lo;
+                if !self.leaf_is_canonical(mode) {
+                    // Permuting into the canonical compact buffer reads and
+                    // writes every entry once more.
+                    costs.words += 2 * entries * width;
+                }
+            }
+        }
+        costs
+    }
+
+    fn width_of(&self, node: &Node, ranks: &[usize]) -> usize {
+        node.col_modes.iter().map(|&t| ranks[t]).product()
+    }
+
+    /// Computes node `id`'s value matrix from its parent's, parallel over
+    /// the node's entries.  `parent_values` must be `None` exactly when the
+    /// parent is the root (the tensor itself); `out` must be
+    /// `num_entries × node_width` and is overwritten.
+    ///
+    /// # Panics
+    /// Panics on shape mismatches.
+    pub fn compute_node_into(
+        &self,
+        id: usize,
+        tensor: &SparseTensor,
+        factors: &[Matrix],
+        parent_values: Option<&Matrix>,
+        out: &mut Matrix,
+    ) {
+        let node = &self.nodes[id];
+        assert_ne!(id, 0, "the root is the tensor itself and is never computed");
+        let ranks: Vec<usize> = factors.iter().map(|u| u.ncols()).collect();
+        let width = self.width_of(node, &ranks);
+        let d_len = node.d_modes.len();
+        let wd: usize = node.d_modes.iter().map(|&t| ranks[t]).product();
+        assert_eq!(
+            out.shape(),
+            (node.num_entries(), width),
+            "dimension-tree node buffer has the wrong shape"
+        );
+        assert_eq!(
+            parent_values.is_none(),
+            node.parent == 0,
+            "parent values must be supplied exactly for non-root parents"
+        );
+        if let Some(pv) = parent_values {
+            let parent = &self.nodes[node.parent];
+            assert_eq!(
+                pv.shape(),
+                (parent.num_entries(), self.width_of(parent, &ranks)),
+                "parent value buffer has the wrong shape"
+            );
+        }
+        if width == 0 || node.num_entries() == 0 {
+            return;
+        }
+        out.as_mut_slice()
+            .par_chunks_mut(width)
+            .enumerate()
+            .for_each_init(
+                || (vec![0.0; wd], vec![0.0; width], Vec::with_capacity(d_len)),
+                |(kbuf, sbuf, d_rows), (g, row_out)| {
+                    self.compute_entry(
+                        node,
+                        g,
+                        tensor,
+                        factors,
+                        parent_values,
+                        row_out,
+                        kbuf,
+                        sbuf,
+                        d_rows,
+                    );
+                },
+            );
+    }
+
+    /// Accumulates one entry (group of parent entries) of `node` into
+    /// `row_out`.
+    #[allow(clippy::too_many_arguments)]
+    fn compute_entry<'a>(
+        &self,
+        node: &Node,
+        g: usize,
+        tensor: &SparseTensor,
+        factors: &'a [Matrix],
+        parent_values: Option<&Matrix>,
+        row_out: &mut [f64],
+        kbuf: &mut [f64],
+        sbuf: &mut [f64],
+        d_rows: &mut Vec<&'a [f64]>,
+    ) {
+        row_out.iter_mut().for_each(|v| *v = 0.0);
+        let d_len = node.d_modes.len();
+        for k in node.group_ptr[g]..node.group_ptr[g + 1] {
+            let e = node.members[k];
+            let d_idx = &node.contract_idx[k * d_len..(k + 1) * d_len];
+            d_rows.clear();
+            for (j, &t) in node.d_modes.iter().enumerate() {
+                d_rows.push(factors[t].row(d_idx[j]));
+            }
+            match parent_values {
+                // Child of the root: contract the factor rows against the
+                // scalar nonzero value.
+                None => accumulate_scaled_kron(tensor.value(e), d_rows, row_out, sbuf),
+                // Deeper node: `row += parent_value ⊗ K`, a single bilinear
+                // accumulate that reuses everything already contracted.
+                Some(pv) => {
+                    let parent_row = pv.row(e);
+                    if d_len == 1 {
+                        accumulate_scaled_kron(1.0, &[parent_row, d_rows[0]], row_out, sbuf);
+                    } else {
+                        let wd = kbuf.len();
+                        kron_rows(d_rows, kbuf);
+                        accumulate_scaled_kron(1.0, &[parent_row, &kbuf[..wd]], row_out, sbuf);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Computes the compact TTMc of every mode with one *fixed* set of
+    /// factors (no in-sweep updates), returning canonical compact matrices
+    /// aligned with the symbolic row sets — the standalone entry used by
+    /// equality tests and the strategy bench.
+    pub fn ttmc_all_modes(
+        &self,
+        tensor: &SparseTensor,
+        symbolic: &SymbolicTtmc,
+        factors: &[Matrix],
+    ) -> Vec<Matrix> {
+        let ranks: Vec<usize> = factors.iter().map(|u| u.ncols()).collect();
+        let mut values: Vec<Matrix> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, n)| {
+                if id == 0 {
+                    Matrix::zeros(0, 0)
+                } else {
+                    Matrix::zeros(n.num_entries(), self.node_width(id, &ranks))
+                }
+            })
+            .collect();
+        for id in 1..self.nodes.len() {
+            let (before, rest) = values.split_at_mut(id);
+            let parent = self.nodes[id].parent;
+            let pv = if parent == 0 {
+                None
+            } else {
+                Some(&before[parent])
+            };
+            self.compute_node_into(id, tensor, factors, pv, &mut rest[0]);
+        }
+        (0..self.order)
+            .map(|mode| {
+                let leaf = &values[self.leaf_of_mode[mode]];
+                debug_assert_eq!(leaf.nrows(), symbolic.mode(mode).num_rows());
+                match self.leaf_permutation(mode, &ranks) {
+                    None => leaf.clone(),
+                    Some(perm) => {
+                        let mut out = Matrix::zeros(leaf.nrows(), leaf.ncols());
+                        permute_columns(leaf, &perm, &mut out);
+                        out
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+/// Scatters `src`'s columns into `dst` at the permuted positions
+/// (`dst[r][perm[c]] = src[r][c]`).
+pub(crate) fn permute_columns(src: &Matrix, perm: &[usize], dst: &mut Matrix) {
+    assert_eq!(src.shape(), dst.shape());
+    assert_eq!(src.ncols(), perm.len());
+    for p in 0..src.nrows() {
+        let src_row = src.row(p);
+        let dst_row = dst.row_mut(p);
+        for (c, &v) in src_row.iter().enumerate() {
+            dst_row[perm[c]] = v;
+        }
+    }
+}
+
+/// Recomputes the stale ancestors of `mode`'s leaf and serves the leaf's
+/// compact TTMc (canonical column order) into the workspace's compact buffer
+/// for `mode` — the dimension-tree replacement for
+/// [`crate::ttmc::ttmc_mode_into`] inside the HOOI sweep.
+///
+/// Node validity lives in the workspace ([`HooiWorkspace::ensure_tree`]
+/// resets it per solve); after each factor update the caller must call
+/// [`factor_updated`] so nodes contracted with the stale factor are rebuilt
+/// on their next use.
+pub fn serve_mode_into(
+    tree: &DimTree,
+    tensor: &SparseTensor,
+    sym: &SymbolicMode,
+    factors: &[Matrix],
+    mode: usize,
+    workspace: &mut HooiWorkspace,
+) {
+    let leaf = tree.leaf_of_mode(mode);
+    debug_assert_eq!(tree.node_entries(leaf), sym.num_rows());
+    // Stale chain from the leaf upward; ancestors above the first valid node
+    // are valid too (staleness propagates downward: a factor outside an
+    // ancestor's range is also outside every descendant's range).
+    let mut chain = vec![leaf];
+    let mut id = tree.parent_of(leaf);
+    while id != 0 && !workspace.tree_valid[id] {
+        chain.push(id);
+        id = tree.parent_of(id);
+    }
+    for &id in chain.iter().rev() {
+        let parent = tree.parent_of(id);
+        let canonical = id == leaf && tree.leaf_is_canonical(mode);
+        // Split disjoint workspace fields: the parent's value buffer is read
+        // while the target (tree buffer or compact matrix) is written.
+        let ws = &mut *workspace;
+        if canonical {
+            // The leaf's entries are the compact rows in the same (sorted)
+            // order — compute straight into the compact buffer.
+            let parent_values = if parent == 0 {
+                None
+            } else {
+                Some(&ws.tree_values[parent])
+            };
+            tree.compute_node_into(id, tensor, factors, parent_values, &mut ws.compact[mode]);
+        } else {
+            let (before, rest) = ws.tree_values.split_at_mut(id);
+            let parent_values = if parent == 0 {
+                None
+            } else {
+                Some(&before[parent])
+            };
+            tree.compute_node_into(id, tensor, factors, parent_values, &mut rest[0]);
+        }
+        ws.tree_valid[id] = true;
+    }
+    if !tree.leaf_is_canonical(mode) {
+        let ws = &mut *workspace;
+        permute_columns(
+            &ws.tree_values[leaf],
+            &ws.leaf_perms[mode],
+            &mut ws.compact[mode],
+        );
+    }
+}
+
+/// Marks every node *not* retaining `mode` stale after `mode`'s factor was
+/// updated; retained nodes (and the root) stay valid.
+pub fn factor_updated(tree: &DimTree, mode: usize, workspace: &mut HooiWorkspace) {
+    for id in 1..tree.num_nodes() {
+        if !tree.node_contains_mode(id, mode) {
+            workspace.tree_valid[id] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ttmc::ttmc_mode;
+    use datagen::random_tensor;
+
+    fn factors_for(tensor: &SparseTensor, ranks: &[usize], seed: u64) -> Vec<Matrix> {
+        tensor
+            .dims()
+            .iter()
+            .zip(ranks.iter())
+            .enumerate()
+            .map(|(m, (&d, &r))| Matrix::random(d, r, seed + m as u64))
+            .collect()
+    }
+
+    #[test]
+    fn tree_shape_and_leaves() {
+        let t = random_tensor(&[6, 5, 4, 3], 50, 1);
+        let tree = DimTree::build(&t);
+        assert_eq!(tree.num_nodes(), 7);
+        assert_eq!(tree.order(), 4);
+        for mode in 0..4 {
+            let leaf = tree.leaf_of_mode(mode);
+            assert!(tree.is_leaf(leaf));
+            assert!(tree.node_contains_mode(leaf, mode));
+        }
+        // The rightmost leaves contract ascending ranges and are canonical.
+        assert!(tree.leaf_is_canonical(2));
+        assert!(tree.leaf_is_canonical(3));
+        assert!(!tree.leaf_is_canonical(0));
+        assert!(!tree.leaf_is_canonical(1));
+    }
+
+    #[test]
+    fn order3_tree_is_fully_canonical() {
+        let t = random_tensor(&[8, 7, 6], 60, 2);
+        let tree = DimTree::build(&t);
+        assert_eq!(tree.num_nodes(), 5);
+        for mode in 0..3 {
+            assert!(tree.leaf_is_canonical(mode), "mode {mode}");
+            assert!(tree.leaf_permutation(mode, &[2, 3, 4]).is_none());
+        }
+    }
+
+    #[test]
+    fn groups_partition_parent_entries() {
+        let t = random_tensor(&[9, 8, 7, 6], 120, 3);
+        let tree = DimTree::build(&t);
+        for id in 1..tree.num_nodes() {
+            let node = &tree.nodes[id];
+            let parent_entries = tree.nodes[node.parent].num_entries();
+            let mut seen: Vec<usize> = node.members.clone();
+            seen.sort_unstable();
+            assert_eq!(seen, (0..parent_entries).collect::<Vec<_>>());
+            assert_eq!(*node.group_ptr.last().unwrap(), node.members.len());
+            assert_eq!(node.group_ptr.len(), node.num_entries() + 1);
+        }
+    }
+
+    #[test]
+    fn leaf_entries_match_symbolic_rows() {
+        let t = random_tensor(&[10, 9, 8, 7], 150, 4);
+        let tree = DimTree::build(&t);
+        let sym = SymbolicTtmc::build(&t);
+        for mode in 0..4 {
+            let node = &tree.nodes[tree.leaf_of_mode(mode)];
+            assert_eq!(node.entry_idx, sym.mode(mode).rows, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn tree_ttmc_matches_per_mode_order3() {
+        let t = random_tensor(&[12, 10, 8], 300, 5);
+        let ranks = [3, 4, 2];
+        let factors = factors_for(&t, &ranks, 11);
+        let sym = SymbolicTtmc::build(&t);
+        let tree = DimTree::build(&t);
+        let tree_results = tree.ttmc_all_modes(&t, &sym, &factors);
+        for mode in 0..3 {
+            let per_mode = ttmc_mode(&t, sym.mode(mode), &factors, mode);
+            assert_eq!(per_mode.shape(), tree_results[mode].shape());
+            let dist = per_mode.frobenius_distance(&tree_results[mode]);
+            assert!(
+                dist < 1e-12 * per_mode.frobenius_norm().max(1.0),
+                "mode {mode}: distance {dist}"
+            );
+        }
+    }
+
+    #[test]
+    fn tree_ttmc_matches_per_mode_orders_4_and_5() {
+        for (dims, ranks, nnz, seed) in [
+            (vec![7, 6, 5, 4], vec![2, 3, 2, 2], 200usize, 7u64),
+            (vec![6, 5, 4, 3, 4], vec![2, 2, 3, 2, 2], 150, 9),
+        ] {
+            let t = random_tensor(&dims, nnz, seed);
+            let factors = factors_for(&t, &ranks, seed + 100);
+            let sym = SymbolicTtmc::build(&t);
+            let tree = DimTree::build(&t);
+            let tree_results = tree.ttmc_all_modes(&t, &sym, &factors);
+            for mode in 0..dims.len() {
+                let per_mode = ttmc_mode(&t, sym.mode(mode), &factors, mode);
+                assert_eq!(per_mode.shape(), tree_results[mode].shape());
+                let dist = per_mode.frobenius_distance(&tree_results[mode]);
+                assert!(
+                    dist < 1e-12 * per_mode.frobenius_norm().max(1.0),
+                    "order {} mode {mode}: distance {dist}",
+                    dims.len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let t = random_tensor(&[5, 5, 5, 5], 80, 13);
+        let tree = DimTree::build(&t);
+        let ranks = [2, 3, 4, 2];
+        let perm = tree
+            .leaf_permutation(0, &ranks)
+            .expect("leaf 0 is permuted");
+        assert_eq!(perm.len(), 3 * 4 * 2);
+        let mut seen = vec![false; perm.len()];
+        for &p in &perm {
+            assert!(!seen[p]);
+            seen[p] = true;
+        }
+    }
+
+    #[test]
+    fn tree_flops_strictly_below_per_mode_for_order_4_plus() {
+        for (dims, ranks, nnz, seed) in [
+            (vec![10, 9, 8, 7], vec![5, 5, 5, 5], 400usize, 1u64),
+            (vec![8, 7, 6, 5], vec![2, 2, 2, 2], 250, 2),
+            (vec![7, 6, 5, 4, 3], vec![3, 3, 3, 3, 3], 300, 3),
+        ] {
+            let t = random_tensor(&dims, nnz, seed);
+            let sym = SymbolicTtmc::build(&t);
+            let tree = DimTree::build(&t);
+            let tree_costs = tree.costs(&ranks);
+            let baseline = per_mode_costs(&sym, t.nnz(), &ranks);
+            assert!(
+                tree_costs.flops < baseline.flops,
+                "order {}: tree {} !< per-mode {}",
+                dims.len(),
+                tree_costs.flops,
+                baseline.flops
+            );
+        }
+    }
+
+    #[test]
+    fn cost_counters_are_deterministic_and_scale_with_rank() {
+        let t = random_tensor(&[10, 10, 10, 10], 500, 21);
+        let tree = DimTree::build(&t);
+        assert_eq!(tree.costs(&[4, 4, 4, 4]), tree.costs(&[4, 4, 4, 4]));
+        assert!(tree.costs(&[6, 6, 6, 6]).flops > tree.costs(&[2, 2, 2, 2]).flops);
+        assert!(tree.costs(&[4, 4, 4, 4]).words > 0);
+    }
+
+    #[test]
+    fn order2_tree_works() {
+        let t = random_tensor(&[9, 7], 30, 17);
+        let ranks = [3, 2];
+        let factors = factors_for(&t, &ranks, 3);
+        let sym = SymbolicTtmc::build(&t);
+        let tree = DimTree::build(&t);
+        let results = tree.ttmc_all_modes(&t, &sym, &factors);
+        for mode in 0..2 {
+            let per_mode = ttmc_mode(&t, sym.mode(mode), &factors, mode);
+            assert!(per_mode.frobenius_distance(&results[mode]) < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn order1_tree_rejected() {
+        let t = SparseTensor::from_entries(vec![4], &[(vec![1], 1.0)]);
+        let _ = DimTree::build(&t);
+    }
+
+    #[test]
+    fn kron_and_accumulate_flop_formulas() {
+        assert_eq!(kron_materialize_flops(&[3]), 3);
+        assert_eq!(kron_materialize_flops(&[2, 3]), 2 + 6);
+        assert_eq!(kron_materialize_flops(&[2, 3, 4]), 2 + 6 + 24);
+        assert_eq!(accumulate_flops(&[]), 1);
+        assert_eq!(accumulate_flops(&[5]), 10);
+        assert_eq!(accumulate_flops(&[2, 3]), 2 + 12);
+        assert_eq!(accumulate_flops(&[2, 3, 4]), (2 + 6 + 24) + 48);
+    }
+}

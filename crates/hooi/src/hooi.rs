@@ -136,7 +136,13 @@ pub fn tucker_hooi(
     tensor: &SparseTensor,
     config: &TuckerConfig,
 ) -> Result<TuckerDecomposition, TuckerError> {
-    TuckerSolver::plan(tensor, PlanOptions::new().num_threads(config.num_threads))?.solve(config)
+    TuckerSolver::plan(
+        tensor,
+        PlanOptions::new()
+            .num_threads(config.num_threads)
+            .ttmc_strategy(config.ttmc_strategy),
+    )?
+    .solve(config)
 }
 
 /// The pool-agnostic one-shot entry: runs in whatever thread context the
@@ -152,12 +158,20 @@ pub fn tucker_hooi_in_current_pool(
     }
     let ranks = config.validated_ranks(tensor.dims())?;
     let t0 = Instant::now();
-    let symbolic = SymbolicTtmc::build(tensor);
+    let use_tree =
+        config.ttmc_strategy == crate::config::TtmcStrategy::DimensionTree && tensor.order() >= 2;
+    let symbolic = if use_tree {
+        SymbolicTtmc::build_without_layout(tensor)
+    } else {
+        SymbolicTtmc::build(tensor)
+    };
+    let tree = use_tree.then(|| crate::dimtree::DimTree::build(tensor));
     let symbolic_time = t0.elapsed();
     let mut workspace = HooiWorkspace::new(&symbolic, &ranks);
     Ok(crate::solver::run_hooi(
         tensor,
         &symbolic,
+        tree.as_ref(),
         &mut workspace,
         tensor.frobenius_norm(),
         &ranks,

@@ -9,7 +9,11 @@
 //!    lock-free and all index arithmetic is hoisted out of the HOOI loop.
 //! 2. [`ttmc`] — the *nonzero-based* numeric TTMc (paper Eq. (4) /
 //!    Algorithm 2): each nonzero contributes `x · ⊗_{t≠n} U_t(i_t, :)` to
-//!    its row, computed in parallel over rows with rayon.
+//!    its row, computed in parallel over rows with rayon, streaming the
+//!    mode-sorted nonzero layout; [`dimtree`] — the flop-sharing
+//!    dimension-tree variant that materializes shared partial contractions
+//!    once per iteration and serves every mode from them (the solver's
+//!    default, [`TtmcStrategy::DimensionTree`]).
 //! 3. [`trsvd`] — the truncated SVD of the matricized result using the
 //!    matrix-free Lanczos solver (the SLEPc stand-in), or alternatives.
 //! 4. [`solver`] — the plan/execute split: [`TuckerSolver::plan`] runs the
@@ -33,6 +37,7 @@
 
 pub mod config;
 pub mod core_tensor;
+pub mod dimtree;
 pub mod error;
 pub mod fit;
 pub mod hooi;
@@ -44,7 +49,8 @@ pub mod trsvd;
 pub mod ttmc;
 pub mod workspace;
 
-pub use config::{Initialization, TrsvdBackend, TuckerConfig};
+pub use config::{Initialization, TrsvdBackend, TtmcStrategy, TuckerConfig};
+pub use dimtree::{per_mode_costs, DimTree, TtmcCosts};
 pub use error::TuckerError;
 pub use hooi::{tucker_hooi, tucker_hooi_in_current_pool, TimingBreakdown, TuckerDecomposition};
 pub use solver::{IterationControl, IterationObserver, IterationReport, PlanOptions, TuckerSolver};

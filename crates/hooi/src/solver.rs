@@ -40,8 +40,9 @@
 //! # Ok::<(), hooi::TuckerError>(())
 //! ```
 
-use crate::config::{Initialization, TuckerConfig};
+use crate::config::{Initialization, TtmcStrategy, TuckerConfig};
 use crate::core_tensor::core_from_last_ttmc_into;
+use crate::dimtree::{self, DimTree};
 use crate::error::TuckerError;
 use crate::fit::fit_from_norms;
 use crate::hooi::{TimingBreakdown, TuckerDecomposition};
@@ -60,10 +61,15 @@ pub struct PlanOptions {
     /// Worker thread count of the session's pool; `0` (the default) uses
     /// every available hardware thread.
     pub num_threads: usize,
+    /// How the session computes its TTMc sweeps.  Fixed at plan time
+    /// because the dimension tree's symbolic grouping is part of the plan;
+    /// defaults to [`TtmcStrategy::DimensionTree`], the fast path.  Single-
+    /// mode tensors fall back to [`TtmcStrategy::PerMode`] silently.
+    pub ttmc_strategy: TtmcStrategy,
 }
 
 impl PlanOptions {
-    /// Default options: all hardware threads.
+    /// Default options: all hardware threads, dimension-tree TTMc.
     pub fn new() -> Self {
         PlanOptions::default()
     }
@@ -72,6 +78,12 @@ impl PlanOptions {
     /// available hardware threads).
     pub fn num_threads(mut self, n: usize) -> Self {
         self.num_threads = n;
+        self
+    }
+
+    /// Builder-style setter for the TTMc strategy of the session.
+    pub fn ttmc_strategy(mut self, strategy: TtmcStrategy) -> Self {
+        self.ttmc_strategy = strategy;
         self
     }
 }
@@ -163,6 +175,7 @@ impl IterationObserver for NoopObserver {
 pub struct TuckerSolver<'a> {
     tensor: &'a SparseTensor,
     symbolic: SymbolicTtmc,
+    dimtree: Option<DimTree>,
     pool: rayon::ThreadPool,
     workspace: HooiWorkspace,
     tensor_norm: f64,
@@ -193,13 +206,27 @@ impl<'a> TuckerSolver<'a> {
             .map_err(|e| TuckerError::PoolFailure(e.to_string()))?;
         let pool_build_time = t_pool.elapsed();
         let t0 = Instant::now();
-        let symbolic = pool.install(|| SymbolicTtmc::build(tensor));
+        // The dimension tree's symbolic grouping is part of the plan: built
+        // once here, reused by every solve.  Order-1 tensors have no tree.
+        // A tree plan skips the per-mode streaming layouts — its TTMc never
+        // runs the per-mode kernel, and they would duplicate the nonzero
+        // data once per mode.
+        let use_tree = options.ttmc_strategy == TtmcStrategy::DimensionTree && tensor.order() >= 2;
+        let symbolic = pool.install(|| {
+            if use_tree {
+                SymbolicTtmc::build_without_layout(tensor)
+            } else {
+                SymbolicTtmc::build(tensor)
+            }
+        });
+        let dimtree = use_tree.then(|| DimTree::build(tensor));
         let symbolic_time = t0.elapsed();
         Ok(TuckerSolver {
             tensor,
             workspace: HooiWorkspace::for_order(tensor.order()),
             tensor_norm: tensor.frobenius_norm(),
             symbolic,
+            dimtree,
             pool,
             symbolic_time,
             pool_build_time,
@@ -215,6 +242,22 @@ impl<'a> TuckerSolver<'a> {
     /// The symbolic TTMc structure computed at plan time.
     pub fn symbolic(&self) -> &SymbolicTtmc {
         &self.symbolic
+    }
+
+    /// The session's TTMc strategy (the plan-time option, with the order-1
+    /// fallback applied).
+    pub fn ttmc_strategy(&self) -> TtmcStrategy {
+        if self.dimtree.is_some() {
+            TtmcStrategy::DimensionTree
+        } else {
+            TtmcStrategy::PerMode
+        }
+    }
+
+    /// The dimension tree built at plan time, if the session uses the
+    /// [`TtmcStrategy::DimensionTree`] strategy.
+    pub fn dimtree(&self) -> Option<&DimTree> {
+        self.dimtree.as_ref()
     }
 
     /// Wall-clock time the one-time symbolic analysis took.
@@ -276,11 +319,13 @@ impl<'a> TuckerSolver<'a> {
         let tensor = self.tensor;
         let tensor_norm = self.tensor_norm;
         let symbolic = &self.symbolic;
+        let tree = self.dimtree.as_ref();
         let workspace = &mut self.workspace;
         let result = self.pool.install(|| {
             run_hooi(
                 tensor,
                 symbolic,
+                tree,
                 workspace,
                 tensor_norm,
                 &ranks,
@@ -326,14 +371,15 @@ impl std::fmt::Debug for TuckerSolver<'_> {
     }
 }
 
-/// The pool-agnostic HOOI driver shared by every entry point: per-mode
-/// numeric TTMc + TRSVD sweeps over preplanned symbolic data, core
-/// extraction from the last mode's result, fit monitoring, observer
-/// callbacks, and per-phase timing.
+/// The pool-agnostic HOOI driver shared by every entry point: numeric TTMc
+/// (per-mode sweeps, or dimension-tree serves when `tree` is given) + TRSVD
+/// over preplanned symbolic data, core extraction from the last mode's
+/// result, fit monitoring, observer callbacks, and per-phase timing.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_hooi(
     tensor: &SparseTensor,
     symbolic: &SymbolicTtmc,
+    tree: Option<&DimTree>,
     workspace: &mut HooiWorkspace,
     tensor_norm: f64,
     ranks: &[usize],
@@ -358,6 +404,9 @@ pub(crate) fn run_hooi(
     timings.init = t_init.elapsed();
 
     workspace.ensure(symbolic, ranks);
+    if let Some(tree) = tree {
+        workspace.ensure_tree(tree, ranks);
+    }
 
     let mut fits: Vec<f64> = Vec::with_capacity(config.max_iterations);
     let mut singular_values = vec![Vec::new(); order];
@@ -370,13 +419,23 @@ pub(crate) fn run_hooi(
 
         for mode in 0..order {
             let t_ttmc = Instant::now();
-            ttmc_mode_into(
-                tensor,
-                symbolic.mode(mode),
-                &factors,
-                mode,
-                workspace.compact_mut(mode),
-            );
+            match tree {
+                Some(tree) => dimtree::serve_mode_into(
+                    tree,
+                    tensor,
+                    symbolic.mode(mode),
+                    &factors,
+                    mode,
+                    workspace,
+                ),
+                None => ttmc_mode_into(
+                    tensor,
+                    symbolic.mode(mode),
+                    &factors,
+                    mode,
+                    workspace.compact_mut(mode),
+                ),
+            }
             iter_ttmc += t_ttmc.elapsed();
 
             let t_trsvd = Instant::now();
@@ -394,6 +453,11 @@ pub(crate) fn run_hooi(
 
             factors[mode] = result.factor;
             singular_values[mode] = result.singular_values;
+            if let Some(tree) = tree {
+                // The factor just changed: every tree node contracted with
+                // it goes stale and is rebuilt on its next serve.
+                dimtree::factor_updated(tree, mode, workspace);
+            }
         }
 
         // Core tensor from the last mode's TTMc result (already computed

@@ -15,7 +15,7 @@
 //! copies of the nonzeros, exactly as the paper describes.
 
 use rayon::prelude::*;
-use sptensor::hash::FxHashMap;
+use sptensor::layout::ModeSortedNonzeros;
 use sptensor::SparseTensor;
 
 /// Update lists for one mode, in CSR-like form.
@@ -30,15 +30,44 @@ pub struct SymbolicMode {
     pub row_ptr: Vec<usize>,
     /// Nonzero ids grouped by row.
     pub nonzero_ids: Vec<usize>,
-    /// Inverse map from a global row index to its position in
-    /// [`rows`](Self::rows).
-    row_pos: FxHashMap<usize, usize>,
+    /// Dense inverse map from a global row index to its position in
+    /// [`rows`](Self::rows); `usize::MAX` marks an empty row.  One `Vec`
+    /// lookup per nonzero in the build and per `position_of` call, replacing
+    /// the previous hash-map probe on both hot paths.
+    row_pos: Vec<usize>,
+    /// The nonzero data (values + foreign-mode indices) permuted into
+    /// update-list order so the per-mode numeric TTMc streams contiguously.
+    /// Costs one extra copy of the nonzero data per mode (`nnz` values +
+    /// `(order-1)·nnz` indices) — the same memory/speed trade the per-mode
+    /// CSF layouts of the follow-up literature make — so it is only
+    /// materialized where that kernel actually runs: `None` on
+    /// dimension-tree plans (the tree streams its own per-node
+    /// contract-index arrays instead), in which case
+    /// [`crate::ttmc`] gathers through COO ids in the identical
+    /// accumulation order.
+    layout: Option<ModeSortedNonzeros>,
 }
 
 impl SymbolicMode {
     /// Builds the update lists for `mode` with a counting pass followed by a
-    /// filling pass (two passes over the nonzeros, no sort).
+    /// filling pass (two passes over the nonzeros, no sort), then the
+    /// mode-sorted nonzero layout the per-mode numeric kernel streams.
     pub fn build(tensor: &SparseTensor, mode: usize) -> Self {
+        SymbolicMode::build_with_layout(tensor, mode, true)
+    }
+
+    /// [`build`](Self::build) with the mode-sorted layout made optional:
+    /// dimension-tree plans pass `false` and skip the per-mode value/index
+    /// copies (the tree serves TTMc from its own node structures).
+    ///
+    /// The update lists themselves ([`nonzero_ids`](Self::nonzero_ids)) are
+    /// always built, even though the tree path reads only
+    /// [`rows`](Self::rows): they are the paper's symbolic-TTMc artifact
+    /// and what keeps [`update_list`](Self::update_list) and the per-mode
+    /// kernel's COO-gather fallback valid on *every* plan — a deliberate
+    /// `order·nnz`-word trade against silently breaking this type's public
+    /// invariants on tree plans.
+    pub fn build_with_layout(tensor: &SparseTensor, mode: usize, with_layout: bool) -> Self {
         assert!(mode < tensor.order());
         let dim = tensor.dims()[mode];
         // Pass 1: count nonzeros per row.
@@ -48,10 +77,9 @@ impl SymbolicMode {
         }
         // Compact to nonempty rows.
         let rows: Vec<usize> = (0..dim).filter(|&i| counts[i] > 0).collect();
-        let mut row_pos = FxHashMap::default();
-        row_pos.reserve(rows.len());
+        let mut row_pos = vec![usize::MAX; dim];
         for (p, &i) in rows.iter().enumerate() {
-            row_pos.insert(i, p);
+            row_pos[i] = p;
         }
         let mut row_ptr = Vec::with_capacity(rows.len() + 1);
         row_ptr.push(0usize);
@@ -63,16 +91,18 @@ impl SymbolicMode {
         let mut nonzero_ids = vec![0usize; tensor.nnz()];
         for t in 0..tensor.nnz() {
             let i = tensor.index(t)[mode];
-            let p = row_pos[&i];
+            let p = row_pos[i];
             nonzero_ids[cursor[p]] = t;
             cursor[p] += 1;
         }
+        let layout = with_layout.then(|| ModeSortedNonzeros::build(tensor, mode, &nonzero_ids));
         SymbolicMode {
             mode,
             rows,
             row_ptr,
             nonzero_ids,
             row_pos,
+            layout,
         }
     }
 
@@ -88,7 +118,21 @@ impl SymbolicMode {
 
     /// Position of global row `i` in [`rows`](Self::rows), if non-empty.
     pub fn position_of(&self, i: usize) -> Option<usize> {
-        self.row_pos.get(&i).copied()
+        match self.row_pos.get(i).copied() {
+            Some(usize::MAX) | None => None,
+            p => p,
+        }
+    }
+
+    /// The mode-sorted nonzero layout: values and foreign-mode indices in
+    /// update-list order, aligned with [`row_ptr`](Self::row_ptr) /
+    /// [`nonzero_ids`](Self::nonzero_ids).  `None` when the symbolic data
+    /// was built for a dimension-tree plan
+    /// ([`SymbolicTtmc::build_without_layout`]); the per-mode kernel then
+    /// gathers through COO ids instead, in the same accumulation order.
+    #[inline]
+    pub fn layout(&self) -> Option<&ModeSortedNonzeros> {
+        self.layout.as_ref()
     }
 
     /// The length of the longest update list — the largest atomic task in
@@ -120,6 +164,18 @@ impl SymbolicTtmc {
         SymbolicTtmc { modes }
     }
 
+    /// [`build`](Self::build) without the mode-sorted nonzero layouts —
+    /// what a dimension-tree plan uses, since its TTMc never runs the
+    /// per-mode streaming kernel and the layouts would be one dead copy of
+    /// the nonzero data per mode.
+    pub fn build_without_layout(tensor: &SparseTensor) -> Self {
+        let modes: Vec<SymbolicMode> = (0..tensor.order())
+            .into_par_iter()
+            .map(|m| SymbolicMode::build_with_layout(tensor, m, false))
+            .collect();
+        SymbolicTtmc { modes }
+    }
+
     /// Sequential variant, used to measure the benefit of mode-parallel
     /// symbolic construction.
     pub fn build_sequential(tensor: &SparseTensor) -> Self {
@@ -145,9 +201,9 @@ impl SymbolicTtmc {
         self.modes
             .iter()
             .map(|m| {
-                (m.rows.len() + m.row_ptr.len() + m.nonzero_ids.len())
+                (m.rows.len() + m.row_ptr.len() + m.nonzero_ids.len() + m.row_pos.len())
                     * std::mem::size_of::<usize>()
-                    + m.rows.len() * 2 * std::mem::size_of::<usize>()
+                    + m.layout.as_ref().map_or(0, |l| l.memory_bytes())
             })
             .sum()
     }
@@ -212,6 +268,42 @@ mod tests {
         assert_eq!(s.position_of(2), Some(1));
         assert_eq!(s.position_of(1), None);
         assert_eq!(s.position_of(3), Some(2));
+    }
+
+    #[test]
+    fn layout_mirrors_update_list_order() {
+        let t = sample();
+        for mode in 0..3 {
+            let s = SymbolicMode::build(&t, mode);
+            let lay = s.layout().expect("default build carries the layout");
+            assert_eq!(lay.len(), t.nnz());
+            for (pos, &id) in s.nonzero_ids.iter().enumerate() {
+                assert_eq!(lay.value(pos), t.value(id));
+                let full = t.index(id);
+                let expect: Vec<usize> = full
+                    .iter()
+                    .enumerate()
+                    .filter(|&(m, _)| m != mode)
+                    .map(|(_, &i)| i)
+                    .collect();
+                assert_eq!(lay.coords(pos), &expect[..], "mode {mode} pos {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn layoutless_build_matches_update_lists() {
+        let t = sample();
+        for mode in 0..3 {
+            let with = SymbolicMode::build(&t, mode);
+            let without = SymbolicMode::build_with_layout(&t, mode, false);
+            assert!(without.layout().is_none());
+            assert_eq!(with.rows, without.rows);
+            assert_eq!(with.row_ptr, without.row_ptr);
+            assert_eq!(with.nonzero_ids, without.nonzero_ids);
+        }
+        let bare = SymbolicTtmc::build_without_layout(&t);
+        assert!(bare.memory_bytes() < SymbolicTtmc::build(&t).memory_bytes());
     }
 
     #[test]

@@ -9,6 +9,14 @@
 //! The result is returned in *compact* form: one row per non-empty slice,
 //! `|J_n| × Π_{t≠n} R_t`; rows of the full matricization outside `J_n` are
 //! identically zero and never materialized.
+//!
+//! The numeric kernel streams the mode-sorted layout built by the symbolic
+//! step ([`SymbolicMode::layout`]) — values and foreign-mode indices in
+//! update-list order — instead of gathering each nonzero through COO ids,
+//! and order-3 tensors (the common case) take a specialized two-row
+//! outer-product micro-kernel with an unrolled inner axpy.  Both changes
+//! keep the accumulation order of every row, so results stay bit-identical
+//! to the id-gathering formulation the distributed executor replays.
 
 use crate::symbolic::SymbolicMode;
 use linalg::Matrix;
@@ -29,31 +37,115 @@ pub fn ttmc_result_width(factors: &[Matrix], mode: usize) -> usize {
 
 /// Computes one row of the compact TTMc result into `out`.
 ///
-/// `out` must have length `Π_{t≠mode} R_t` and is overwritten.
-fn compute_row(
+/// `out` must have length `Π_{t≠mode} R_t` and is overwritten; `rows` is
+/// caller-owned scratch for the factor-row list so the parallel sweep hoists
+/// its allocation into the per-worker state.  When the symbolic data
+/// carries a mode-sorted layout the kernel streams it (order 3 through the
+/// specialized micro-kernel); otherwise it gathers through COO ids in the
+/// identical accumulation order, so both paths produce the same bits.
+#[allow(clippy::too_many_arguments)]
+fn compute_row<'a>(
     tensor: &SparseTensor,
     sym: &SymbolicMode,
-    factors: &[Matrix],
+    factors: &'a [Matrix],
     mode: usize,
     row_position: usize,
     out: &mut [f64],
     scratch: &mut [f64],
+    rows: &mut Vec<&'a [f64]>,
 ) {
     out.iter_mut().for_each(|v| *v = 0.0);
-    let order = tensor.order();
-    // Collect the factor rows for each nonzero in the update list.
-    let mut rows: Vec<&[f64]> = Vec::with_capacity(order - 1);
-    for &id in sym.update_list(row_position) {
-        let index = tensor.index(id);
-        let value = tensor.value(id);
+    let lo = sym.row_ptr[row_position];
+    let hi = sym.row_ptr[row_position + 1];
+    let Some(layout) = sym.layout() else {
+        // No layout (dimension-tree plans): gather each nonzero's value and
+        // indices from the COO arrays.
+        for &id in sym.update_list(row_position) {
+            let index = tensor.index(id);
+            rows.clear();
+            for (t, factor) in factors.iter().enumerate() {
+                if t == mode {
+                    continue;
+                }
+                rows.push(factor.row(index[t]));
+            }
+            accumulate_scaled_kron(tensor.value(id), rows, out, scratch);
+        }
+        return;
+    };
+    let arity = layout.arity();
+    if arity == 2 {
+        // Order 3: the dominant case gets the specialized micro-kernel.
+        let (a, b) = foreign_pair(mode);
+        compute_row3(
+            layout.values_range(lo, hi),
+            layout.coords_range(lo, hi),
+            &factors[a],
+            &factors[b],
+            out,
+        );
+        return;
+    }
+    let values = layout.values_range(lo, hi);
+    let coords = layout.coords_range(lo, hi);
+    for (k, &value) in values.iter().enumerate() {
+        let c = &coords[k * arity..(k + 1) * arity];
         rows.clear();
-        for t in 0..order {
+        let mut j = 0;
+        for (t, factor) in factors.iter().enumerate() {
             if t == mode {
                 continue;
             }
-            rows.push(factors[t].row(index[t]));
+            rows.push(factor.row(c[j]));
+            j += 1;
         }
-        accumulate_scaled_kron(value, &rows, out, scratch);
+        accumulate_scaled_kron(value, rows, out, scratch);
+    }
+}
+
+/// The two foreign modes of `mode` in an order-3 tensor, ascending.
+#[inline]
+fn foreign_pair(mode: usize) -> (usize, usize) {
+    match mode {
+        0 => (1, 2),
+        1 => (0, 2),
+        _ => (0, 1),
+    }
+}
+
+/// Order-3 micro-kernel: accumulates `Σ_k x_k · (U_a(i_a) ⊗ U_b(i_b))` into
+/// `out`, streaming the mode-sorted `values`/`coords` arrays.  The scaled
+/// outer product of the two factor rows is written directly (coefficient
+/// hoisted per `a`-entry, inner axpy unrolled by four); the per-element
+/// operations and their order match [`accumulate_scaled_kron`]'s two-factor
+/// branch exactly, so the result is bit-identical to the generic path.
+fn compute_row3(values: &[f64], coords: &[usize], fa: &Matrix, fb: &Matrix, out: &mut [f64]) {
+    let rb = fb.ncols();
+    for (k, &x) in values.iter().enumerate() {
+        let u = fa.row(coords[2 * k]);
+        let v = fb.row(coords[2 * k + 1]);
+        for (i, &ui) in u.iter().enumerate() {
+            let coeff = x * ui;
+            if coeff == 0.0 {
+                continue;
+            }
+            let acc = &mut out[i * rb..(i + 1) * rb];
+            let mut acc_chunks = acc.chunks_exact_mut(4);
+            let mut v_chunks = v.chunks_exact(4);
+            for (a4, v4) in acc_chunks.by_ref().zip(v_chunks.by_ref()) {
+                a4[0] += coeff * v4[0];
+                a4[1] += coeff * v4[1];
+                a4[2] += coeff * v4[2];
+                a4[3] += coeff * v4[3];
+            }
+            for (a1, &v1) in acc_chunks
+                .into_remainder()
+                .iter_mut()
+                .zip(v_chunks.remainder())
+            {
+                *a1 += coeff * v1;
+            }
+        }
     }
 }
 
@@ -100,16 +192,17 @@ pub fn ttmc_mode_into(
     if width == 0 {
         return;
     }
-    // Parallelize over rows; each worker gets one scratch buffer through
-    // `for_each_init`, so scratch allocation is amortized over all the rows
-    // a worker processes.
+    let order = tensor.order();
+    // Parallelize over rows; each worker gets one scratch buffer and one
+    // factor-row list through `for_each_init`, so both allocations are
+    // amortized over all the rows a worker processes.
     out.as_mut_slice()
         .par_chunks_mut(width)
         .enumerate()
         .for_each_init(
-            || vec![0.0; width],
-            |scratch, (p, row_out)| {
-                compute_row(tensor, sym, factors, mode, p, row_out, scratch);
+            || (vec![0.0; width], Vec::with_capacity(order - 1)),
+            |(scratch, rows), (p, row_out)| {
+                compute_row(tensor, sym, factors, mode, p, row_out, scratch, rows);
             },
         );
 }
@@ -130,7 +223,17 @@ pub fn ttmc_row_into(
     out: &mut [f64],
     scratch: &mut [f64],
 ) {
-    compute_row(tensor, sym, factors, mode, row_position, out, scratch);
+    let mut rows = Vec::with_capacity(factors.len().saturating_sub(1));
+    compute_row(
+        tensor,
+        sym,
+        factors,
+        mode,
+        row_position,
+        out,
+        scratch,
+        &mut rows,
+    );
 }
 
 /// Computes the contribution of a single nonzero to its row of the mode-
@@ -183,27 +286,14 @@ pub fn ttmc_mode_sequential(
     let nrows = sym.num_rows();
     let mut out = Matrix::zeros(nrows, width);
     let mut scratch = vec![0.0; width];
+    let mut rows = Vec::with_capacity(tensor.order() - 1);
     for p in 0..nrows {
         let row_start = p * width;
         // Split borrow: compute into a temporary row slice.
         let row = &mut out.as_mut_slice()[row_start..row_start + width];
-        // Safety not needed — plain indexing; compute_row takes a fresh slice.
-        compute_row_into(tensor, sym, factors, mode, p, row, &mut scratch);
+        compute_row(tensor, sym, factors, mode, p, row, &mut scratch, &mut rows);
     }
     out
-}
-
-// Separate non-parallel helper so the sequential path avoids the closure.
-fn compute_row_into(
-    tensor: &SparseTensor,
-    sym: &SymbolicMode,
-    factors: &[Matrix],
-    mode: usize,
-    row_position: usize,
-    out: &mut [f64],
-    scratch: &mut [f64],
-) {
-    compute_row(tensor, sym, factors, mode, row_position, out, scratch);
 }
 
 /// Number of floating point operations performed by the nonzero-based TTMc
@@ -402,6 +492,31 @@ mod tests {
                     direct.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                     replayed.iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
                     "mode {mode} row {p} diverged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn layoutless_symbolic_gives_bit_identical_results() {
+        // Dimension-tree plans build the symbolic data without the
+        // mode-sorted layout; the per-mode kernel's COO-gather fallback must
+        // reproduce the streaming path bit for bit (same accumulation
+        // order, same arithmetic).
+        for (dims, nnz) in [(vec![14, 11, 9], 400usize), (vec![7, 6, 5, 4], 250)] {
+            let t = random_tensor(&dims, nnz, 29);
+            let ranks: Vec<usize> = dims.iter().map(|_| 3).collect();
+            let factors = factors_for(&t, &ranks, 31);
+            let with = SymbolicTtmc::build(&t);
+            let without = SymbolicTtmc::build_without_layout(&t);
+            for mode in 0..dims.len() {
+                let a = ttmc_mode(&t, with.mode(mode), &factors, mode);
+                let b = ttmc_mode(&t, without.mode(mode), &factors, mode);
+                assert_eq!(
+                    a.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    b.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>(),
+                    "order {} mode {mode}",
+                    dims.len()
                 );
             }
         }

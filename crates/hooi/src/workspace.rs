@@ -19,6 +19,7 @@
 //! configuration twice reallocates nothing, switching ranks reallocates only
 //! the buffers whose shape actually changed.
 
+use crate::dimtree::DimTree;
 use crate::symbolic::SymbolicTtmc;
 use linalg::lanczos::LanczosWorkspace;
 use linalg::Matrix;
@@ -28,9 +29,22 @@ use sptensor::DenseTensor;
 /// the solves of one planned solver session.
 #[derive(Debug)]
 pub struct HooiWorkspace {
-    compact: Vec<Matrix>,
+    pub(crate) compact: Vec<Matrix>,
     trsvd: LanczosWorkspace,
     core: DenseTensor,
+    /// Per-node value matrices of the dimension tree (empty for the root,
+    /// for canonical leaves — those compute straight into `compact` — and
+    /// whenever the per-mode strategy runs).
+    pub(crate) tree_values: Vec<Matrix>,
+    /// Whether each tree node's values are current w.r.t. the factors; the
+    /// root (the tensor itself) is always valid.
+    pub(crate) tree_valid: Vec<bool>,
+    /// Column permutation serving each mode's leaf into canonical order
+    /// (empty for canonical leaves).
+    pub(crate) leaf_perms: Vec<Vec<usize>>,
+    /// The ranks the tree buffers and permutations are currently shaped
+    /// for; same-rank solves skip the reshaping entirely.
+    tree_ranks: Vec<usize>,
 }
 
 impl HooiWorkspace {
@@ -42,6 +56,10 @@ impl HooiWorkspace {
             compact: (0..order).map(|_| Matrix::zeros(0, 0)).collect(),
             trsvd: LanczosWorkspace::new(),
             core: DenseTensor::zeros(vec![0; order]),
+            tree_values: Vec::new(),
+            tree_valid: Vec::new(),
+            leaf_perms: Vec::new(),
+            tree_ranks: Vec::new(),
         }
     }
 
@@ -76,6 +94,51 @@ impl HooiWorkspace {
         } else {
             self.core = DenseTensor::zeros(ranks.to_vec());
         }
+    }
+
+    /// Shapes the dimension-tree node buffers for a solve at `ranks` (called
+    /// in addition to [`ensure`](Self::ensure) when the
+    /// [`DimensionTree`](crate::config::TtmcStrategy::DimensionTree)
+    /// strategy runs), recomputes the leaf column permutations, and marks
+    /// every node stale so the first sweep rebuilds the tree against the
+    /// fresh factors.  Same-shape solves reallocate nothing.
+    pub fn ensure_tree(&mut self, tree: &DimTree, ranks: &[usize]) {
+        let nodes = tree.num_nodes();
+        if self.tree_values.len() != nodes {
+            self.tree_values = (0..nodes).map(|_| Matrix::zeros(0, 0)).collect();
+            self.tree_valid = vec![false; nodes];
+            self.tree_ranks.clear();
+        }
+        // Buffer shapes and leaf permutations depend only on the tree and
+        // the ranks; a same-rank solve reuses both untouched.
+        if self.tree_ranks != ranks {
+            for id in 1..nodes {
+                // Canonical leaves compute straight into the compact
+                // buffers; only internal nodes and permuted leaves need
+                // storage here.
+                let needs_buffer = !tree.is_leaf(id) || !tree.leaf_is_canonical(tree.leaf_mode(id));
+                let shape = if needs_buffer {
+                    (tree.node_entries(id), tree.node_width(id, ranks))
+                } else {
+                    (0, 0)
+                };
+                if self.tree_values[id].shape() != shape {
+                    self.tree_values[id] = Matrix::zeros(shape.0, shape.1);
+                }
+            }
+            self.leaf_perms = (0..tree.order())
+                .map(|mode| tree.leaf_permutation(mode, ranks).unwrap_or_default())
+                .collect();
+            self.tree_ranks = ranks.to_vec();
+        }
+        self.tree_valid.fill(false);
+        self.tree_valid[0] = true; // the root is the tensor itself
+    }
+
+    /// Total number of `f64` entries held by the dimension-tree node
+    /// buffers (zero while the per-mode strategy runs).
+    pub fn tree_len(&self) -> usize {
+        self.tree_values.iter().map(|m| m.as_slice().len()).sum()
     }
 
     /// The compact TTMc buffer of `mode`, for writing.
@@ -178,6 +241,38 @@ mod tests {
         assert_eq!(ws.compact(0).as_slice().as_ptr(), ptr_before);
         // The core buffer is zeroed between solves.
         assert!(ws.core().as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn ensure_tree_reuses_buffers_at_same_ranks() {
+        let t = SparseTensor::from_entries(
+            vec![4, 3, 5, 2],
+            &[
+                (vec![0, 0, 0, 0], 1.0),
+                (vec![1, 1, 2, 1], 2.0),
+                (vec![3, 2, 4, 0], 3.0),
+                (vec![1, 0, 2, 1], 4.0),
+            ],
+        );
+        let sym = SymbolicTtmc::build(&t);
+        let tree = crate::dimtree::DimTree::build(&t);
+        let mut ws = HooiWorkspace::new(&sym, &[2, 2, 2, 2]);
+        ws.ensure_tree(&tree, &[2, 2, 2, 2]);
+        assert!(ws.tree_len() > 0);
+        // Mark a node valid, grab a buffer pointer, re-ensure at the same
+        // ranks: allocations stay, validity resets.
+        ws.tree_valid[1] = true;
+        let ptr = ws.tree_values[1].as_slice().as_ptr();
+        let perms_before: Vec<usize> = ws.leaf_perms.iter().map(|p| p.len()).collect();
+        ws.ensure_tree(&tree, &[2, 2, 2, 2]);
+        assert_eq!(ws.tree_values[1].as_slice().as_ptr(), ptr);
+        assert!(!ws.tree_valid[1], "validity must reset per solve");
+        assert!(ws.tree_valid[0], "the root is always valid");
+        let perms_after: Vec<usize> = ws.leaf_perms.iter().map(|p| p.len()).collect();
+        assert_eq!(perms_before, perms_after);
+        // Rank change reshapes.
+        ws.ensure_tree(&tree, &[2, 3, 2, 2]);
+        assert_ne!(ws.tree_len(), 0);
     }
 
     #[test]

@@ -1,0 +1,189 @@
+//! Cache-resident, mode-sorted copies of the nonzero data.
+//!
+//! The nonzero-based TTMc of mode `n` walks each row's update list and, per
+//! nonzero, needs the value and the indices of the *other* modes.  Reading
+//! them through COO ids (`tensor.index(id)` / `tensor.value(id)`) gathers
+//! from effectively random positions of the COO arrays — one cache miss per
+//! nonzero once the tensor outgrows the last-level cache.  A
+//! [`ModeSortedNonzeros`] is built once per mode at plan time: the values
+//! and the `order - 1` relevant indices of every nonzero, permuted into
+//! update-list order, so the numeric kernel streams both arrays strictly
+//! forward.  The mode's own index is omitted — it is constant within an
+//! update list and already recorded by the symbolic row set.
+
+use crate::SparseTensor;
+
+/// Values and foreign-mode indices of a tensor's nonzeros, permuted into the
+/// update-list (mode-sorted) order of one mode.
+///
+/// For nonzero position `p` of the permuted order, [`value`](Self::value)
+/// returns its value and [`coords`](Self::coords) the indices of the modes
+/// `t ≠ mode` in increasing mode order (`arity = order - 1` entries).
+#[derive(Debug, Clone, Default)]
+pub struct ModeSortedNonzeros {
+    mode: usize,
+    arity: usize,
+    values: Vec<f64>,
+    coords: Vec<usize>,
+}
+
+impl ModeSortedNonzeros {
+    /// Builds the layout for `mode` from a permutation of nonzero ids
+    /// (typically the concatenated update lists of the mode's symbolic
+    /// data): position `p` of the layout holds nonzero `perm[p]`.
+    ///
+    /// # Panics
+    /// Panics if `perm` does not have exactly one entry per nonzero or an
+    /// entry is out of range.
+    pub fn build(tensor: &SparseTensor, mode: usize, perm: &[usize]) -> Self {
+        assert!(mode < tensor.order());
+        assert_eq!(
+            perm.len(),
+            tensor.nnz(),
+            "permutation must cover every nonzero"
+        );
+        let arity = tensor.order() - 1;
+        let mut values = Vec::with_capacity(perm.len());
+        let mut coords = Vec::with_capacity(perm.len() * arity);
+        for &id in perm {
+            values.push(tensor.value(id));
+            let index = tensor.index(id);
+            for (t, &i) in index.iter().enumerate() {
+                if t != mode {
+                    coords.push(i);
+                }
+            }
+        }
+        ModeSortedNonzeros {
+            mode,
+            arity,
+            values,
+            coords,
+        }
+    }
+
+    /// The mode this layout is sorted for.
+    #[inline]
+    pub fn mode(&self) -> usize {
+        self.mode
+    }
+
+    /// Number of foreign-mode indices stored per nonzero (`order - 1`).
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Number of nonzeros in the layout.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the layout holds no nonzeros.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The value of the nonzero at permuted position `p`.
+    #[inline]
+    pub fn value(&self, p: usize) -> f64 {
+        self.values[p]
+    }
+
+    /// The foreign-mode indices of the nonzero at permuted position `p`, in
+    /// increasing mode order with this layout's mode omitted.
+    #[inline]
+    pub fn coords(&self, p: usize) -> &[usize] {
+        &self.coords[p * self.arity..(p + 1) * self.arity]
+    }
+
+    /// The contiguous value slice for positions `lo..hi` — one update list
+    /// when the bounds come from the symbolic row pointers.
+    #[inline]
+    pub fn values_range(&self, lo: usize, hi: usize) -> &[f64] {
+        &self.values[lo..hi]
+    }
+
+    /// The contiguous coordinate slice for positions `lo..hi`
+    /// (`(hi - lo) * arity` entries).
+    #[inline]
+    pub fn coords_range(&self, lo: usize, hi: usize) -> &[usize] {
+        &self.coords[lo * self.arity..hi * self.arity]
+    }
+
+    /// Approximate memory footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+            + self.coords.len() * std::mem::size_of::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SparseTensor {
+        SparseTensor::from_entries(
+            vec![4, 3, 5],
+            &[
+                (vec![0, 0, 0], 1.0),
+                (vec![0, 1, 2], 2.0),
+                (vec![2, 1, 2], 3.0),
+                (vec![2, 2, 4], 4.0),
+                (vec![3, 0, 0], 5.0),
+            ],
+        )
+    }
+
+    #[test]
+    fn identity_permutation_streams_in_coo_order() {
+        let t = sample();
+        let perm: Vec<usize> = (0..t.nnz()).collect();
+        let layout = ModeSortedNonzeros::build(&t, 1, &perm);
+        assert_eq!(layout.len(), 5);
+        assert_eq!(layout.arity(), 2);
+        assert_eq!(layout.mode(), 1);
+        assert_eq!(layout.value(2), 3.0);
+        // Mode 1 omitted: coords are (i0, i2).
+        assert_eq!(layout.coords(2), &[2, 2]);
+        assert_eq!(layout.coords(4), &[3, 0]);
+    }
+
+    #[test]
+    fn permutation_reorders_values_and_coords_together() {
+        let t = sample();
+        let perm = vec![4, 2, 0, 3, 1];
+        let layout = ModeSortedNonzeros::build(&t, 0, &perm);
+        assert_eq!(layout.value(0), 5.0);
+        assert_eq!(layout.coords(0), &[0, 0]);
+        assert_eq!(layout.value(1), 3.0);
+        assert_eq!(layout.coords(1), &[1, 2]);
+    }
+
+    #[test]
+    fn range_accessors_are_contiguous_windows() {
+        let t = sample();
+        let perm: Vec<usize> = (0..t.nnz()).collect();
+        let layout = ModeSortedNonzeros::build(&t, 2, &perm);
+        assert_eq!(layout.values_range(1, 4), &[2.0, 3.0, 4.0]);
+        assert_eq!(layout.coords_range(1, 3), &[0, 1, 2, 1]);
+        assert!(layout.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_tensor_empty_layout() {
+        let t = SparseTensor::new(vec![2, 2]);
+        let layout = ModeSortedNonzeros::build(&t, 0, &[]);
+        assert!(layout.is_empty());
+        assert_eq!(layout.arity(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_permutation_length_rejected() {
+        let t = sample();
+        let _ = ModeSortedNonzeros::build(&t, 0, &[0, 1]);
+    }
+}

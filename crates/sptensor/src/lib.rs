@@ -11,6 +11,9 @@
 //!   fastest) layout, mode-`n` unfoldings and dense TTM,
 //! * [`kron::kron_rows`] and friends — the Kronecker-product-of-rows kernel
 //!   at the heart of the nonzero-based TTMc formulation (paper Eq. (4)),
+//! * [`layout::ModeSortedNonzeros`] — cache-resident per-mode copies of the
+//!   nonzero data (values + foreign-mode indices permuted into update-list
+//!   order) so the numeric TTMc streams instead of gathering through COO ids,
 //! * [`io`] — FROSTT-style `.tns` text I/O,
 //! * [`stats`] — per-mode nonzero statistics used by the experiment tables,
 //! * [`hash`] — a small fast hasher for integer keys (FxHash-style), used by
@@ -31,11 +34,13 @@ pub mod dense;
 pub mod hash;
 pub mod io;
 pub mod kron;
+pub mod layout;
 pub mod stats;
 
 pub use coo::SparseTensor;
 pub use dense::DenseTensor;
 pub use kron::{accumulate_scaled_kron, kron_rows};
+pub use layout::ModeSortedNonzeros;
 
 /// Computes the product of a slice of dimensions, used for unfolding sizes.
 /// Returns 1 for an empty slice.

@@ -32,7 +32,15 @@ fn main() -> Result<(), TuckerError> {
     // 1. Execute: 8 fine-grain ranks over the channel backend must
     //    reproduce the shared-memory result exactly, not approximately.
     let tucker = TuckerConfig::new(ranks.clone()).max_iterations(3).seed(17);
-    let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1))?;
+    // The executor replays the per-mode TTMc arithmetic, so the reference
+    // solver pins `PerMode` (the dimension-tree default reassociates the
+    // accumulation and matches only within tolerance).
+    let mut solver = TuckerSolver::plan(
+        &tensor,
+        PlanOptions::new()
+            .num_threads(1)
+            .ttmc_strategy(TtmcStrategy::PerMode),
+    )?;
     let shared = solver.solve(&tucker)?;
     let config = SimConfig::new(8, Grain::Fine, PartitionMethod::Hypergraph, ranks.clone());
     let setup = DistributedSetup::build(&tensor, &config);

@@ -67,8 +67,9 @@ pub mod prelude {
         MachineModel, PartitionMethod, SimConfig,
     };
     pub use hooi::{
-        tucker_hooi, Initialization, IterationControl, IterationObserver, IterationReport,
-        PlanOptions, TrsvdBackend, TuckerConfig, TuckerDecomposition, TuckerError, TuckerSolver,
+        tucker_hooi, DimTree, Initialization, IterationControl, IterationObserver, IterationReport,
+        PlanOptions, TrsvdBackend, TtmcCosts, TtmcStrategy, TuckerConfig, TuckerDecomposition,
+        TuckerError, TuckerSolver,
     };
     pub use linalg::Matrix;
     pub use partition::{fine_grain_hypergraph, hypergraph::Hypergraph};

@@ -6,6 +6,11 @@
 //! plus word-exact agreement between the communicator's measured traffic
 //! and [`iteration_stats`]' predictions.  These tests are the `executor-
 //! smoke` CI gate.
+//!
+//! The executor replays the *per-mode* TTMc accumulation order, so every
+//! reference solver here is planned with [`TtmcStrategy::PerMode`]; the
+//! solver's default dimension-tree fast path reassociates the arithmetic
+//! and agrees only within tolerance (covered by `tests/ttmc_strategies.rs`).
 
 use tucker_repro::distsim::{iteration_stats, Phase};
 use tucker_repro::prelude::*;
@@ -42,7 +47,13 @@ fn assert_identical(a: &TuckerDecomposition, b: &TuckerDecomposition, label: &st
 fn executor_matches_solver_exactly_across_the_grid() {
     let tensor = random_tensor(&[22, 18, 14], 800, 31);
     let config = TuckerConfig::new(vec![3, 2, 3]).max_iterations(3).seed(7);
-    let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1)).unwrap();
+    let mut solver = TuckerSolver::plan(
+        &tensor,
+        PlanOptions::new()
+            .num_threads(1)
+            .ttmc_strategy(TtmcStrategy::PerMode),
+    )
+    .unwrap();
     let reference = solver.solve(&config).unwrap();
     for grain in [Grain::Fine, Grain::Coarse] {
         for method in [
@@ -80,7 +91,13 @@ fn executor_matches_solver_on_random_tensors() {
         let config = TuckerConfig::new(vec![2, 2, 2])
             .max_iterations(2)
             .seed(seed ^ 0xabcd);
-        let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1)).unwrap();
+        let mut solver = TuckerSolver::plan(
+            &tensor,
+            PlanOptions::new()
+                .num_threads(1)
+                .ttmc_strategy(TtmcStrategy::PerMode),
+        )
+        .unwrap();
         let reference = solver.solve(&config).unwrap();
         let grain = if seed % 2 == 0 {
             Grain::Fine
@@ -167,7 +184,13 @@ fn tcp_smoke_matches_channel_or_skips() {
     for (r, (a, b)) in tcp.comm.iter().zip(chan.comm.iter()).enumerate() {
         assert_eq!(a, b, "rank {r}: backends moved different traffic");
     }
-    let mut solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1)).unwrap();
+    let mut solver = TuckerSolver::plan(
+        &tensor,
+        PlanOptions::new()
+            .num_threads(1)
+            .ttmc_strategy(TtmcStrategy::PerMode),
+    )
+    .unwrap();
     let reference = solver.solve(&config).unwrap();
     assert_identical(&tcp.decomposition, &reference, "tcp vs solver");
 }
