@@ -26,11 +26,20 @@ pub enum TtmcStrategy {
     /// Flop-sharing dimension-tree TTMc ([`crate::dimtree`]): partial
     /// contractions are materialized once per iteration at the internal
     /// nodes of a binary mode tree and every leaf serves its mode's compact
-    /// result from them.  Strictly fewer flops for order ≥ 4 and the
-    /// solver's default; tensors with a single mode silently fall back to
-    /// [`PerMode`](Self::PerMode).
-    #[default]
+    /// result from them.  Strictly fewer flops for order ≥ 4; tensors with
+    /// a single mode silently fall back to [`PerMode`](Self::PerMode).
     DimensionTree,
+    /// Pick the cheaper of [`PerMode`](Self::PerMode) and
+    /// [`DimensionTree`](Self::DimensionTree) per tensor at plan time by
+    /// comparing the strategies' modeled per-iteration flops
+    /// ([`crate::dimtree::DimTree::costs`] vs
+    /// [`crate::dimtree::per_mode_costs`]) at a fixed rank hint.  The
+    /// default: order ≥ 4 profiles resolve to the tree, while tensors whose
+    /// projections never collide (where sharing cannot pay for the extra
+    /// partial-value traffic) resolve to the per-mode sweep.  Ties resolve
+    /// to [`PerMode`](Self::PerMode), the simpler kernel.
+    #[default]
+    Auto,
 }
 
 /// Which truncated-SVD backend updates the factor matrices.
@@ -73,7 +82,7 @@ pub struct TuckerConfig {
     pub num_threads: usize,
     /// How the TTMc sweep is computed by the one-shot entry points
     /// ([`crate::tucker_hooi`], [`crate::tucker_hooi_in_current_pool`]);
-    /// defaults to [`TtmcStrategy::DimensionTree`].  A planned
+    /// defaults to [`TtmcStrategy::Auto`].  A planned
     /// [`crate::TuckerSolver`] fixes the strategy at plan time instead (see
     /// [`crate::PlanOptions::ttmc_strategy`]) and ignores this field.
     pub ttmc_strategy: TtmcStrategy,

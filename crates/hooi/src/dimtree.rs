@@ -53,6 +53,19 @@ use sptensor::SparseTensor;
 /// Sentinel for "no node" in parent/child links.
 const NONE: usize = usize::MAX;
 
+/// Minimum members per segment when a node entry's member group is split
+/// for privatized accumulation; groups at or below this size are never
+/// split (the merge would cost more than the imbalance it cures).
+const MIN_SEGMENT_MEMBERS: usize = 32;
+
+/// Soft cap on the number of segments a node's schedule produces: the
+/// grain grows with the node's total member count so the whole schedule
+/// stays around this many tasks.  Together with [`MIN_SEGMENT_MEMBERS`]
+/// this makes the grain — and therefore every segment boundary — a pure
+/// function of the sparsity structure, independent of the thread count,
+/// which is what keeps tree TTMc results bit-identical across pool widths.
+const TARGET_SEGMENTS: usize = 1024;
+
 /// One node of the dimension tree.
 #[derive(Debug, Clone)]
 struct Node {
@@ -79,6 +92,18 @@ struct Node {
     contract_idx: Vec<usize>,
     /// Number of stored entries (distinct projections).
     entries: usize,
+    /// Segmentation grain of this node's member groups (see
+    /// [`MIN_SEGMENT_MEMBERS`] / [`TARGET_SEGMENTS`]); groups larger than
+    /// the grain are split into `ceil(size / grain)` segments accumulated
+    /// into private partial rows and merged in ascending segment order.
+    seg_grain: usize,
+    /// CSR offsets over the node's split-entry segments: entry `g` owns
+    /// partial rows `seg_ptr[g]..seg_ptr[g+1]` (equal bounds mean the
+    /// entry is unsplit and accumulates directly into the output row).
+    seg_ptr: Vec<usize>,
+    /// Owning entry of each segment (`seg_entry[s] = g`), for the parallel
+    /// sweep over partial rows.
+    seg_entry: Vec<usize>,
     /// The projected index tuple of each entry (`hi - lo` entries per
     /// entry).  Children group on these during the build; once a node's
     /// children exist the runtime kernels never read it again, so
@@ -100,6 +125,54 @@ impl Node {
     fn is_leaf(&self) -> bool {
         self.children[0] == NONE
     }
+
+    /// Total number of split-entry segments (partial rows) of this node.
+    fn num_segments(&self) -> usize {
+        self.seg_ptr.last().copied().unwrap_or(0)
+    }
+
+    /// Member size of entry `g`'s group.
+    fn group_size(&self, g: usize) -> usize {
+        self.group_ptr[g + 1] - self.group_ptr[g]
+    }
+
+    /// Absolute member range (into [`members`](Self::members)) of segment
+    /// `s`, which must belong to entry `g`.
+    fn segment_members(&self, g: usize, s: usize) -> (usize, usize) {
+        let local = s - self.seg_ptr[g];
+        let klo = self.group_ptr[g] + local * self.seg_grain;
+        let khi = (klo + self.seg_grain).min(self.group_ptr[g + 1]);
+        (klo, khi)
+    }
+}
+
+/// Builds a node's segment schedule from its member grouping: the grain is
+/// `max(MIN_SEGMENT_MEMBERS, total_members / TARGET_SEGMENTS)` (a pure
+/// function of structure), and only groups strictly larger than the grain
+/// are split.  Returns `(grain, seg_ptr, seg_entry)`.
+fn segment_schedule(group_ptr: &[usize]) -> (usize, Vec<usize>, Vec<usize>) {
+    if group_ptr.is_empty() {
+        return (MIN_SEGMENT_MEMBERS, Vec::new(), Vec::new());
+    }
+    let entries = group_ptr.len() - 1;
+    let total = *group_ptr.last().unwrap();
+    let grain = total.div_ceil(TARGET_SEGMENTS).max(MIN_SEGMENT_MEMBERS);
+    let mut seg_ptr = Vec::with_capacity(entries + 1);
+    let mut seg_entry = Vec::new();
+    seg_ptr.push(0usize);
+    for g in 0..entries {
+        let size = group_ptr[g + 1] - group_ptr[g];
+        let segs = if size > grain {
+            size.div_ceil(grain)
+        } else {
+            0
+        };
+        for _ in 0..segs {
+            seg_entry.push(g);
+        }
+        seg_ptr.push(seg_ptr[g] + segs);
+    }
+    (grain, seg_ptr, seg_entry)
 }
 
 /// A binary dimension tree over the modes of one sparse tensor: structure
@@ -203,6 +276,9 @@ impl DimTree {
             members: Vec::new(),
             contract_idx: Vec::new(),
             entries: tensor.nnz(),
+            seg_grain: MIN_SEGMENT_MEMBERS,
+            seg_ptr: Vec::new(),
+            seg_entry: Vec::new(),
             entry_idx,
         };
         let mut tree = DimTree {
@@ -280,6 +356,7 @@ impl DimTree {
         let mut col_modes = parent.col_modes.clone();
         col_modes.extend_from_slice(&d_modes);
         let entries = entry_idx.len() / span;
+        let (seg_grain, seg_ptr, seg_entry) = segment_schedule(&group_ptr);
         Node {
             lo,
             hi,
@@ -291,6 +368,9 @@ impl DimTree {
             members: by_key,
             contract_idx,
             entries,
+            seg_grain,
+            seg_ptr,
+            seg_entry,
             entry_idx,
         }
     }
@@ -421,6 +501,11 @@ impl DimTree {
             let parent_words = if parent_is_root { 1 } else { wp };
             costs.words += members * (node.d_modes.len() as u64 + d_row_words + parent_words)
                 + entries * width;
+            // Privatized segments: each partial row is written once by its
+            // segment and read plus added once by the owning entry's merge.
+            let segments = node.num_segments() as u64;
+            costs.flops += segments * width;
+            costs.words += 2 * segments * width;
             if node.is_leaf() {
                 let mode = node.lo;
                 if !self.leaf_is_canonical(mode) {
@@ -437,10 +522,30 @@ impl DimTree {
         node.col_modes.iter().map(|&t| ranks[t]).product()
     }
 
+    /// Number of privatized partial rows node `id`'s computation needs —
+    /// the height of the `partials` buffer [`compute_node_into`] takes
+    /// (zero when no entry's member group exceeds the segmentation grain).
+    ///
+    /// [`compute_node_into`]: Self::compute_node_into
+    pub fn node_segments(&self, id: usize) -> usize {
+        self.nodes[id].num_segments()
+    }
+
     /// Computes node `id`'s value matrix from its parent's, parallel over
     /// the node's entries.  `parent_values` must be `None` exactly when the
     /// parent is the root (the tensor itself); `out` must be
-    /// `num_entries × node_width` and is overwritten.
+    /// `num_entries × node_width` and is overwritten; `partials` must be
+    /// `node_segments × node_width` scratch (see [`Self::node_segments`]).
+    ///
+    /// Entries whose member group exceeds the segmentation grain are
+    /// *privatized*: each segment of the group accumulates into its own
+    /// partial row (so several workers can share one hot output row without
+    /// locks or false sharing), and the owning entry then merges its
+    /// partial rows in ascending segment order.  Both parallel sweeps cut
+    /// their spans by symbolic member-count weights, and every
+    /// segment/merge boundary is a pure function of the sparsity structure
+    /// — never of the thread count — so results stay bit-identical across
+    /// pool widths.
     ///
     /// # Panics
     /// Panics on shape mismatches.
@@ -451,6 +556,7 @@ impl DimTree {
         factors: &[Matrix],
         parent_values: Option<&Matrix>,
         out: &mut Matrix,
+        partials: &mut Matrix,
     ) {
         let node = &self.nodes[id];
         assert_ne!(id, 0, "the root is the tensor itself and is never computed");
@@ -462,6 +568,11 @@ impl DimTree {
             out.shape(),
             (node.num_entries(), width),
             "dimension-tree node buffer has the wrong shape"
+        );
+        assert_eq!(
+            partials.shape(),
+            (node.num_segments(), width),
+            "dimension-tree partials buffer has the wrong shape"
         );
         assert_eq!(
             parent_values.is_none(),
@@ -479,34 +590,98 @@ impl DimTree {
         if width == 0 || node.num_entries() == 0 {
             return;
         }
+        // Sweep 1: split-entry segments into private partial rows, spans
+        // weighted by segment member counts.
+        if node.num_segments() > 0 {
+            let seg_costs: Vec<u64> = (0..node.num_segments())
+                .map(|s| {
+                    let (klo, khi) = node.segment_members(node.seg_entry[s], s);
+                    (khi - klo) as u64
+                })
+                .collect();
+            partials
+                .as_mut_slice()
+                .par_chunks_mut(width)
+                .enumerate()
+                .for_each_init_weighted(
+                    &seg_costs,
+                    || (vec![0.0; wd], vec![0.0; width], Vec::with_capacity(d_len)),
+                    |(kbuf, sbuf, d_rows), (s, seg_out)| {
+                        let g = node.seg_entry[s];
+                        let (klo, khi) = node.segment_members(g, s);
+                        self.accumulate_members(
+                            node,
+                            klo,
+                            khi,
+                            tensor,
+                            factors,
+                            parent_values,
+                            seg_out,
+                            kbuf,
+                            sbuf,
+                            d_rows,
+                        );
+                    },
+                );
+        }
+        // Sweep 2: unsplit entries accumulate directly; split entries merge
+        // their partial rows in ascending segment order.  Weights: member
+        // count for direct entries, segment count for merges (a merge adds
+        // one row per segment — a fraction of a member accumulate).
+        let entry_costs: Vec<u64> = (0..node.num_entries())
+            .map(|g| {
+                let segs = node.seg_ptr[g + 1] - node.seg_ptr[g];
+                let cost = if segs > 0 {
+                    segs as u64
+                } else {
+                    node.group_size(g) as u64
+                };
+                cost.max(1)
+            })
+            .collect();
+        let partials = &*partials;
         out.as_mut_slice()
             .par_chunks_mut(width)
             .enumerate()
-            .for_each_init(
+            .for_each_init_weighted(
+                &entry_costs,
                 || (vec![0.0; wd], vec![0.0; width], Vec::with_capacity(d_len)),
                 |(kbuf, sbuf, d_rows), (g, row_out)| {
-                    self.compute_entry(
-                        node,
-                        g,
-                        tensor,
-                        factors,
-                        parent_values,
-                        row_out,
-                        kbuf,
-                        sbuf,
-                        d_rows,
-                    );
+                    let (s0, s1) = (node.seg_ptr[g], node.seg_ptr[g + 1]);
+                    if s1 > s0 {
+                        row_out.iter_mut().for_each(|v| *v = 0.0);
+                        for s in s0..s1 {
+                            for (a, &p) in row_out.iter_mut().zip(partials.row(s).iter()) {
+                                *a += p;
+                            }
+                        }
+                    } else {
+                        self.accumulate_members(
+                            node,
+                            node.group_ptr[g],
+                            node.group_ptr[g + 1],
+                            tensor,
+                            factors,
+                            parent_values,
+                            row_out,
+                            kbuf,
+                            sbuf,
+                            d_rows,
+                        );
+                    }
                 },
             );
     }
 
-    /// Accumulates one entry (group of parent entries) of `node` into
-    /// `row_out`.
+    /// Zeroes `row_out` and accumulates the contributions of members
+    /// `klo..khi` (absolute indices into the node's member array) into it —
+    /// a whole entry for unsplit groups, one segment for split ones.
     #[allow(clippy::too_many_arguments)]
-    fn compute_entry<'a>(
+    fn accumulate_members<'a>(
         &self,
         node: &Node,
-        g: usize,
+        klo: usize,
+        khi: usize,
         tensor: &SparseTensor,
         factors: &'a [Matrix],
         parent_values: Option<&Matrix>,
@@ -517,7 +692,7 @@ impl DimTree {
     ) {
         row_out.iter_mut().for_each(|v| *v = 0.0);
         let d_len = node.d_modes.len();
-        for k in node.group_ptr[g]..node.group_ptr[g + 1] {
+        for k in klo..khi {
             let e = node.members[k];
             let d_idx = &node.contract_idx[k * d_len..(k + 1) * d_len];
             d_rows.clear();
@@ -575,7 +750,8 @@ impl DimTree {
             } else {
                 Some(&before[parent])
             };
-            self.compute_node_into(id, tensor, factors, pv, &mut rest[0]);
+            let mut partials = Matrix::zeros(self.node_segments(id), self.node_width(id, &ranks));
+            self.compute_node_into(id, tensor, factors, pv, &mut rest[0], &mut partials);
         }
         (0..self.order)
             .map(|mode| {
@@ -650,7 +826,14 @@ pub fn serve_mode_into(
             } else {
                 Some(&ws.tree_values[parent])
             };
-            tree.compute_node_into(id, tensor, factors, parent_values, &mut ws.compact[mode]);
+            tree.compute_node_into(
+                id,
+                tensor,
+                factors,
+                parent_values,
+                &mut ws.compact[mode],
+                &mut ws.tree_partials[id],
+            );
         } else {
             let (before, rest) = ws.tree_values.split_at_mut(id);
             let parent_values = if parent == 0 {
@@ -658,7 +841,14 @@ pub fn serve_mode_into(
             } else {
                 Some(&before[parent])
             };
-            tree.compute_node_into(id, tensor, factors, parent_values, &mut rest[0]);
+            tree.compute_node_into(
+                id,
+                tensor,
+                factors,
+                parent_values,
+                &mut rest[0],
+                &mut ws.tree_partials[id],
+            );
         }
         ws.tree_valid[id] = true;
     }
@@ -862,6 +1052,93 @@ mod tests {
     fn order1_tree_rejected() {
         let t = SparseTensor::from_entries(vec![4], &[(vec![1], 1.0)]);
         let _ = DimTree::build(&t);
+    }
+
+    #[test]
+    fn segment_schedule_splits_only_oversized_groups() {
+        // Groups of sizes 10, 100, 32, 33: grain is MIN_SEGMENT_MEMBERS (32)
+        // at this scale, so only the 100- and 33-member groups split.
+        let group_ptr = [0usize, 10, 110, 142, 175];
+        let (grain, seg_ptr, seg_entry) = segment_schedule(&group_ptr);
+        assert_eq!(grain, MIN_SEGMENT_MEMBERS);
+        assert_eq!(seg_ptr, vec![0, 0, 4, 4, 6]);
+        assert_eq!(seg_entry, vec![1, 1, 1, 1, 3, 3]);
+        // Segment member ranges tile each split group exactly.
+        let node = Node {
+            lo: 0,
+            hi: 1,
+            parent: NONE,
+            children: [NONE; 2],
+            col_modes: Vec::new(),
+            d_modes: Vec::new(),
+            group_ptr: group_ptr.to_vec(),
+            members: Vec::new(),
+            contract_idx: Vec::new(),
+            entries: 4,
+            seg_grain: grain,
+            seg_ptr,
+            seg_entry,
+            entry_idx: Vec::new(),
+        };
+        for g in [1usize, 3] {
+            let (s0, s1) = (node.seg_ptr[g], node.seg_ptr[g + 1]);
+            let mut cursor = node.group_ptr[g];
+            for s in s0..s1 {
+                let (klo, khi) = node.segment_members(g, s);
+                assert_eq!(klo, cursor);
+                assert!(khi > klo);
+                cursor = khi;
+            }
+            assert_eq!(cursor, node.group_ptr[g + 1]);
+        }
+    }
+
+    #[test]
+    fn segmented_tree_matches_per_mode_and_is_thread_invariant() {
+        // Every nonzero shares mode-0 index 0, so the mode-0 leaf has a
+        // single entry whose member group (~500) far exceeds the grain (32):
+        // its accumulation really runs through the privatized-partial path.
+        let entries: Vec<(Vec<usize>, f64)> = (0..500usize)
+            .map(|k| {
+                let j = (k * 7 + 3) % 40;
+                let l = (k * 13 + 5) % 30;
+                (vec![0, j, l], 0.25 + (k % 17) as f64 * 0.125)
+            })
+            .collect();
+        let t = SparseTensor::from_entries(vec![2, 40, 30], &entries);
+        let ranks = [2, 4, 3];
+        let factors = factors_for(&t, &ranks, 29);
+        let sym = SymbolicTtmc::build(&t);
+        let tree = DimTree::build(&t);
+        assert!(
+            (1..tree.num_nodes()).any(|id| tree.node_segments(id) > 1),
+            "profile must actually trigger segmentation"
+        );
+        let reference = tree.ttmc_all_modes(&t, &sym, &factors);
+        for mode in 0..3 {
+            let per_mode = ttmc_mode(&t, sym.mode(mode), &factors, mode);
+            let dist = per_mode.frobenius_distance(&reference[mode]);
+            assert!(
+                dist < 1e-12 * per_mode.frobenius_norm().max(1.0),
+                "mode {mode}: distance {dist}"
+            );
+        }
+        // Segment boundaries are a pure function of structure, so the merge
+        // order — and therefore every bit — is thread-count independent.
+        for threads in [1usize, 2, 4] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let results = pool.install(|| tree.ttmc_all_modes(&t, &sym, &factors));
+            for mode in 0..3 {
+                assert_eq!(
+                    reference[mode].as_slice(),
+                    results[mode].as_slice(),
+                    "mode {mode} differs at {threads} threads"
+                );
+            }
+        }
     }
 
     #[test]

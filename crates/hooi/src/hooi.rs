@@ -21,7 +21,6 @@ use crate::config::TuckerConfig;
 use crate::core_tensor::reconstruct_at;
 use crate::error::TuckerError;
 use crate::solver::{PlanOptions, TuckerSolver};
-use crate::symbolic::SymbolicTtmc;
 use crate::workspace::HooiWorkspace;
 use linalg::Matrix;
 use sptensor::{DenseTensor, SparseTensor};
@@ -158,14 +157,9 @@ pub fn tucker_hooi_in_current_pool(
     }
     let ranks = config.validated_ranks(tensor.dims())?;
     let t0 = Instant::now();
-    let use_tree =
-        config.ttmc_strategy == crate::config::TtmcStrategy::DimensionTree && tensor.order() >= 2;
-    let symbolic = if use_tree {
-        SymbolicTtmc::build_without_layout(tensor)
-    } else {
-        SymbolicTtmc::build(tensor)
-    };
-    let tree = use_tree.then(|| crate::dimtree::DimTree::build(tensor));
+    // Same plan-time resolution as a solver session, so a pooled and a
+    // pool-agnostic run of one configuration execute the same strategy.
+    let (symbolic, tree) = crate::solver::resolve_plan(tensor, config.ttmc_strategy);
     let symbolic_time = t0.elapsed();
     let mut workspace = HooiWorkspace::new(&symbolic, &ranks);
     Ok(crate::solver::run_hooi(

@@ -63,13 +63,15 @@ pub struct PlanOptions {
     pub num_threads: usize,
     /// How the session computes its TTMc sweeps.  Fixed at plan time
     /// because the dimension tree's symbolic grouping is part of the plan;
-    /// defaults to [`TtmcStrategy::DimensionTree`], the fast path.  Single-
+    /// defaults to [`TtmcStrategy::Auto`], which compares the strategies'
+    /// modeled flops for this tensor and keeps the cheaper one.  Single-
     /// mode tensors fall back to [`TtmcStrategy::PerMode`] silently.
     pub ttmc_strategy: TtmcStrategy,
 }
 
 impl PlanOptions {
-    /// Default options: all hardware threads, dimension-tree TTMc.
+    /// Default options: all hardware threads, flop-model-picked TTMc
+    /// strategy ([`TtmcStrategy::Auto`]).
     pub fn new() -> Self {
         PlanOptions::default()
     }
@@ -85,6 +87,56 @@ impl PlanOptions {
     pub fn ttmc_strategy(mut self, strategy: TtmcStrategy) -> Self {
         self.ttmc_strategy = strategy;
         self
+    }
+}
+
+/// The per-mode rank the [`TtmcStrategy::Auto`] cost comparison evaluates
+/// both strategies at (clamped to each mode's size).  The winner is robust
+/// to the exact hint — flop sharing either pays on a sparsity profile or it
+/// does not — but the hint must be fixed so the resolution is a
+/// deterministic function of the tensor alone.
+const AUTO_RANK_HINT: usize = 8;
+
+/// Plan-time TTMc strategy resolution shared by [`TuckerSolver::plan`] and
+/// [`crate::tucker_hooi_in_current_pool`]: turns the requested strategy
+/// into concrete plan artifacts — the symbolic analysis (with per-mode
+/// streaming layouts exactly when the per-mode kernel will run them) and
+/// the dimension tree when that strategy won.
+///
+/// [`TtmcStrategy::Auto`] builds the tree's symbolic grouping, prices both
+/// strategies with the plan-time cost model ([`DimTree::costs`] vs
+/// [`dimtree::per_mode_costs`]) at a fixed rank hint, and keeps the cheaper
+/// one; ties resolve to the simpler per-mode sweep.  Order-1 tensors always
+/// run per-mode (there is no tree over a single mode).
+pub(crate) fn resolve_plan(
+    tensor: &SparseTensor,
+    requested: TtmcStrategy,
+) -> (SymbolicTtmc, Option<DimTree>) {
+    if tensor.order() < 2 || requested == TtmcStrategy::PerMode {
+        return (SymbolicTtmc::build(tensor), None);
+    }
+    if requested == TtmcStrategy::DimensionTree {
+        return (
+            SymbolicTtmc::build_without_layout(tensor),
+            Some(DimTree::build(tensor)),
+        );
+    }
+    let mut symbolic = SymbolicTtmc::build_without_layout(tensor);
+    let tree = DimTree::build(tensor);
+    let hint: Vec<usize> = tensor
+        .dims()
+        .iter()
+        .map(|&d| d.min(AUTO_RANK_HINT))
+        .collect();
+    let tree_flops = tree.costs(&hint).flops;
+    let per_mode_flops = dimtree::per_mode_costs(&symbolic, tensor.nnz(), &hint).flops;
+    if tree_flops < per_mode_flops {
+        (symbolic, Some(tree))
+    } else {
+        // The per-mode kernel won: give it the cache-resident mode-sorted
+        // nonzero layouts the tree plan skipped.
+        symbolic.attach_layouts(tensor);
+        (symbolic, None)
     }
 }
 
@@ -207,19 +259,12 @@ impl<'a> TuckerSolver<'a> {
         let pool_build_time = t_pool.elapsed();
         let t0 = Instant::now();
         // The dimension tree's symbolic grouping is part of the plan: built
-        // once here, reused by every solve.  Order-1 tensors have no tree.
-        // A tree plan skips the per-mode streaming layouts — its TTMc never
-        // runs the per-mode kernel, and they would duplicate the nonzero
-        // data once per mode.
-        let use_tree = options.ttmc_strategy == TtmcStrategy::DimensionTree && tensor.order() >= 2;
-        let symbolic = pool.install(|| {
-            if use_tree {
-                SymbolicTtmc::build_without_layout(tensor)
-            } else {
-                SymbolicTtmc::build(tensor)
-            }
-        });
-        let dimtree = use_tree.then(|| DimTree::build(tensor));
+        // once here, reused by every solve.  [`resolve_plan`] settles an
+        // `Auto` request here too, so solves never re-decide; a tree plan
+        // skips the per-mode streaming layouts — its TTMc never runs the
+        // per-mode kernel, and they would duplicate the nonzero data once
+        // per mode.
+        let (symbolic, dimtree) = pool.install(|| resolve_plan(tensor, options.ttmc_strategy));
         let symbolic_time = t0.elapsed();
         Ok(TuckerSolver {
             tensor,
@@ -244,8 +289,9 @@ impl<'a> TuckerSolver<'a> {
         &self.symbolic
     }
 
-    /// The session's TTMc strategy (the plan-time option, with the order-1
-    /// fallback applied).
+    /// The concrete TTMc strategy this session runs: the plan-time option
+    /// with the order-1 fallback applied and an [`TtmcStrategy::Auto`]
+    /// request resolved to whichever strategy the cost model picked.
     pub fn ttmc_strategy(&self) -> TtmcStrategy {
         if self.dimtree.is_some() {
             TtmcStrategy::DimensionTree

@@ -143,6 +143,30 @@ impl SymbolicMode {
             .max()
             .unwrap_or(0)
     }
+
+    /// Per-row scheduling weights: `costs[p]` is the update-list length of
+    /// the `p`-th non-empty row.  Every nonzero contributes the same
+    /// `2·Π_{t≠n} R_t` flops to its row, so the list length *is* the row's
+    /// relative flop count — exactly what the weighted chunked-span
+    /// scheduler needs to balance spans by work instead of by row count.
+    pub fn row_costs(&self) -> Vec<u64> {
+        (0..self.num_rows())
+            .map(|p| (self.row_ptr[p + 1] - self.row_ptr[p]) as u64)
+            .collect()
+    }
+
+    /// Builds and attaches the mode-sorted layout if absent — the upgrade
+    /// path for an `Auto` plan that built its symbolic data layout-free for
+    /// the cost comparison and then resolved to the per-mode strategy.
+    pub fn attach_layout(&mut self, tensor: &SparseTensor) {
+        if self.layout.is_none() {
+            self.layout = Some(ModeSortedNonzeros::build(
+                tensor,
+                self.mode,
+                &self.nonzero_ids,
+            ));
+        }
+    }
 }
 
 /// Symbolic TTMc data for every mode of a tensor.
@@ -188,6 +212,20 @@ impl SymbolicTtmc {
     /// The symbolic data for one mode.
     pub fn mode(&self, mode: usize) -> &SymbolicMode {
         &self.modes[mode]
+    }
+
+    /// Attaches the mode-sorted layouts to every mode that lacks one (see
+    /// [`SymbolicMode::attach_layout`]); modes are processed in parallel
+    /// like the build itself.
+    pub fn attach_layouts(&mut self, tensor: &SparseTensor) {
+        let modes = std::mem::take(&mut self.modes);
+        self.modes = modes
+            .into_par_iter()
+            .map(|mut m| {
+                m.attach_layout(tensor);
+                m
+            })
+            .collect::<SymbolicMode, Vec<SymbolicMode>>();
     }
 
     /// Number of modes.

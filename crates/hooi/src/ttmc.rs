@@ -86,10 +86,29 @@ fn compute_row<'a>(
         );
         return;
     }
+    if arity == 3 {
+        // Order 4 (the paper's Delicious/Flickr shapes): fused three-row
+        // kernel, no scratch materialization.
+        let (a, b, c) = foreign_triple(mode);
+        compute_row4(
+            layout.values_range(lo, hi),
+            layout.coords_range(lo, hi),
+            &factors[a],
+            &factors[b],
+            &factors[c],
+            out,
+        );
+        return;
+    }
     let values = layout.values_range(lo, hi);
     let coords = layout.coords_range(lo, hi);
     for (k, &value) in values.iter().enumerate() {
         let c = &coords[k * arity..(k + 1) * arity];
+        if k + 1 < values.len() {
+            // The next entry's first factor row is a gather through an
+            // index array; start pulling its cache line now.
+            prefetch(factors[if mode == 0 { 1 } else { 0 }].row(coords[(k + 1) * arity]));
+        }
         rows.clear();
         let mut j = 0;
         for (t, factor) in factors.iter().enumerate() {
@@ -113,6 +132,30 @@ fn foreign_pair(mode: usize) -> (usize, usize) {
     }
 }
 
+/// The three foreign modes of `mode` in an order-4 tensor, ascending.
+#[inline]
+fn foreign_triple(mode: usize) -> (usize, usize, usize) {
+    match mode {
+        0 => (1, 2, 3),
+        1 => (0, 2, 3),
+        2 => (0, 1, 3),
+        _ => (0, 1, 2),
+    }
+}
+
+/// Software prefetch of the first cache line of a factor row — a pure
+/// hint, so it cannot change any result bits.  No-op off x86_64.
+#[inline(always)]
+fn prefetch(row: &[f64]) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(row.as_ptr() as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = row;
+}
+
 /// Order-3 micro-kernel: accumulates `Σ_k x_k · (U_a(i_a) ⊗ U_b(i_b))` into
 /// `out`, streaming the mode-sorted `values`/`coords` arrays.  The scaled
 /// outer product of the two factor rows is written directly (coefficient
@@ -122,6 +165,10 @@ fn foreign_pair(mode: usize) -> (usize, usize) {
 fn compute_row3(values: &[f64], coords: &[usize], fa: &Matrix, fb: &Matrix, out: &mut [f64]) {
     let rb = fb.ncols();
     for (k, &x) in values.iter().enumerate() {
+        if k + 1 < values.len() {
+            prefetch(fa.row(coords[2 * (k + 1)]));
+            prefetch(fb.row(coords[2 * (k + 1) + 1]));
+        }
         let u = fa.row(coords[2 * k]);
         let v = fb.row(coords[2 * k + 1]);
         for (i, &ui) in u.iter().enumerate() {
@@ -144,6 +191,61 @@ fn compute_row3(values: &[f64], coords: &[usize], fa: &Matrix, fb: &Matrix, out:
                 .zip(v_chunks.remainder())
             {
                 *a1 += coeff * v1;
+            }
+        }
+    }
+}
+
+/// Order-4 micro-kernel: accumulates
+/// `Σ_k x_k · (U_a(i_a) ⊗ U_b(i_b) ⊗ U_c(i_c))` into `out`, streaming the
+/// mode-sorted `values`/`coords` arrays without materializing the Kronecker
+/// product.
+///
+/// Bit-identity contract: the generic path ([`accumulate_scaled_kron`]'s
+/// arity ≥ 3 branch) expands `((1.0·u_i)·v_j)·w_k` via [`kron_rows`] and
+/// then adds `x · s` — `1.0·u_i` is bitwise `u_i`, so the fused form
+/// `t = (u_i·v_j)·w_k; acc += x·t` performs the identical multiplies and
+/// add, in the identical order, for every output element.  In particular
+/// `x` multiplies *last* and there is no zero-coefficient skip, matching
+/// the generic branch exactly.
+///
+/// [`kron_rows`]: sptensor::kron::kron_rows
+fn compute_row4(
+    values: &[f64],
+    coords: &[usize],
+    fa: &Matrix,
+    fb: &Matrix,
+    fc: &Matrix,
+    out: &mut [f64],
+) {
+    let rc = fc.ncols();
+    for (k, &x) in values.iter().enumerate() {
+        if k + 1 < values.len() {
+            prefetch(fa.row(coords[3 * (k + 1)]));
+            prefetch(fb.row(coords[3 * (k + 1) + 1]));
+            prefetch(fc.row(coords[3 * (k + 1) + 2]));
+        }
+        let u = fa.row(coords[3 * k]);
+        let v = fb.row(coords[3 * k + 1]);
+        let w = fc.row(coords[3 * k + 2]);
+        let mut acc_rows = out.chunks_exact_mut(rc);
+        for &ui in u.iter() {
+            for &vj in v.iter() {
+                let p = ui * vj;
+                let acc = acc_rows.next().expect("output length is Ra*Rb*Rc");
+                // 4-wide unrolled inner loop; each element still computes
+                // `t = p·w_k; acc += x·t` like the materialized path.
+                let mut acc4 = acc.chunks_exact_mut(4);
+                let mut w4 = w.chunks_exact(4);
+                for (a4, c4) in (&mut acc4).zip(&mut w4) {
+                    a4[0] += x * (p * c4[0]);
+                    a4[1] += x * (p * c4[1]);
+                    a4[2] += x * (p * c4[2]);
+                    a4[3] += x * (p * c4[3]);
+                }
+                for (a1, &w1) in acc4.into_remainder().iter_mut().zip(w4.remainder()) {
+                    *a1 += x * (p * w1);
+                }
             }
         }
     }
@@ -195,11 +297,17 @@ pub fn ttmc_mode_into(
     let order = tensor.order();
     // Parallelize over rows; each worker gets one scratch buffer and one
     // factor-row list through `for_each_init`, so both allocations are
-    // amortized over all the rows a worker processes.
+    // amortized over all the rows a worker processes.  Spans are cut by the
+    // rows' symbolic flop weights (update-list lengths), so on skewed
+    // distributions no span carries most of the work — a pure scheduling
+    // change: every row is still computed whole, within one span, so the
+    // bits match the unweighted sweep and the executor's replay exactly.
+    let row_costs = sym.row_costs();
     out.as_mut_slice()
         .par_chunks_mut(width)
         .enumerate()
-        .for_each_init(
+        .for_each_init_weighted(
+            &row_costs,
             || (vec![0.0; width], Vec::with_capacity(order - 1)),
             |(scratch, rows), (p, row_out)| {
                 compute_row(tensor, sym, factors, mode, p, row_out, scratch, rows);

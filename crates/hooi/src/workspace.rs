@@ -39,6 +39,11 @@ pub struct HooiWorkspace {
     /// Whether each tree node's values are current w.r.t. the factors; the
     /// root (the tensor itself) is always valid.
     pub(crate) tree_valid: Vec<bool>,
+    /// Per-node privatized partial rows for segmented (split) member groups:
+    /// one row per segment of the node, merged in ascending segment order by
+    /// [`crate::dimtree::DimTree::compute_node_into`].  Nodes whose groups
+    /// are all below the segmentation grain have zero rows here.
+    pub(crate) tree_partials: Vec<Matrix>,
     /// Column permutation serving each mode's leaf into canonical order
     /// (empty for canonical leaves).
     pub(crate) leaf_perms: Vec<Vec<usize>>,
@@ -58,6 +63,7 @@ impl HooiWorkspace {
             core: DenseTensor::zeros(vec![0; order]),
             tree_values: Vec::new(),
             tree_valid: Vec::new(),
+            tree_partials: Vec::new(),
             leaf_perms: Vec::new(),
             tree_ranks: Vec::new(),
         }
@@ -106,6 +112,7 @@ impl HooiWorkspace {
         let nodes = tree.num_nodes();
         if self.tree_values.len() != nodes {
             self.tree_values = (0..nodes).map(|_| Matrix::zeros(0, 0)).collect();
+            self.tree_partials = (0..nodes).map(|_| Matrix::zeros(0, 0)).collect();
             self.tree_valid = vec![false; nodes];
             self.tree_ranks.clear();
         }
@@ -124,6 +131,12 @@ impl HooiWorkspace {
                 };
                 if self.tree_values[id].shape() != shape {
                     self.tree_values[id] = Matrix::zeros(shape.0, shape.1);
+                }
+                // Privatized partial rows for split member groups, one row
+                // per segment; nodes with no segments keep an empty matrix.
+                let pshape = (tree.node_segments(id), tree.node_width(id, ranks));
+                if self.tree_partials[id].shape() != pshape {
+                    self.tree_partials[id] = Matrix::zeros(pshape.0, pshape.1);
                 }
             }
             self.leaf_perms = (0..tree.order())

@@ -8,7 +8,7 @@
 //! spans through a raw base pointer; disjointness of the spans is what makes
 //! that sound.
 
-use crate::pool::parallel_run;
+use crate::pool::{parallel_run, parallel_run_weighted};
 use std::ops::Range;
 use std::sync::Mutex;
 
@@ -418,6 +418,43 @@ impl<T: Send> ParChunksMutEnumerate<'_, T> {
         let base = SendPtr(self.slice.as_mut_ptr());
         let states: Mutex<Vec<S>> = Mutex::new(Vec::new());
         parallel_run(len.div_ceil(chunk_size), &|span| {
+            let checked_out = states.lock().unwrap().pop();
+            let mut state = checked_out.unwrap_or_else(&init);
+            for c in span {
+                let lo = c * chunk_size;
+                let hi = (lo + chunk_size).min(len);
+                let chunk = unsafe { std::slice::from_raw_parts_mut(base.at(lo), hi - lo) };
+                f(&mut state, (c, chunk));
+            }
+            states.lock().unwrap().push(state);
+        });
+    }
+
+    /// Like [`for_each_init`](Self::for_each_init), but spans are cut by
+    /// *chunk cost* rather than chunk count: `chunk_costs[c]` is the
+    /// relative cost of chunk `c` (one entry per chunk), and the pool
+    /// balances the summed cost per span instead of the number of chunks.
+    /// Shim extension — this is the weighted-scheduling submission path the
+    /// TTMc kernels feed their symbolic per-row flop counts through.
+    ///
+    /// # Panics
+    /// Panics unless `chunk_costs` has exactly one entry per chunk.
+    pub fn for_each_init_weighted<S: Send>(
+        self,
+        chunk_costs: &[u64],
+        init: impl Fn() -> S + Sync,
+        f: impl Fn(&mut S, (usize, &mut [T])) + Sync,
+    ) {
+        let len = self.slice.len();
+        let chunk_size = self.chunk_size;
+        assert_eq!(
+            chunk_costs.len(),
+            len.div_ceil(chunk_size),
+            "need exactly one cost per chunk"
+        );
+        let base = SendPtr(self.slice.as_mut_ptr());
+        let states: Mutex<Vec<S>> = Mutex::new(Vec::new());
+        parallel_run_weighted(chunk_costs, &|span| {
             let checked_out = states.lock().unwrap().pop();
             let mut state = checked_out.unwrap_or_else(&init);
             for c in span {

@@ -36,8 +36,9 @@ pub use iter::{
     ParRange, ParRangeChunks, ParRangeChunksMap, ParRangeMap, ParVec, ParVecMap, ParallelSliceMut,
 };
 pub use pool::{
-    current_num_threads, join, participant_block, scope, worker_threads_spawned, SchedulePolicy,
-    Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder, SPANS_PER_WORKER,
+    current_num_threads, join, participant_block, scope, weighted_span_boundaries,
+    worker_threads_spawned, SchedulePolicy, Scope, ThreadPool, ThreadPoolBuildError,
+    ThreadPoolBuilder, SPANS_PER_WORKER,
 };
 
 /// Glob-import module (mirrors `rayon::prelude`).
@@ -211,6 +212,63 @@ mod tests {
             let mut w = vec![0usize; 97];
             w.par_iter_mut().enumerate().for_each(|(i, x)| *x = i);
             assert!(w.iter().enumerate().all(|(i, &x)| x == i));
+        });
+    }
+
+    #[test]
+    fn weighted_boundaries_partition_exactly_once() {
+        // Heavy skew: one index carries almost all the cost.
+        let mut costs = vec![1u64; 100];
+        costs[7] = 1_000_000;
+        for max_spans in [1usize, 2, 3, 16, 99, 100, 5000] {
+            let bounds = weighted_span_boundaries(&costs, max_spans);
+            assert_eq!(bounds[0], 0);
+            assert_eq!(*bounds.last().unwrap(), costs.len());
+            assert!(bounds.windows(2).all(|w| w[0] < w[1]), "{bounds:?}");
+            assert!(bounds.len() - 1 <= max_spans.min(costs.len()));
+        }
+        // Degenerate inputs.
+        assert_eq!(weighted_span_boundaries(&[], 4), vec![0]);
+        assert_eq!(weighted_span_boundaries(&[0, 0, 0], 4), vec![0, 3]);
+        assert_eq!(weighted_span_boundaries(&[5], 4), vec![0, 1]);
+    }
+
+    #[test]
+    fn weighted_boundaries_balance_skewed_costs() {
+        // 8 cheap indices then 8 expensive ones: equal-length splitting into
+        // two spans would put all the cost in the second; weighted splitting
+        // must move the boundary right of the midpoint.
+        let costs: Vec<u64> = (0..16).map(|i| if i < 8 { 1 } else { 100 }).collect();
+        let bounds = weighted_span_boundaries(&costs, 2);
+        assert_eq!(bounds.len(), 3);
+        assert!(
+            bounds[1] > 8,
+            "boundary {} not past the cheap prefix",
+            bounds[1]
+        );
+    }
+
+    #[test]
+    fn for_each_init_weighted_covers_every_chunk_once() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        pool.install(|| {
+            let mut v = vec![0u32; 103]; // deliberately not a multiple of 10
+            let costs: Vec<u64> = (0..v.len().div_ceil(10))
+                .map(|c| if c == 3 { 10_000 } else { 1 })
+                .collect();
+            v.par_chunks_mut(10).enumerate().for_each_init_weighted(
+                &costs,
+                || 0u32,
+                |state, (c, chunk)| {
+                    *state += 1;
+                    for x in chunk.iter_mut() {
+                        *x += 1 + c as u32;
+                    }
+                },
+            );
+            for (i, &x) in v.iter().enumerate() {
+                assert_eq!(x, 1 + (i / 10) as u32, "element {i}");
+            }
         });
     }
 

@@ -414,6 +414,37 @@ impl PoolShared {
                 spans
             }
         };
+        self.run_spans(spans, body);
+    }
+
+    /// Cuts `0..costs.len()` into spans whose *total cost* (not length) is
+    /// balanced, then deals and runs them like [`run_parallel`].  This is
+    /// the weighted-scheduling entry point: weights are per-job, so rather
+    /// than a pool-wide `SchedulePolicy::Weighted` the caller supplies the
+    /// cost vector with the submission.  Span boundaries remain a pure
+    /// function of the costs and the pool width — never of timing.
+    fn run_parallel_weighted(&self, costs: &[u64], body: &(dyn Fn(Range<usize>) + Sync)) {
+        let len = costs.len();
+        if self.policy == SchedulePolicy::Static && thread_is_participant_of(self) {
+            // Same orphaned-span hazard as in `run_parallel`.
+            body(0..len);
+            return;
+        }
+        let n = self.num_threads;
+        let max_spans = match self.policy {
+            SchedulePolicy::Static => n,
+            SchedulePolicy::Dynamic => n * SPANS_PER_WORKER,
+        };
+        let bounds = weighted_span_boundaries(costs, max_spans);
+        let spans: Vec<Range<usize>> = bounds.windows(2).map(|w| w[0]..w[1]).collect();
+        self.run_spans(spans, body);
+    }
+
+    /// Deals pre-cut spans into per-participant deques and runs `body` over
+    /// all of them in parallel (the shared tail of [`run_parallel`] and
+    /// [`run_parallel_weighted`]).
+    fn run_spans(&self, spans: Vec<Range<usize>>, body: &(dyn Fn(Range<usize>) + Sync)) {
+        let n = self.num_threads;
         let num_spans = spans.len();
         let mut deques: Vec<Mutex<VecDeque<Range<usize>>>> =
             (0..n).map(|_| Mutex::new(VecDeque::new())).collect();
@@ -440,6 +471,45 @@ impl PoolShared {
         });
         self.run_job(&job);
     }
+}
+
+/// Cut points of a cost-balanced contiguous partition of `0..costs.len()`
+/// into at most `max_spans` non-empty spans (shim extension; the weighted
+/// analogue of [`participant_block`]).
+///
+/// Returns boundaries `b_0 = 0 < b_1 < … < b_k = costs.len()` (so span `s`
+/// is `b_s..b_{s+1}`), greedily closing a span once its summed cost reaches
+/// `ceil(total / max_spans)`.  Guarantees, for any cost skew:
+///
+/// - the spans partition the index range exactly once (strictly increasing
+///   boundaries from `0` to `len`),
+/// - at most `max_spans` spans are produced, every one non-empty, and
+/// - the result is a pure function of `costs` and `max_spans` — no timing,
+///   no thread count beyond what the caller folded into `max_spans` — so
+///   weighted scheduling stays deterministic like everything else here.
+///
+/// An empty cost vector yields the single boundary `[0]` (zero spans); an
+/// all-zero cost vector yields one span covering everything.
+pub fn weighted_span_boundaries(costs: &[u64], max_spans: usize) -> Vec<usize> {
+    assert!(max_spans > 0, "max_spans must be positive");
+    let len = costs.len();
+    let mut bounds = vec![0usize];
+    if len == 0 {
+        return bounds;
+    }
+    let spans = max_spans.min(len);
+    let total: u64 = costs.iter().sum();
+    let target = (total.div_ceil(spans as u64)).max(1);
+    let mut acc = 0u64;
+    for (i, &c) in costs.iter().enumerate() {
+        acc += c;
+        if acc >= target && bounds.len() < spans && i + 1 < len {
+            bounds.push(i + 1);
+            acc = 0;
+        }
+    }
+    bounds.push(len);
+    bounds
 }
 
 /// Balanced contiguous split: the half-open sub-range of `0..len` owned by
@@ -627,6 +697,23 @@ pub(crate) fn parallel_run(len: usize, body: &(dyn Fn(Range<usize>) + Sync)) {
         return;
     };
     pool.run_parallel(len, body);
+}
+
+/// Weighted variant of [`parallel_run`]: `costs[i]` is the relative cost of
+/// index `i`, and spans are cut by [`weighted_span_boundaries`] so each
+/// carries a balanced share of the total cost instead of an equal share of
+/// the indices.  Degenerate regions (empty, one index, one thread) take the
+/// same sequential path as the unweighted bridge.
+pub(crate) fn parallel_run_weighted(costs: &[u64], body: &(dyn Fn(Range<usize>) + Sync)) {
+    let len = costs.len();
+    if len == 0 {
+        return;
+    }
+    let Some(pool) = active_pool().filter(|p| p.num_threads > 1 && len > 1) else {
+        body(0..len);
+        return;
+    };
+    pool.run_parallel_weighted(costs, body);
 }
 
 /// Runs both closures, potentially in parallel, and returns both results

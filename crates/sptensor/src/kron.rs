@@ -65,7 +65,18 @@ pub fn accumulate_scaled_kron(alpha: f64, rows: &[&[f64]], acc: &mut [f64], scra
                     continue;
                 }
                 let chunk = &mut acc[i * v.len()..(i + 1) * v.len()];
-                for (a, &vj) in chunk.iter_mut().zip(v.iter()) {
+                // 4-wide unrolled axpy: each element still computes exactly
+                // `a += coeff * v[j]`, so the unroll is bit-identical to the
+                // plain loop — only the dependency chains are shortened.
+                let mut acc4 = chunk.chunks_exact_mut(4);
+                let mut v4 = v.chunks_exact(4);
+                for (a, r) in (&mut acc4).zip(&mut v4) {
+                    a[0] += coeff * r[0];
+                    a[1] += coeff * r[1];
+                    a[2] += coeff * r[2];
+                    a[3] += coeff * r[3];
+                }
+                for (a, &vj) in acc4.into_remainder().iter_mut().zip(v4.remainder().iter()) {
                     *a += coeff * vj;
                 }
             }

@@ -1,11 +1,13 @@
-//! Thread-scaling gate: on a multi-core host, the TTMc kernel at 4 threads
-//! must be measurably faster than at 1 thread on a skewed profile tensor.
+//! Thread-scaling gate: on a host with at least 4 CPUs, the TTMc sweep at
+//! 4 threads must reach at least 1.5× the 1-thread throughput on a skewed
+//! profile tensor — real scaling, not just "parallel is not slower".
 //!
 //! Marked `#[ignore]` because it is timing-sensitive and meaningless on a
-//! single-core builder; the CI workflow runs it explicitly
+//! narrow builder; the CI workflow runs it explicitly
 //! (`cargo test --release --test thread_scaling -- --ignored`) on the
 //! multi-core runner, and the test itself skips gracefully when
-//! `available_parallelism() == 1`.
+//! `available_parallelism()` is below 4 (4 workers cannot demonstrate a
+//! 4-thread speedup with fewer than 4 CPUs to run on).
 
 use datagen::{DatasetProfile, ProfileName};
 use hooi::hosvd::random_factors;
@@ -13,14 +15,23 @@ use hooi::symbolic::SymbolicTtmc;
 use hooi::ttmc::ttmc_mode;
 use std::time::Instant;
 
+/// Minimum 4-thread-over-1-thread TTMc speedup the gate demands on hosts
+/// with at least 4 CPUs.  Deliberately below the ~3× the flop-weighted
+/// scheduler reaches on an idle 4-core machine, so shared CI runners do
+/// not flake, but far above the old "not slower" bar.
+const REQUIRED_SPEEDUP: f64 = 1.5;
+
 #[test]
 #[ignore = "timing-sensitive; run explicitly on a multi-core host (CI thread-scaling job)"]
-fn four_thread_ttmc_beats_one_thread_on_skewed_profile() {
+fn four_thread_ttmc_scales_on_skewed_profile() {
     let hardware = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1);
-    if hardware == 1 {
-        eprintln!("skipping thread-scaling gate: only one hardware thread available");
+    if hardware < 4 {
+        eprintln!(
+            "skipping thread-scaling gate: {hardware} hardware thread(s) available, \
+             a 4-thread speedup needs at least 4"
+        );
         return;
     }
 
@@ -53,10 +64,8 @@ fn four_thread_ttmc_beats_one_thread_on_skewed_profile() {
         })
     };
 
-    // Generous threshold (only 10% required even though 4 workers on a
-    // 2-core runner should win ~2x), and up to three independent
-    // measurement attempts so one noisy-neighbor burst on a shared CI
-    // runner cannot produce a false failure.
+    // Up to three independent measurement attempts so one noisy-neighbor
+    // burst on a shared CI runner cannot produce a false failure.
     let mut last = (0.0f64, 0.0f64);
     for attempt in 1..=3 {
         let t1 = time_at(1);
@@ -65,14 +74,16 @@ fn four_thread_ttmc_beats_one_thread_on_skewed_profile() {
             "attempt {attempt}: TTMc sweep 1 thread {t1:.4}s, 4 threads {t4:.4}s (speedup {:.2}x)",
             t1 / t4
         );
-        if t4 < 0.9 * t1 {
+        if t1 / t4 >= REQUIRED_SPEEDUP {
             return;
         }
         last = (t1, t4);
     }
     let (t1, t4) = last;
     panic!(
-        "4-thread TTMc ({t4:.4}s) not measurably below 1-thread ({t1:.4}s) in any of 3 attempts \
-         on {hardware} hardware threads"
+        "4-thread TTMc speedup {:.2}x below the required {REQUIRED_SPEEDUP}x \
+         (1 thread {t1:.4}s, 4 threads {t4:.4}s) in all of 3 attempts on \
+         {hardware} hardware threads",
+        t1 / t4
     );
 }

@@ -89,6 +89,32 @@ proptest! {
             tree.costs(&ranks).flops < per_mode_costs(&sym, tensor.nnz(), &ranks).flops
         );
     }
+
+    // The weighted span boundaries the flop-weighted scheduler cuts from a
+    // cost vector partition the index range exactly once — every index in
+    // exactly one span, spans non-empty and ascending, never more spans
+    // than requested — regardless of how skewed the costs are.
+    #[test]
+    fn weighted_spans_partition_exactly_once_under_any_skew(
+        args in (0usize..200, 0u64..u64::MAX, 1usize..64, 0usize..200, 0u64..u64::MAX / 4),
+    ) {
+        let (len, seed, max_spans, hot, hot_cost) = args;
+        // Pseudo-random cost vector expanded from the drawn seed, with one
+        // dominating index planted anywhere — cost skews far beyond what
+        // any real update-list distribution produces.
+        let mut costs: Vec<u64> = (0..len)
+            .map(|i| (seed ^ (i as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)) % 1_000_000)
+            .collect();
+        if !costs.is_empty() {
+            let at = hot % costs.len();
+            costs[at] = hot_cost;
+        }
+        let bounds = rayon::weighted_span_boundaries(&costs, max_spans);
+        prop_assert_eq!(bounds[0], 0);
+        prop_assert_eq!(*bounds.last().unwrap(), costs.len());
+        prop_assert!(bounds.windows(2).all(|w| w[0] < w[1]) || costs.is_empty());
+        prop_assert!(bounds.len() - 1 <= max_spans.min(costs.len()).max(1));
+    }
 }
 
 /// End-to-end: a dimension-tree solve reproduces the per-mode solve's fit
@@ -233,13 +259,17 @@ fn tree_session_batches_match_per_mode_within_tolerance() {
 }
 
 /// The strategy knob is honoured end to end: per-mode sessions report it,
-/// the default is the tree, and the one-shot entry follows the config.
+/// the default (`Auto`) resolves to the strategy the flop model picks —
+/// the tree, on a colliding random tensor — and the one-shot entry follows
+/// the config.
 #[test]
 fn strategy_knob_is_reported_and_defaulted() {
     let tensor = random_tensor(&[10, 10, 10], 300, 5);
     let default_solver = TuckerSolver::plan(&tensor, PlanOptions::new().num_threads(1)).unwrap();
     assert_eq!(default_solver.ttmc_strategy(), TtmcStrategy::DimensionTree);
     assert!(default_solver.dimtree().is_some());
+    assert_eq!(PlanOptions::new().ttmc_strategy, TtmcStrategy::Auto);
+    assert_eq!(TtmcStrategy::default(), TtmcStrategy::Auto);
     let pinned = TuckerSolver::plan(
         &tensor,
         PlanOptions::new()
@@ -259,5 +289,168 @@ fn strategy_knob_is_reported_and_defaulted() {
     .unwrap();
     for (a, b) in tree_run.fits.iter().zip(per_mode_run.fits.iter()) {
         assert!((a - b).abs() <= 1e-10 * b.abs().max(1e-300));
+    }
+}
+
+/// `Auto` resolves to whichever strategy the plan-time flop model prices
+/// cheaper, on order-3 and order-4 profiles alike.  The expected winner is
+/// recomputed here from the same public counters the resolver uses (at its
+/// fixed rank hint of `min(dim, 8)` per mode, ties to per-mode).
+#[test]
+fn auto_selects_lower_modeled_flops_strategy_per_profile() {
+    for name in ProfileName::all() {
+        let profile = DatasetProfile::new(name);
+        let tensor = profile.generate(4_000, 23);
+        let sym = SymbolicTtmc::build(&tensor);
+        let tree = DimTree::build(&tensor);
+        let hint: Vec<usize> = tensor.dims().iter().map(|&d| d.min(8)).collect();
+        let expected = if tree.costs(&hint).flops < per_mode_costs(&sym, tensor.nnz(), &hint).flops
+        {
+            TtmcStrategy::DimensionTree
+        } else {
+            TtmcStrategy::PerMode
+        };
+        let solver = TuckerSolver::plan(
+            &tensor,
+            PlanOptions::new()
+                .num_threads(1)
+                .ttmc_strategy(TtmcStrategy::Auto),
+        )
+        .unwrap();
+        assert_eq!(
+            solver.ttmc_strategy(),
+            expected,
+            "{name:?}: auto did not pick the cheaper strategy"
+        );
+        assert_eq!(
+            solver.dimtree().is_some(),
+            expected == TtmcStrategy::DimensionTree,
+            "{name:?}: plan artifacts disagree with the resolved strategy"
+        );
+    }
+}
+
+/// On a collision-free tensor (diagonal: every nonzero projects to a
+/// distinct index on every mode set) flop sharing cannot pay — the tree
+/// contracts each nonzero once per level while the per-mode sweep touches
+/// it once per mode with a cheaper kernel — so `Auto` must resolve to the
+/// per-mode strategy, and the solve must still be correct.
+#[test]
+fn auto_resolves_to_per_mode_when_sharing_cannot_pay() {
+    let n = 40usize;
+    let entries: Vec<(Vec<usize>, f64)> = (0..n)
+        .map(|i| (vec![i, i, i], 1.0 + i as f64 * 0.5))
+        .collect();
+    let tensor = SparseTensor::from_entries(vec![n, n, n], &entries);
+    let mut solver = TuckerSolver::plan(
+        &tensor,
+        PlanOptions::new()
+            .num_threads(1)
+            .ttmc_strategy(TtmcStrategy::Auto),
+    )
+    .unwrap();
+    assert_eq!(solver.ttmc_strategy(), TtmcStrategy::PerMode);
+    assert!(solver.dimtree().is_none());
+    // The resolved plan solves like an explicitly per-mode one.
+    let config = TuckerConfig::new(vec![3, 3, 3]).max_iterations(2).seed(8);
+    let auto_run = solver.solve(&config).unwrap();
+    let pinned_run = tucker_hooi(
+        &tensor,
+        &config.clone().ttmc_strategy(TtmcStrategy::PerMode),
+    )
+    .unwrap();
+    assert_eq!(auto_run.fits, pinned_run.fits);
+}
+
+/// The per-mode TTMc with flop-weighted row chunking is bit-identical
+/// across pool widths: each row is computed whole by exactly one worker in
+/// a fixed entry order, so weighting only moves span boundaries — never
+/// the arithmetic inside a row.
+#[test]
+fn per_mode_ttmc_is_bit_identical_across_thread_counts() {
+    let profile = DatasetProfile::new(ProfileName::Delicious);
+    let tensor = profile.generate(4_000, 19);
+    let ranks = [3, 4, 2, 3];
+    let factors = factors_for(&tensor, &ranks, 55);
+    let sym = SymbolicTtmc::build(&tensor);
+    let mut reference: Option<Vec<Vec<u64>>> = None;
+    for threads in [1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap();
+        let results: Vec<Matrix> = pool.install(|| {
+            (0..tensor.order())
+                .map(|mode| ttmc_mode(&tensor, sym.mode(mode), &factors, mode))
+                .collect()
+        });
+        let bits: Vec<Vec<u64>> = results
+            .iter()
+            .map(|m| m.as_slice().iter().map(|x| x.to_bits()).collect())
+            .collect();
+        match &reference {
+            None => reference = Some(bits),
+            Some(r) => assert_eq!(r, &bits, "{threads} threads diverged"),
+        }
+    }
+}
+
+/// The executor contract — results bit-identical *per thread count* — holds
+/// for both strategies under the flop-weighted scheduling and privatized
+/// accumulation: at each of 1/2/4 threads, two independently planned solves
+/// reproduce factors, core, and fits bit for bit.  (Across *different*
+/// widths only the 1e-10 tolerance holds, as ever: the TRSVD's parallel
+/// reductions are deterministic per pool width, not across widths — the
+/// TTMc layer itself is cross-width bit-identical, see the dedicated
+/// `*_ttmc_is_bit_identical_across_thread_counts` tests.)
+#[test]
+fn solves_are_bit_reproducible_at_each_thread_count_for_both_strategies() {
+    let profile = DatasetProfile::new(ProfileName::Delicious);
+    let tensor = profile.generate(3_000, 31);
+    let config = TuckerConfig::new(vec![3, 3, 2, 3])
+        .max_iterations(2)
+        .seed(6);
+    for strategy in [TtmcStrategy::PerMode, TtmcStrategy::DimensionTree] {
+        let mut one_thread_fits: Option<Vec<f64>> = None;
+        for threads in [1usize, 2, 4] {
+            let solve_once = || {
+                TuckerSolver::plan(
+                    &tensor,
+                    PlanOptions::new()
+                        .num_threads(threads)
+                        .ttmc_strategy(strategy),
+                )
+                .unwrap()
+                .solve(&config)
+                .unwrap()
+            };
+            let first = solve_once();
+            let second = solve_once();
+            assert_eq!(first.fits, second.fits, "{strategy:?} @ {threads} threads");
+            assert_eq!(
+                first.core.as_slice(),
+                second.core.as_slice(),
+                "{strategy:?} @ {threads} threads: core not reproducible"
+            );
+            for (u, v) in first.factors.iter().zip(second.factors.iter()) {
+                let ub: Vec<u64> = u.as_slice().iter().map(|x| x.to_bits()).collect();
+                let vb: Vec<u64> = v.as_slice().iter().map(|x| x.to_bits()).collect();
+                assert_eq!(
+                    ub, vb,
+                    "{strategy:?} @ {threads} threads: factor not reproducible"
+                );
+            }
+            match &one_thread_fits {
+                None => one_thread_fits = Some(first.fits),
+                Some(base) => {
+                    for (a, b) in first.fits.iter().zip(base.iter()) {
+                        assert!(
+                            (a - b).abs() <= 1e-10 * b.abs().max(1e-300),
+                            "{strategy:?} @ {threads} threads: fit {a} vs 1-thread {b}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }
