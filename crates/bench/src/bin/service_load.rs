@@ -1,0 +1,513 @@
+//! Multi-tenant decomposition-service load replay.
+//!
+//! Replays a Zipf-skewed request mix ([`datagen::requests`]) against a
+//! [`service::DecompositionService`]: several tenants ingest, decompose,
+//! predict on and evict a pool of synthetic tensors, with hot tensors
+//! receiving most of the traffic.  The bin reports
+//!
+//! * request latency percentiles (p50/p95/p99, overall and for
+//!   decompositions alone) and sustained throughput,
+//! * plan-cache behaviour (hit rate, bytes held, pressure evictions), and
+//! * fairness: the per-tenant charged-flop spread and the *pick-time
+//!   deficit* — how far above the backlogged minimum the scheduler ever
+//!   reached when choosing the next tenant (exactly 0 for
+//!   cheapest-deficit-first admission).
+//!
+//! Every event for a tensor is issued by the tensor's *owning* tenant
+//! (`tensor mod tenants`), so per-tenant FIFO order implies per-tensor
+//! order and the replay's responses are a deterministic function of the
+//! mix — under any fair interleaving and any cache state.
+//!
+//! Machine-readable output goes to `BENCH_service.json` (override with
+//! `--out <path>`).  With `--check` the bin doubles as the service's CI
+//! gate: it replays the same mix a second time with everything submitted
+//! up front (different queue interleaving) and a plan cache squeezed to
+//! barely above the largest single plan (forcing pressure evictions and
+//! transparent re-plans), and exits nonzero unless
+//!
+//! * every response is bit-identical between the two replays,
+//! * the squeezed replay actually evicted and re-planned, and
+//! * the scheduler never picked a tenant above the backlogged minimum.
+//!
+//! Run with `cargo run --release -p bench --bin service_load`; scale with
+//! `--requests/--tensors/--tenants/--threads/--seed`.
+
+use datagen::random_tensor;
+use datagen::requests::{request_mix, RequestEvent, RequestKind, RequestMixSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use service::{Completed, DecompositionService, Request, Response, ServiceOptions};
+use sptensor::SparseTensor;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// How many requests run A submits before draining the queue — small
+/// enough that queueing (and therefore fairness reordering) is visible in
+/// the latencies, large enough to keep the pool busy.
+const SUBMIT_WINDOW: usize = 8;
+
+struct BinArgs {
+    out: String,
+    requests: usize,
+    tensors: usize,
+    tenants: usize,
+    threads: usize,
+    seed: u64,
+    check: bool,
+}
+
+fn bin_args() -> BinArgs {
+    let mut out = BinArgs {
+        out: "BENCH_service.json".to_string(),
+        requests: 300,
+        tensors: 8,
+        tenants: 6,
+        threads: 2,
+        seed: 1,
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires an argument");
+                std::process::exit(2);
+            })
+        };
+        let parse = |flag: &str, spec: String| -> usize {
+            spec.parse().unwrap_or_else(|_| {
+                eprintln!("could not parse {flag} '{spec}' as an integer");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--out" => out.out = value("--out"),
+            "--requests" => out.requests = parse("--requests", value("--requests")),
+            "--tensors" => out.tensors = parse("--tensors", value("--tensors")),
+            "--tenants" => out.tenants = parse("--tenants", value("--tenants")),
+            "--threads" => out.threads = parse("--threads", value("--threads")),
+            "--seed" => out.seed = parse("--seed", value("--seed")) as u64,
+            "--check" => out.check = true,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The synthetic tensor pool: small enough that hundreds of decompositions
+/// replay in seconds, varied enough that plans have different footprints.
+fn tensor_pool(count: usize, seed: u64) -> Vec<Arc<SparseTensor>> {
+    (0..count)
+        .map(|i| {
+            let dims = [28 + 4 * (i % 3), 22 + 3 * (i % 4), 18 + 2 * (i % 5)];
+            let nnz = 1_500 + 400 * (i % 4);
+            Arc::new(random_tensor(&dims, nnz, seed.wrapping_add(i as u64)))
+        })
+        .collect()
+}
+
+/// The owning tenant of a tensor; every request for the tensor comes from
+/// it, making per-tensor order a consequence of per-tenant FIFO order.
+fn owner(tensor: usize, tenants: usize) -> String {
+    format!("tenant{}", tensor % tenants)
+}
+
+/// Maps an abstract mix event to a concrete service request.  Predict
+/// queries are drawn per event from the event's own deterministic stream.
+fn to_request(
+    event: &RequestEvent,
+    event_idx: u64,
+    pool: &[Arc<SparseTensor>],
+    seed: u64,
+) -> Request {
+    let tensor_id = format!("tensor{}", event.tensor);
+    match &event.kind {
+        RequestKind::Ingest => Request::Ingest {
+            tensor_id,
+            tensor: Arc::clone(&pool[event.tensor]),
+        },
+        RequestKind::Decompose {
+            rank,
+            max_iters,
+            seed,
+        } => Request::Decompose {
+            tensor_id,
+            ranks: vec![*rank; pool[event.tensor].order()],
+            seed: *seed,
+            max_iters: *max_iters,
+            deadline: None,
+        },
+        RequestKind::Predict { queries } => {
+            let dims = pool[event.tensor].dims().to_vec();
+            let mut rng = SmallRng::seed_from_u64(
+                seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(event_idx + 1),
+            );
+            let indices = (0..*queries)
+                .map(|_| dims.iter().map(|&d| rng.gen_range(0..d)).collect())
+                .collect();
+            Request::Predict { tensor_id, indices }
+        }
+        RequestKind::Evict => Request::Evict { tensor_id },
+    }
+}
+
+/// FNV-1a over a stream of u64 words — the response fingerprint used by
+/// the bit-identity gate.
+#[derive(Clone, Copy)]
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+    fn word(&mut self, w: u64) {
+        for shift in [0, 8, 16, 24, 32, 40, 48, 56] {
+            self.0 ^= (w >> shift) & 0xff;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn f64s(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.word(x.to_bits());
+        }
+    }
+}
+
+/// A response fingerprint: the outcome kind plus the bits of its numeric
+/// payload.  Cache-state-dependent fields (`plan_bytes`,
+/// `plan_was_cached`) are deliberately excluded — they describe the
+/// *cache*, not the response the tenant consumes.
+fn fingerprint(completed: &Completed) -> (u8, u64) {
+    match &completed.outcome {
+        Ok(Response::Ingested { .. }) => (1, 0),
+        Ok(Response::Decomposed {
+            decomposition,
+            truncated,
+        }) => {
+            let mut h = Fnv::new();
+            h.f64s(decomposition.core.as_slice());
+            for factor in &decomposition.factors {
+                h.f64s(factor.as_slice());
+            }
+            h.word(decomposition.iterations as u64);
+            h.word(*truncated as u64);
+            (2, h.0)
+        }
+        Ok(Response::Predicted { values }) => {
+            let mut h = Fnv::new();
+            h.f64s(values);
+            (3, h.0)
+        }
+        Ok(Response::Evicted { .. }) => (4, 0),
+        Err(e) => {
+            let mut h = Fnv::new();
+            for b in e.to_string().bytes() {
+                h.word(b as u64);
+            }
+            (5, h.0)
+        }
+    }
+}
+
+struct ReplayResult {
+    /// `request_id -> (kind, fingerprint)`; ids equal submission order.
+    fingerprints: BTreeMap<u64, (u8, u64)>,
+    /// Wall-clock seconds from submit to completion, per request, in
+    /// completion order, with the request kind tag.
+    latencies: Vec<(u8, f64)>,
+    elapsed_s: f64,
+    /// Largest plan footprint reported by any ingest (sizing input for the
+    /// squeezed replay).
+    max_plan_bytes: usize,
+    /// Times the scheduler picked a tenant charged above the backlogged
+    /// minimum (must be 0) and the worst such overshoot in flops.
+    pick_violations: u64,
+    max_pick_deficit: u64,
+    stats: service::ServiceStats,
+}
+
+/// Replays the mix: submit in windows of `window`, drain, measure.  The
+/// fairness probe snapshots the backlogged tenants' accounts before every
+/// step and checks the scheduler's pick against the minimum.
+fn replay(
+    events: &[RequestEvent],
+    pool: &[Arc<SparseTensor>],
+    options: ServiceOptions,
+    tenants: usize,
+    seed: u64,
+    window: usize,
+) -> ReplayResult {
+    let mut svc = DecompositionService::new(options).expect("service pool");
+    let mut fingerprints = BTreeMap::new();
+    let mut latencies = Vec::with_capacity(events.len());
+    let mut submit_times: BTreeMap<u64, Instant> = BTreeMap::new();
+    let mut max_plan_bytes = 0usize;
+    let mut pick_violations = 0u64;
+    let mut max_pick_deficit = 0u64;
+    let t0 = Instant::now();
+    let drain = |svc: &mut DecompositionService,
+                 submit_times: &mut BTreeMap<u64, Instant>,
+                 fingerprints: &mut BTreeMap<u64, (u8, u64)>,
+                 latencies: &mut Vec<(u8, f64)>,
+                 max_plan_bytes: &mut usize,
+                 pick_violations: &mut u64,
+                 max_pick_deficit: &mut u64| {
+        loop {
+            let backlogged = svc.pending_by_tenant();
+            if backlogged.is_empty() {
+                break;
+            }
+            let charged = svc.charged_flops().clone();
+            let min_charged = backlogged
+                .keys()
+                .map(|t| charged.get(t).copied().unwrap_or(0))
+                .min()
+                .unwrap_or(0);
+            let completed = svc.step().expect("backlogged service must step");
+            let picked = charged.get(&completed.tenant).copied().unwrap_or(0);
+            if picked > min_charged {
+                *pick_violations += 1;
+                *max_pick_deficit = (*max_pick_deficit).max(picked - min_charged);
+            }
+            if let Ok(Response::Ingested {
+                plan_bytes: Some(b),
+                ..
+            }) = &completed.outcome
+            {
+                *max_plan_bytes = (*max_plan_bytes).max(*b);
+            }
+            let submitted = submit_times
+                .remove(&completed.request_id)
+                .expect("completion for an unsubmitted request");
+            let fp = fingerprint(&completed);
+            latencies.push((fp.0, submitted.elapsed().as_secs_f64()));
+            fingerprints.insert(completed.request_id, fp);
+        }
+    };
+    for (idx, event) in events.iter().enumerate() {
+        let request = to_request(event, idx as u64, pool, seed);
+        let id = svc.submit(&owner(event.tensor, tenants), request);
+        submit_times.insert(id, Instant::now());
+        if (idx + 1) % window == 0 {
+            drain(
+                &mut svc,
+                &mut submit_times,
+                &mut fingerprints,
+                &mut latencies,
+                &mut max_plan_bytes,
+                &mut pick_violations,
+                &mut max_pick_deficit,
+            );
+        }
+    }
+    drain(
+        &mut svc,
+        &mut submit_times,
+        &mut fingerprints,
+        &mut latencies,
+        &mut max_plan_bytes,
+        &mut pick_violations,
+        &mut max_pick_deficit,
+    );
+    ReplayResult {
+        fingerprints,
+        latencies,
+        elapsed_s: t0.elapsed().as_secs_f64(),
+        max_plan_bytes,
+        pick_violations,
+        max_pick_deficit,
+        stats: svc.stats(),
+    }
+}
+
+/// Nearest-rank percentile of an unsorted latency slice, in seconds.
+fn percentile(latencies: &mut [f64], q: f64) -> f64 {
+    if latencies.is_empty() {
+        return 0.0;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let rank = ((q * latencies.len() as f64).ceil() as usize).clamp(1, latencies.len());
+    latencies[rank - 1]
+}
+
+fn to_json(args: &BinArgs, host_cpus: usize, result: &ReplayResult) -> String {
+    let stats = &result.stats;
+    let mut all: Vec<f64> = result.latencies.iter().map(|&(_, s)| s).collect();
+    let mut dec: Vec<f64> = result
+        .latencies
+        .iter()
+        .filter(|&&(kind, _)| kind == 2)
+        .map(|&(_, s)| s)
+        .collect();
+    let spread = stats.fairness_spread();
+    // JSON has no Infinity: -1 marks "a tenant was never charged".
+    let spread = if spread.is_finite() { spread } else { -1.0 };
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"service_load\",\n");
+    out.push_str("  \"command\": \"cargo run --release -p bench --bin service_load\",\n");
+    out.push_str(&format!(
+        "  \"params\": {{\"requests\": {}, \"tensors\": {}, \"tenants\": {}, \"threads\": {}, \
+         \"seed\": {}, \"submit_window\": {SUBMIT_WINDOW}}},\n",
+        args.requests, args.tensors, args.tenants, args.threads, args.seed
+    ));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&format!(
+        "  \"latency_ms\": {{\"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4}}},\n",
+        1e3 * percentile(&mut all, 0.50),
+        1e3 * percentile(&mut all, 0.95),
+        1e3 * percentile(&mut all, 0.99)
+    ));
+    out.push_str(&format!(
+        "  \"decompose_latency_ms\": {{\"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4}}},\n",
+        1e3 * percentile(&mut dec, 0.50),
+        1e3 * percentile(&mut dec, 0.95),
+        1e3 * percentile(&mut dec, 0.99)
+    ));
+    out.push_str(&format!(
+        "  \"throughput_rps\": {:.2},\n",
+        result.latencies.len() as f64 / result.elapsed_s.max(1e-12)
+    ));
+    out.push_str(&format!(
+        "  \"cache\": {{\"hit_rate\": {:.4}, \"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+         \"bytes_held\": {}, \"max_plan_bytes\": {}}},\n",
+        stats.cache_hit_rate(),
+        stats.plan_cache_hits,
+        stats.plan_cache_misses,
+        stats.evicted_plans.len(),
+        stats.plan_cache_bytes,
+        result.max_plan_bytes
+    ));
+    out.push_str(&format!(
+        "  \"fairness\": {{\"charged_flop_spread\": {spread:.4}, \"pick_violations\": {}, \
+         \"max_pick_deficit_flops\": {}}},\n",
+        result.pick_violations, result.max_pick_deficit
+    ));
+    out.push_str(&format!(
+        "  \"requests\": {{\"completed\": {}, \"failed\": {}, \"ingests\": {}, \
+         \"decomposes\": {}, \"predicts\": {}, \"evicts\": {}, \"truncated\": {}}}\n",
+        stats.completed,
+        stats.failed,
+        stats.ingests,
+        stats.decomposes,
+        stats.predicts,
+        stats.evicts,
+        stats.truncated_decomposes
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// The `--check` gate: replay the same mix with everything submitted up
+/// front and the cache squeezed, then demand bit-identical responses plus
+/// actual eviction pressure.  Returns the process exit code.
+fn check_gate(
+    events: &[RequestEvent],
+    pool: &[Arc<SparseTensor>],
+    args: &BinArgs,
+    warm: &ReplayResult,
+) -> i32 {
+    // Barely above the largest single plan: every plan is admissible (no
+    // over-budget failures) but two rarely coexist.
+    let squeezed_budget = warm.max_plan_bytes + warm.max_plan_bytes / 2;
+    let squeezed = replay(
+        events,
+        pool,
+        ServiceOptions::new()
+            .num_threads(args.threads)
+            .plan_cache_bytes(squeezed_budget),
+        args.tenants,
+        args.seed,
+        events.len(), // one submission burst: maximal reordering freedom
+    );
+    let mut mismatches = 0usize;
+    for (id, fp) in &warm.fingerprints {
+        if squeezed.fingerprints.get(id) != Some(fp) {
+            mismatches += 1;
+        }
+    }
+    let evictions = squeezed.stats.evicted_plans.len();
+    let replans = squeezed.stats.plan_cache_misses;
+    let violations = warm.pick_violations + squeezed.pick_violations;
+    println!("\n--check gate (squeezed cache: {squeezed_budget} bytes):");
+    println!(
+        "  bit-identity: {} of {} responses match across interleaving + cache pressure{}",
+        warm.fingerprints.len() - mismatches,
+        warm.fingerprints.len(),
+        if mismatches == 0 { " ok" } else { " FAIL" }
+    );
+    println!(
+        "  pressure: {evictions} evictions, {replans} re-plans under the squeezed budget {}",
+        if evictions > 0 && replans > 0 {
+            "ok"
+        } else {
+            "FAIL (gate exercised nothing)"
+        }
+    );
+    println!(
+        "  fairness: {violations} picks above the backlogged minimum {}",
+        if violations == 0 { "ok" } else { "FAIL" }
+    );
+    if mismatches == 0 && evictions > 0 && replans > 0 && violations == 0 {
+        println!("--check passed");
+        0
+    } else {
+        println!("--check FAILED");
+        1
+    }
+}
+
+fn main() {
+    let args = bin_args();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    bench::print_header(
+        "Decomposition service under multi-tenant load",
+        &format!(
+            "{} requests, {} tensors, {} tenants, {} threads, Zipf-skewed mix (seed {}), \
+             {host_cpus} host CPU(s)",
+            args.requests, args.tensors, args.tenants, args.threads, args.seed
+        ),
+    );
+    let pool = tensor_pool(args.tensors, args.seed);
+    let events = request_mix(&RequestMixSpec::new(
+        args.tensors, // one queue per owning tenant; see `owner`
+        args.tensors,
+        args.requests,
+        args.seed,
+    ));
+    let warm = replay(
+        &events,
+        &pool,
+        ServiceOptions::new().num_threads(args.threads),
+        args.tenants,
+        args.seed,
+        SUBMIT_WINDOW,
+    );
+    let stats = &warm.stats;
+    println!(
+        "replayed {} events in {:.2} s ({:.1} req/s)",
+        warm.latencies.len(),
+        warm.elapsed_s,
+        warm.latencies.len() as f64 / warm.elapsed_s.max(1e-12)
+    );
+    println!(
+        "cache: {:.1}% hit rate, {} evictions, {} bytes held",
+        100.0 * stats.cache_hit_rate(),
+        stats.evicted_plans.len(),
+        stats.plan_cache_bytes
+    );
+    println!(
+        "fairness: {} picks above the backlogged minimum (max deficit {} flops)",
+        warm.pick_violations, warm.max_pick_deficit
+    );
+    for (tenant, flops) in &stats.charged_flops {
+        println!("  {tenant:<10} charged {flops:>14} flops");
+    }
+    std::fs::write(&args.out, to_json(&args, host_cpus, &warm)).expect("write BENCH_service.json");
+    println!("wrote {}", args.out);
+    if args.check {
+        std::process::exit(check_gate(&events, &pool, &args, &warm));
+    }
+}

@@ -12,14 +12,18 @@
 //! * [`zipf`] — a power-law index sampler reproducing the skewed slice-size
 //!   distributions of the real datasets,
 //! * [`profiles`] — scaled-down dataset profiles preserving mode counts,
-//!   relative mode sizes and skew of the four paper datasets.
+//!   relative mode sizes and skew of the four paper datasets,
+//! * [`requests`] — Zipf-skewed multi-tenant request mixes replayed by the
+//!   decomposition-service load bench.
 
 pub mod lowrank;
 pub mod profiles;
 pub mod random;
+pub mod requests;
 pub mod zipf;
 
 pub use lowrank::{lowrank_tensor, LowRankSpec};
 pub use profiles::{DatasetProfile, ProfileName};
 pub use random::random_tensor;
+pub use requests::{request_mix, RequestEvent, RequestKind, RequestMixSpec};
 pub use zipf::ZipfSampler;

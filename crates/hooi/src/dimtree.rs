@@ -522,6 +522,31 @@ impl DimTree {
         node.col_modes.iter().map(|&t| ranks[t]).product()
     }
 
+    /// Measured memory footprint of the tree's symbolic grouping in bytes:
+    /// every node's member lists, contract-index arrays, CSR offsets,
+    /// segment schedules and retained projection tuples.  The per-node
+    /// *value* matrices live in the [`crate::HooiWorkspace`] and are
+    /// counted there; together the two make up a dimension-tree plan's
+    /// cache footprint ([`crate::TuckerSession::memory_bytes`]).
+    pub fn memory_bytes(&self) -> usize {
+        let words: usize = self
+            .nodes
+            .iter()
+            .map(|n| {
+                n.col_modes.len()
+                    + n.d_modes.len()
+                    + n.group_ptr.len()
+                    + n.members.len()
+                    + n.contract_idx.len()
+                    + n.seg_ptr.len()
+                    + n.seg_entry.len()
+                    + n.entry_idx.len()
+            })
+            .sum::<usize>()
+            + self.leaf_of_mode.len();
+        words * std::mem::size_of::<usize>()
+    }
+
     /// Number of privatized partial rows node `id`'s computation needs —
     /// the height of the `partials` buffer [`compute_node_into`] takes
     /// (zero when no entry's member group exceeds the segmentation grain).
@@ -1031,6 +1056,21 @@ mod tests {
         assert_eq!(tree.costs(&[4, 4, 4, 4]), tree.costs(&[4, 4, 4, 4]));
         assert!(tree.costs(&[6, 6, 6, 6]).flops > tree.costs(&[2, 2, 2, 2]).flops);
         assert!(tree.costs(&[4, 4, 4, 4]).words > 0);
+    }
+
+    #[test]
+    fn memory_bytes_counts_node_structures() {
+        let small = DimTree::build(&random_tensor(&[10, 10, 10], 200, 3));
+        let large = DimTree::build(&random_tensor(&[10, 10, 10], 800, 3));
+        assert!(small.memory_bytes() > 0);
+        assert!(
+            large.memory_bytes() > small.memory_bytes(),
+            "more nonzeros, bigger grouping: {} vs {}",
+            large.memory_bytes(),
+            small.memory_bytes()
+        );
+        // At minimum the root's retained projection tuples are counted.
+        assert!(large.memory_bytes() >= large.nnz() * large.order() * 8);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! reject one bad request without tearing down the process.
 
 use std::fmt;
+use std::time::Duration;
 
 /// Everything that can go wrong on the public solver path.
 ///
@@ -39,6 +40,39 @@ pub enum TuckerError {
     /// runtime's reason (e.g. an absurd thread count or an OS spawn
     /// failure).
     PoolFailure(String),
+    /// A service request named a tensor id that is not in the registry
+    /// (never ingested, or removed by an evict request).
+    UnknownTensorId {
+        /// The id the request asked for.
+        tensor_id: String,
+    },
+    /// A single plan's measured memory footprint exceeds the service's
+    /// whole plan-cache budget, so it could never be admitted no matter
+    /// what else is evicted.
+    PlanOverBudget {
+        /// The id of the tensor whose plan was priced.
+        tensor_id: String,
+        /// Measured footprint of the plan (workspace + symbolic + tree
+        /// buffers), in bytes.
+        required_bytes: usize,
+        /// The configured plan-cache budget, in bytes.
+        budget_bytes: usize,
+    },
+    /// A request's deadline had already expired before its solve started
+    /// (it spent its whole budget waiting in the queue), so the service
+    /// rejected it instead of returning a zero-iteration decomposition.
+    DeadlineExpired {
+        /// How long the request waited before being scheduled.
+        waited: Duration,
+        /// The request's whole deadline budget.
+        deadline: Duration,
+    },
+    /// A predict request named a tensor that has been ingested but never
+    /// successfully decomposed, so there is no model to read scores from.
+    NothingDecomposed {
+        /// The id the request asked for.
+        tensor_id: String,
+    },
 }
 
 impl fmt::Display for TuckerError {
@@ -59,6 +93,30 @@ impl fmt::Display for TuckerError {
             }
             TuckerError::PoolFailure(reason) => {
                 write!(f, "failed to build the solver thread pool: {reason}")
+            }
+            TuckerError::UnknownTensorId { tensor_id } => {
+                write!(f, "no tensor with id '{tensor_id}' is registered")
+            }
+            TuckerError::PlanOverBudget {
+                tensor_id,
+                required_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "plan for tensor '{tensor_id}' needs {required_bytes} bytes but the whole \
+                 plan-cache budget is {budget_bytes} bytes"
+            ),
+            TuckerError::DeadlineExpired { waited, deadline } => write!(
+                f,
+                "deadline of {:.3} s expired before the solve started (waited {:.3} s in queue)",
+                deadline.as_secs_f64(),
+                waited.as_secs_f64()
+            ),
+            TuckerError::NothingDecomposed { tensor_id } => {
+                write!(
+                    f,
+                    "tensor '{tensor_id}' has no completed decomposition to predict from"
+                )
             }
         }
     }
@@ -101,6 +159,33 @@ mod tests {
             msg.contains("at most"),
             "mapped error lost the builder's reason: {msg}"
         );
+    }
+
+    #[test]
+    fn service_level_variants_name_the_failure() {
+        let msg = TuckerError::UnknownTensorId {
+            tensor_id: "netflix".into(),
+        }
+        .to_string();
+        assert!(msg.contains("netflix"));
+        let msg = TuckerError::PlanOverBudget {
+            tensor_id: "nell".into(),
+            required_bytes: 4096,
+            budget_bytes: 1024,
+        }
+        .to_string();
+        assert!(msg.contains("4096") && msg.contains("1024") && msg.contains("nell"));
+        let msg = TuckerError::DeadlineExpired {
+            waited: Duration::from_millis(250),
+            deadline: Duration::from_millis(100),
+        }
+        .to_string();
+        assert!(msg.contains("0.100") && msg.contains("0.250"));
+        let msg = TuckerError::NothingDecomposed {
+            tensor_id: "flickr".into(),
+        }
+        .to_string();
+        assert!(msg.contains("flickr") && msg.contains("decomposition"));
     }
 
     #[test]

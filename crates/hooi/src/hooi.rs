@@ -117,6 +117,61 @@ impl TuckerDecomposition {
         );
         reconstruct_at(&self.core, &self.factors, index)
     }
+
+    /// Batch prediction: the model values at many coordinates — the shape a
+    /// served recommender reads scores in (one user slice per request).
+    ///
+    /// A per-index [`predict`](Self::predict) loop re-walks the dense core
+    /// and re-unlinearizes every position for every coordinate; this variant
+    /// enumerates the nonzero core entries and their multi-indices exactly
+    /// once and streams every query through that flat term list.  Each value
+    /// is bit-identical to the corresponding [`predict`](Self::predict)
+    /// call (same terms, same order, same arithmetic).
+    ///
+    /// # Panics
+    /// Panics if any index has the wrong arity or an entry exceeds its mode
+    /// size.
+    pub fn predict_many(&self, indices: &[Vec<usize>]) -> Vec<f64> {
+        let order = self.factors.len();
+        // Enumerate the nonzero core terms once: their values and flattened
+        // multi-indices, in ascending core position (the order `predict`
+        // walks them in).
+        let mut term_values: Vec<f64> = Vec::new();
+        let mut term_ridx: Vec<usize> = Vec::new();
+        let mut ridx = vec![0usize; order];
+        for pos in 0..self.core.len() {
+            let g = self.core.as_slice()[pos];
+            if g == 0.0 {
+                continue;
+            }
+            self.core.unlinearize(pos, &mut ridx);
+            term_values.push(g);
+            term_ridx.extend_from_slice(&ridx);
+        }
+        indices
+            .iter()
+            .map(|index| {
+                assert_eq!(
+                    index.len(),
+                    order,
+                    "index arity does not match the decomposition order"
+                );
+                let mut sum = 0.0;
+                for (t, &g) in term_values.iter().enumerate() {
+                    let ridx = &term_ridx[t * order..(t + 1) * order];
+                    let mut prod = g;
+                    for (n, &r) in ridx.iter().enumerate() {
+                        prod *= self.factors[n][(index[n], r)];
+                        if prod == 0.0 {
+                            break;
+                        }
+                    }
+                    sum += prod;
+                }
+                sum
+            })
+            .collect()
+    }
 }
 
 /// Runs shared-memory parallel HOOI on a sparse tensor, one-shot.
@@ -378,6 +433,20 @@ mod tests {
             let direct = crate::core_tensor::reconstruct_at(&result.core, &result.factors, idx);
             assert_eq!(result.predict(idx), direct);
         }
+    }
+
+    #[test]
+    fn predict_many_matches_per_index_predict_bitwise() {
+        let t = random_tensor(&[14, 11, 9], 350, 29);
+        let config = TuckerConfig::new(vec![3, 2, 3]).max_iterations(2);
+        let result = tucker_hooi(&t, &config).unwrap();
+        let indices: Vec<Vec<usize>> = t.iter().take(25).map(|(idx, _)| idx.to_vec()).collect();
+        let batch = result.predict_many(&indices);
+        assert_eq!(batch.len(), indices.len());
+        for (idx, &value) in indices.iter().zip(batch.iter()) {
+            assert_eq!(value, result.predict(idx), "diverged at {idx:?}");
+        }
+        assert!(result.predict_many(&[]).is_empty());
     }
 
     #[test]

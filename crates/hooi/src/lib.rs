@@ -43,6 +43,7 @@ pub mod fit;
 pub mod hooi;
 pub mod hosvd;
 pub mod met;
+pub mod observers;
 pub mod solver;
 pub mod symbolic;
 pub mod trsvd;
@@ -53,7 +54,10 @@ pub use config::{Initialization, TrsvdBackend, TtmcStrategy, TuckerConfig};
 pub use dimtree::{per_mode_costs, DimTree, TtmcCosts};
 pub use error::TuckerError;
 pub use hooi::{tucker_hooi, tucker_hooi_in_current_pool, TimingBreakdown, TuckerDecomposition};
-pub use solver::{IterationControl, IterationObserver, IterationReport, PlanOptions, TuckerSolver};
+pub use observers::DeadlineObserver;
+pub use solver::{
+    IterationControl, IterationObserver, IterationReport, PlanOptions, TuckerSession, TuckerSolver,
+};
 pub use symbolic::{SymbolicMode, SymbolicTtmc};
 pub use ttmc::{
     ttmc_contribution_into, ttmc_mode, ttmc_mode_into, ttmc_mode_sequential, ttmc_row_into,

@@ -59,7 +59,8 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Default)]
 pub struct PlanOptions {
     /// Worker thread count of the session's pool; `0` (the default) uses
-    /// every available hardware thread.
+    /// every available hardware thread.  Ignored when
+    /// [`caller_pool`](Self::caller_pool) is set.
     pub num_threads: usize,
     /// How the session computes its TTMc sweeps.  Fixed at plan time
     /// because the dimension tree's symbolic grouping is part of the plan;
@@ -67,6 +68,15 @@ pub struct PlanOptions {
     /// modeled flops for this tensor and keeps the cheaper one.  Single-
     /// mode tensors fall back to [`TtmcStrategy::PerMode`] silently.
     pub ttmc_strategy: TtmcStrategy,
+    /// When `true`, the session builds **no pool of its own**: the symbolic
+    /// analysis and every solve run in whatever thread context the caller
+    /// establishes (e.g. inside `shared_pool.install(..)`).  This is how a
+    /// multi-tenant service runs many cached sessions on *one* shared pool
+    /// instead of spawning workers per planned tensor.  Determinism note:
+    /// results are a function of the effective thread count, so a caller
+    /// that always installs the same pool gets bit-identical solves no
+    /// matter how many sessions share it.
+    pub use_caller_pool: bool,
 }
 
 impl PlanOptions {
@@ -86,6 +96,14 @@ impl PlanOptions {
     /// Builder-style setter for the TTMc strategy of the session.
     pub fn ttmc_strategy(mut self, strategy: TtmcStrategy) -> Self {
         self.ttmc_strategy = strategy;
+        self
+    }
+
+    /// Builder-style opt-in to [`use_caller_pool`](Self::use_caller_pool):
+    /// plan and solve in the caller's ambient thread context instead of
+    /// building a session-owned pool.
+    pub fn caller_pool(mut self) -> Self {
+        self.use_caller_pool = true;
         self
     }
 }
@@ -220,15 +238,27 @@ impl IterationObserver for NoopObserver {
 
 /// A planned Tucker decomposition session over one sparse tensor.
 ///
-/// Created by [`plan`](TuckerSolver::plan), which runs the symbolic TTMc
-/// analysis exactly once; every subsequent [`solve`](TuckerSolver::solve)
+/// Created by [`plan`](TuckerSession::plan), which runs the symbolic TTMc
+/// analysis exactly once; every subsequent [`solve`](TuckerSession::solve)
 /// reuses it together with the session's thread pool and scratch workspace.
-/// The solver borrows the tensor, so the tensor must outlive the session.
-pub struct TuckerSolver<'a> {
-    tensor: &'a SparseTensor,
+///
+/// The session is generic over how the tensor is held: any
+/// `T: Borrow<SparseTensor>` works.  The two shapes in use are
+///
+/// * [`TuckerSolver<'a>`] = `TuckerSession<&'a SparseTensor>` — the
+///   borrowing session of the original API (the tensor must outlive the
+///   session), and
+/// * `TuckerSession<Arc<SparseTensor>>` — a *self-contained* session that
+///   shares ownership of its tensor, the shape a long-lived service's plan
+///   cache stores (no lifetime ties the cache entry to a registry borrow).
+pub struct TuckerSession<T: std::borrow::Borrow<SparseTensor>> {
+    tensor: T,
     symbolic: SymbolicTtmc,
     dimtree: Option<DimTree>,
-    pool: rayon::ThreadPool,
+    /// `None` when the session was planned with
+    /// [`PlanOptions::use_caller_pool`]: solves then run in the ambient
+    /// thread context instead of a session-owned pool.
+    pool: Option<rayon::ThreadPool>,
     workspace: HooiWorkspace,
     tensor_norm: f64,
     symbolic_time: Duration,
@@ -236,27 +266,51 @@ pub struct TuckerSolver<'a> {
     completed_solves: usize,
 }
 
-impl<'a> TuckerSolver<'a> {
+/// The borrowing [`TuckerSession`]: plans against `&'a SparseTensor`, so
+/// the tensor must outlive the session.  This is the shape every one-shot
+/// and example workflow uses; services that own their tensors plan a
+/// `TuckerSession<Arc<SparseTensor>>` instead.
+pub type TuckerSolver<'a> = TuckerSession<&'a SparseTensor>;
+
+impl<T: std::borrow::Borrow<SparseTensor>> TuckerSession<T> {
     /// Plans a session: validates the tensor, spawns the session's
     /// persistent worker pool, and runs the symbolic TTMc analysis (inside
     /// the pool) exactly once.  Worker threads live until the solver is
     /// dropped, so every solve of the session reuses them — the startup
     /// cost shows up once, in the first solve's
     /// [`TimingBreakdown::pool`](crate::TimingBreakdown::pool).
+    /// With [`PlanOptions::use_caller_pool`] no pool is built at all and
+    /// both the analysis and every solve run in the caller's thread
+    /// context.
     ///
     /// Returns [`TuckerError::EmptyTensor`] for a tensor with no modes or
     /// no stored nonzeros and [`TuckerError::PoolFailure`] (carrying the
     /// pool runtime's reason) if the pool cannot be built.
-    pub fn plan(tensor: &'a SparseTensor, options: PlanOptions) -> Result<Self, TuckerError> {
-        if tensor.order() == 0 || tensor.nnz() == 0 {
-            return Err(TuckerError::EmptyTensor);
+    pub fn plan(tensor: T, options: PlanOptions) -> Result<Self, TuckerError> {
+        {
+            let tensor = tensor.borrow();
+            if tensor.order() == 0 || tensor.nnz() == 0 {
+                return Err(TuckerError::EmptyTensor);
+            }
         }
         let t_pool = Instant::now();
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(options.num_threads)
-            .build()
-            .map_err(|e| TuckerError::PoolFailure(e.to_string()))?;
-        let pool_build_time = t_pool.elapsed();
+        let pool = if options.use_caller_pool {
+            // No workers of our own: parallel regions run on whatever pool
+            // the caller installs around each solve.
+            None
+        } else {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(options.num_threads)
+                    .build()
+                    .map_err(|e| TuckerError::PoolFailure(e.to_string()))?,
+            )
+        };
+        let pool_build_time = if pool.is_some() {
+            t_pool.elapsed()
+        } else {
+            Duration::ZERO
+        };
         let t0 = Instant::now();
         // The dimension tree's symbolic grouping is part of the plan: built
         // once here, reused by every solve.  [`resolve_plan`] settles an
@@ -264,12 +318,23 @@ impl<'a> TuckerSolver<'a> {
         // skips the per-mode streaming layouts — its TTMc never runs the
         // per-mode kernel, and they would duplicate the nonzero data once
         // per mode.
-        let (symbolic, dimtree) = pool.install(|| resolve_plan(tensor, options.ttmc_strategy));
+        let (symbolic, dimtree) = {
+            let t = tensor.borrow();
+            let strategy = options.ttmc_strategy;
+            match &pool {
+                Some(pool) => pool.install(|| resolve_plan(t, strategy)),
+                None => resolve_plan(t, strategy),
+            }
+        };
         let symbolic_time = t0.elapsed();
-        Ok(TuckerSolver {
+        let (order, norm) = {
+            let t = tensor.borrow();
+            (t.order(), t.frobenius_norm())
+        };
+        Ok(TuckerSession {
             tensor,
-            workspace: HooiWorkspace::for_order(tensor.order()),
-            tensor_norm: tensor.frobenius_norm(),
+            workspace: HooiWorkspace::for_order(order),
+            tensor_norm: norm,
             symbolic,
             dimtree,
             pool,
@@ -280,8 +345,8 @@ impl<'a> TuckerSolver<'a> {
     }
 
     /// The planned tensor.
-    pub fn tensor(&self) -> &'a SparseTensor {
-        self.tensor
+    pub fn tensor(&self) -> &SparseTensor {
+        self.tensor.borrow()
     }
 
     /// The symbolic TTMc structure computed at plan time.
@@ -312,14 +377,26 @@ impl<'a> TuckerSolver<'a> {
     }
 
     /// Wall-clock time spawning the session's persistent worker pool took
-    /// (paid once at plan time; solves reuse the workers).
+    /// (paid once at plan time; solves reuse the workers).  Zero for
+    /// caller-pool sessions, which own no workers.
     pub fn pool_build_time(&self) -> Duration {
         self.pool_build_time
     }
 
-    /// Worker thread count of the session's pool.
+    /// Worker thread count of the session's pool; for a caller-pool session
+    /// this is the thread count of the *current ambient* context, which is
+    /// what a solve issued right now would run at.
     pub fn num_threads(&self) -> usize {
-        self.pool.current_num_threads()
+        match &self.pool {
+            Some(pool) => pool.current_num_threads(),
+            None => rayon::current_num_threads(),
+        }
+    }
+
+    /// Whether this session runs in the caller's thread context instead of
+    /// a pool of its own (see [`PlanOptions::use_caller_pool`]).
+    pub fn uses_caller_pool(&self) -> bool {
+        self.pool.is_none()
     }
 
     /// How many solves this session has completed.
@@ -327,10 +404,26 @@ impl<'a> TuckerSolver<'a> {
         self.completed_solves
     }
 
+    /// Measured memory footprint of the plan in bytes: the symbolic TTMc
+    /// structures (update lists, mode-sorted layouts), the dimension tree's
+    /// node groupings when that strategy runs, and the workspace scratch
+    /// (compact TTMc buffers, tree value/partial matrices, Lanczos bases,
+    /// core buffer).  The tensor itself is *not* counted — it is owned (or
+    /// shared) independently of the plan.
+    ///
+    /// The workspace part grows on the first solve at each rank shape, so a
+    /// service that budgets its plan cache by this number should re-measure
+    /// after every request, not only at plan time.
+    pub fn memory_bytes(&self) -> usize {
+        self.symbolic.memory_bytes()
+            + self.dimtree.as_ref().map_or(0, |t| t.memory_bytes())
+            + self.workspace.memory_bytes()
+    }
+
     /// Checks a configuration against the planned tensor without running
     /// anything; returns the effective (clamped) per-mode ranks.
     pub fn validate(&self, config: &TuckerConfig) -> Result<Vec<usize>, TuckerError> {
-        config.validated_ranks(self.tensor.dims())
+        config.validated_ranks(self.tensor.borrow().dims())
     }
 
     /// Runs HOOI with this configuration, reusing the session's symbolic
@@ -362,12 +455,21 @@ impl<'a> TuckerSolver<'a> {
         } else {
             (Duration::ZERO, Duration::ZERO)
         };
-        let tensor = self.tensor;
-        let tensor_norm = self.tensor_norm;
-        let symbolic = &self.symbolic;
-        let tree = self.dimtree.as_ref();
-        let workspace = &mut self.workspace;
-        let result = self.pool.install(|| {
+        // Field-by-field borrows: the tensor (behind `T`), the shared plan
+        // data, and the mutable workspace are disjoint.
+        let TuckerSession {
+            tensor,
+            tensor_norm,
+            symbolic,
+            dimtree,
+            workspace,
+            pool,
+            ..
+        } = self;
+        let tensor: &SparseTensor = (*tensor).borrow();
+        let tensor_norm = *tensor_norm;
+        let tree = dimtree.as_ref();
+        let mut run = move || {
             run_hooi(
                 tensor,
                 symbolic,
@@ -380,7 +482,11 @@ impl<'a> TuckerSolver<'a> {
                 pool_time,
                 observer,
             )
-        });
+        };
+        let result = match pool {
+            Some(pool) => pool.install(run),
+            None => run(),
+        };
         self.completed_solves += 1;
         Ok(result)
     }
@@ -405,11 +511,11 @@ impl<'a> TuckerSolver<'a> {
     }
 }
 
-impl std::fmt::Debug for TuckerSolver<'_> {
+impl<T: std::borrow::Borrow<SparseTensor>> std::fmt::Debug for TuckerSession<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TuckerSolver")
-            .field("dims", &self.tensor.dims())
-            .field("nnz", &self.tensor.nnz())
+            .field("dims", &self.tensor.borrow().dims())
+            .field("nnz", &self.tensor.borrow().nnz())
             .field("num_threads", &self.num_threads())
             .field("symbolic_time", &self.symbolic_time)
             .field("completed_solves", &self.completed_solves)
@@ -734,6 +840,84 @@ mod tests {
         assert_eq!(empty_run.iterations, 0);
         assert!(empty_run.fits.is_empty());
         assert_eq!(empty_run.core.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn arc_owned_session_matches_borrowing_session() {
+        let t = random_tensor(&[18, 14, 12], 500, 31);
+        let config = TuckerConfig::new(vec![3, 3, 2]).max_iterations(3).seed(9);
+        let borrowed = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1))
+            .unwrap()
+            .solve(&config)
+            .unwrap();
+        let arc = std::sync::Arc::new(t.clone());
+        let mut owned = TuckerSession::plan(
+            std::sync::Arc::clone(&arc),
+            PlanOptions::new().num_threads(1),
+        )
+        .unwrap();
+        let from_owned = owned.solve(&config).unwrap();
+        assert_eq!(borrowed.factors, from_owned.factors);
+        assert_eq!(borrowed.core.as_slice(), from_owned.core.as_slice());
+        assert_eq!(owned.tensor().nnz(), arc.nnz());
+    }
+
+    #[test]
+    fn caller_pool_session_builds_no_pool_and_matches() {
+        let t = random_tensor(&[16, 14, 12], 450, 8);
+        let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(3).seed(4);
+        let reference = TuckerSolver::plan(&t, PlanOptions::new().num_threads(2))
+            .unwrap()
+            .solve(&config)
+            .unwrap();
+        // The shared pool a service would own; sessions planned with
+        // `caller_pool` run inside it without spawning workers themselves.
+        let shared = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let spawned_before = rayon::worker_threads_spawned();
+        let mut session = shared
+            .install(|| TuckerSolver::plan(&t, PlanOptions::new().caller_pool()))
+            .unwrap();
+        assert!(session.uses_caller_pool());
+        assert_eq!(session.pool_build_time(), Duration::ZERO);
+        assert_eq!(
+            rayon::worker_threads_spawned(),
+            spawned_before,
+            "caller-pool planning must not spawn workers"
+        );
+        let result = shared.install(|| session.solve(&config)).unwrap();
+        assert_eq!(result.factors, reference.factors);
+        assert_eq!(result.core.as_slice(), reference.core.as_slice());
+        assert_eq!(shared.install(|| session.num_threads()), 2);
+    }
+
+    #[test]
+    fn memory_bytes_covers_plan_and_grows_with_first_solve() {
+        let t = random_tensor(&[20, 18, 16, 6], 900, 12);
+        let mut solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let at_plan = solver.memory_bytes();
+        assert!(
+            at_plan >= solver.symbolic().memory_bytes(),
+            "plan footprint must include the symbolic structures"
+        );
+        if let Some(tree) = solver.dimtree() {
+            assert!(at_plan >= tree.memory_bytes());
+        }
+        solver
+            .solve(&TuckerConfig::new(vec![3, 3, 3, 3]).max_iterations(1))
+            .unwrap();
+        let after_solve = solver.memory_bytes();
+        assert!(
+            after_solve > at_plan,
+            "the first solve shapes the workspace: {after_solve} vs {at_plan}"
+        );
+        // A second solve at the same ranks reuses every buffer.
+        solver
+            .solve(&TuckerConfig::new(vec![3, 3, 3, 3]).max_iterations(1))
+            .unwrap();
+        assert_eq!(solver.memory_bytes(), after_solve);
     }
 
     #[test]

@@ -187,6 +187,29 @@ impl HooiWorkspace {
         self.compact.iter().map(|m| m.as_slice().len()).sum()
     }
 
+    /// Measured memory footprint of all scratch owned by this workspace, in
+    /// bytes: the compact TTMc buffers, the dimension-tree node values and
+    /// privatized partials, the leaf permutations, the core buffer, and the
+    /// pooled Lanczos basis/projected-problem storage.  This is the
+    /// workspace's share of a plan's cache footprint
+    /// ([`crate::TuckerSession::memory_bytes`]); it grows on the first
+    /// solve at each rank shape and is stable afterwards.
+    pub fn memory_bytes(&self) -> usize {
+        let floats = self.len()
+            + self.tree_len()
+            + self
+                .tree_partials
+                .iter()
+                .map(|m| m.as_slice().len())
+                .sum::<usize>()
+            + self.core.as_slice().len()
+            + self.trsvd.pooled_floats();
+        let indices = self.leaf_perms.iter().map(Vec::len).sum::<usize>() + self.tree_ranks.len();
+        floats * std::mem::size_of::<f64>()
+            + indices * std::mem::size_of::<usize>()
+            + self.tree_valid.len() * std::mem::size_of::<bool>()
+    }
+
     /// Whether the compact TTMc buffers hold no data (all modes empty).
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -286,6 +309,21 @@ mod tests {
         // Rank change reshapes.
         ws.ensure_tree(&tree, &[2, 3, 2, 2]);
         assert_ne!(ws.tree_len(), 0);
+    }
+
+    #[test]
+    fn memory_bytes_tracks_buffer_growth() {
+        let t = sample();
+        let sym = SymbolicTtmc::build(&t);
+        let mut ws = HooiWorkspace::for_order(3);
+        let empty = ws.memory_bytes();
+        ws.ensure(&sym, &[2, 2, 2]);
+        let small = ws.memory_bytes();
+        assert!(small > empty, "shaping buffers must grow the footprint");
+        ws.ensure(&sym, &[3, 3, 3]);
+        assert!(ws.memory_bytes() > small, "larger ranks, larger footprint");
+        // At minimum the compact buffers and core are counted as f64s.
+        assert!(ws.memory_bytes() >= (ws.len() + ws.core().as_slice().len()) * 8);
     }
 
     #[test]

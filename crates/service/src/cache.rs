@@ -1,0 +1,220 @@
+//! Memory-budgeted plan cache.
+//!
+//! Planned [`TuckerSession`]s are the expensive part of serving: the
+//! symbolic TTMc analysis walks every nonzero per mode, and the scratch
+//! workspace holds the dense intermediates.  The cache keeps sessions keyed
+//! by tensor id under a byte budget measured by
+//! [`TuckerSession::memory_bytes`], evicting least-recently-used plans
+//! first.  Recency is a *logical* clock ticked by the service — never wall
+//! time — so the eviction order is a deterministic function of the request
+//! history.
+//!
+//! Sessions leave the cache while they solve (a solve needs `&mut` and can
+//! grow the workspace) and are re-admitted at their newly measured size;
+//! a session that has grown past the whole budget is dropped instead, and
+//! the next decomposition transparently re-plans.
+
+use hooi::TuckerSession;
+use sptensor::SparseTensor;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// The session type the service caches: plans share the registry's tensor.
+pub(crate) type CachedSession = TuckerSession<Arc<SparseTensor>>;
+
+#[derive(Debug)]
+struct Entry {
+    session: CachedSession,
+    bytes: usize,
+    last_used: u64,
+}
+
+/// Outcome of [`PlanCache::insert`].
+#[derive(Debug)]
+pub(crate) enum Admit {
+    /// The plan is cached at this measured size.
+    Cached { bytes: usize },
+    /// The plan alone exceeds the whole budget and was dropped.
+    TooBig { required_bytes: usize },
+}
+
+/// LRU plan cache under a byte budget.
+#[derive(Debug)]
+pub(crate) struct PlanCache {
+    budget: usize,
+    bytes: usize,
+    entries: BTreeMap<String, Entry>,
+    hits: u64,
+    misses: u64,
+    /// Ids evicted under memory pressure, in eviction order.
+    evicted: Vec<String>,
+}
+
+impl PlanCache {
+    pub fn new(budget: usize) -> Self {
+        PlanCache {
+            budget,
+            bytes: 0,
+            entries: BTreeMap::new(),
+            hits: 0,
+            misses: 0,
+            evicted: Vec::new(),
+        }
+    }
+
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Bytes currently held across all cached plans.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Cached tensor ids in key order.
+    pub fn ids(&self) -> Vec<String> {
+        self.entries.keys().cloned().collect()
+    }
+
+    /// Removes and returns the session for `id`, counting a hit or miss —
+    /// the decomposition path's lookup.  The caller must re-[`insert`]
+    /// (or deliberately drop) the session afterwards.
+    ///
+    /// [`insert`]: PlanCache::insert
+    pub fn take(&mut self, id: &str) -> Option<CachedSession> {
+        match self.entries.remove(id) {
+            Some(entry) => {
+                self.bytes -= entry.bytes;
+                self.hits += 1;
+                Some(entry.session)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Drops `id` outright (tensor evicted or replaced); returns whether a
+    /// plan was cached.  Not counted as a pressure eviction.
+    pub fn remove(&mut self, id: &str) -> bool {
+        match self.entries.remove(id) {
+            Some(entry) => {
+                self.bytes -= entry.bytes;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Admits a session at its measured size, evicting least-recently-used
+    /// plans until it fits.  `now` is the service's logical clock tick for
+    /// this touch.
+    pub fn insert(&mut self, id: String, session: CachedSession, now: u64) -> Admit {
+        let required_bytes = session.memory_bytes();
+        if required_bytes > self.budget {
+            return Admit::TooBig { required_bytes };
+        }
+        self.remove(&id);
+        while self.bytes + required_bytes > self.budget {
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("bytes > 0 implies a cached entry");
+            self.remove(&victim);
+            self.evicted.push(victim);
+        }
+        self.bytes += required_bytes;
+        self.entries.insert(
+            id,
+            Entry {
+                session,
+                bytes: required_bytes,
+                last_used: now,
+            },
+        );
+        Admit::Cached {
+            bytes: required_bytes,
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Ids evicted under memory pressure, oldest first.
+    pub fn evicted_ids(&self) -> &[String] {
+        &self.evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use datagen::random_tensor;
+    use hooi::PlanOptions;
+
+    fn session(seed: u64) -> CachedSession {
+        let t = Arc::new(random_tensor(&[10, 9, 8], 150, seed));
+        TuckerSession::plan(t, PlanOptions::new().caller_pool()).unwrap()
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic_and_in_touch_order() {
+        let one = session(1);
+        let per_plan = one.memory_bytes();
+        // Room for two same-shaped plans, not three.
+        let mut cache = PlanCache::new(2 * per_plan + per_plan / 2);
+        cache.insert("a".into(), one, 1);
+        cache.insert("b".into(), session(2), 2);
+        assert_eq!(cache.len(), 2);
+        // Touch `a` (take + re-insert), making `b` the LRU victim.
+        let a = cache.take("a").unwrap();
+        cache.insert("a".into(), a, 3);
+        cache.insert("c".into(), session(3), 4);
+        assert_eq!(cache.evicted_ids(), &["b".to_string()]);
+        assert_eq!(cache.ids(), vec!["a".to_string(), "c".to_string()]);
+        assert!(cache.bytes() <= cache.budget());
+    }
+
+    #[test]
+    fn oversized_plan_is_rejected_not_cached() {
+        let mut cache = PlanCache::new(16);
+        match cache.insert("big".into(), session(4), 1) {
+            Admit::TooBig { required_bytes } => assert!(required_bytes > 16),
+            Admit::Cached { .. } => panic!("a plan larger than the budget was admitted"),
+        }
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn take_counts_hits_and_misses() {
+        let mut cache = PlanCache::new(usize::MAX);
+        cache.insert("a".into(), session(5), 1);
+        assert!(cache.take("a").is_some());
+        assert!(cache.take("a").is_none());
+        assert!(cache.take("never").is_none());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn remove_is_not_a_pressure_eviction() {
+        let mut cache = PlanCache::new(usize::MAX);
+        cache.insert("a".into(), session(6), 1);
+        assert!(cache.remove("a"));
+        assert!(!cache.remove("a"));
+        assert!(cache.evicted_ids().is_empty());
+    }
+}

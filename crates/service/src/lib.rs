@@ -1,0 +1,44 @@
+//! Multi-tenant decomposition serving on top of the [`hooi`] solver.
+//!
+//! The paper's pipeline ends at "decompose one tensor well in parallel".
+//! This crate wraps that kernel in the shape it is actually consumed in —
+//! a long-lived server holding many tensors for many tenants:
+//!
+//! * **Registry** — tensors are [`Request::Ingest`]ed under string ids and
+//!   shared via [`Arc`](std::sync::Arc); models
+//!   ([`hooi::TuckerDecomposition`]) live with the tensor, so predictions
+//!   survive plan eviction.
+//! * **One shared pool** — every session is planned with
+//!   [`hooi::PlanOptions::caller_pool`] and solved inside the service's
+//!   single thread pool; no per-tensor worker threads, and responses are a
+//!   pure function of the request and the pool width (bit-identical across
+//!   queue interleavings and cache states).
+//! * **Plan cache** — planned sessions are cached by their *measured*
+//!   footprint ([`hooi::TuckerSession::memory_bytes`]) under a byte
+//!   budget, least-recently-used first, ordered by a logical clock so the
+//!   eviction sequence is deterministic; evicted plans are transparently
+//!   rebuilt on the next decomposition.
+//! * **Fair scheduler** — cheapest-deficit-first admission over per-tenant
+//!   FIFO queues: every completed request is charged deterministic
+//!   cost-model flops ([`hooi::per_mode_costs`]) and the next request
+//!   always comes from the least-charged backlogged tenant.
+//! * **Deadlines** — a [`Request::Decompose`] may carry a wall-clock
+//!   budget counted from submission, enforced mid-HOOI by a
+//!   [`hooi::DeadlineObserver`]: an over-budget solve returns the best
+//!   decomposition so far flagged truncated, and a request whose budget
+//!   expired while queueing fails with
+//!   [`hooi::TuckerError::DeadlineExpired`].
+//!
+//! The `service_load` bench bin replays a Zipf-skewed multi-tenant mix
+//! (`datagen::requests`) against this service and emits latency,
+//! throughput, cache and fairness metrics.
+
+mod cache;
+mod request;
+mod scheduler;
+mod service;
+mod stats;
+
+pub use request::{Completed, Request, Response};
+pub use service::{DecompositionService, ServiceOptions};
+pub use stats::ServiceStats;

@@ -1,0 +1,128 @@
+//! Typed requests and responses of the decomposition service.
+
+use hooi::{TuckerDecomposition, TuckerError};
+use sptensor::SparseTensor;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One unit of work a tenant submits to the service.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Register (or replace) a tensor under `tensor_id` and plan it.
+    ///
+    /// Planning runs the symbolic TTMc analysis once; the resulting session
+    /// is cached under the service's memory budget so later decompositions
+    /// skip it.  Re-ingesting an id drops the previous tensor, its cached
+    /// plan and its latest decomposition.
+    Ingest {
+        /// Registry key for all later requests naming this tensor.
+        tensor_id: String,
+        /// The tensor itself, shared with the caller.
+        tensor: Arc<SparseTensor>,
+    },
+    /// Run HOOI on a registered tensor.
+    Decompose {
+        /// Which tensor to decompose.
+        tensor_id: String,
+        /// Requested per-mode ranks.
+        ranks: Vec<usize>,
+        /// Factor-initialization seed.
+        seed: u64,
+        /// HOOI iteration budget.
+        max_iters: usize,
+        /// Optional wall-clock budget counted from *submission*.  When it
+        /// runs out mid-solve the best decomposition so far is returned and
+        /// flagged truncated; when it is already spent before the solve
+        /// starts the request fails with
+        /// [`TuckerError::DeadlineExpired`](hooi::TuckerError).
+        deadline: Option<Duration>,
+    },
+    /// Evaluate the tensor's latest decomposition at many index tuples.
+    Predict {
+        /// Which tensor's model to read.
+        tensor_id: String,
+        /// Index tuples to score; each must have the tensor's arity and
+        /// in-range entries (the generator-facing contract of
+        /// [`TuckerDecomposition::predict_many`]).
+        indices: Vec<Vec<usize>>,
+    },
+    /// Drop a tensor, its cached plan and its latest decomposition.
+    Evict {
+        /// Which tensor to drop.
+        tensor_id: String,
+    },
+}
+
+impl Request {
+    /// The tensor the request targets.
+    pub fn tensor_id(&self) -> &str {
+        match self {
+            Request::Ingest { tensor_id, .. }
+            | Request::Decompose { tensor_id, .. }
+            | Request::Predict { tensor_id, .. }
+            | Request::Evict { tensor_id } => tensor_id,
+        }
+    }
+
+    /// Short name of the request kind, for logs and stats.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Request::Ingest { .. } => "ingest",
+            Request::Decompose { .. } => "decompose",
+            Request::Predict { .. } => "predict",
+            Request::Evict { .. } => "evict",
+        }
+    }
+}
+
+/// The successful outcome of a [`Request`].
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// The tensor is registered and planned.
+    Ingested {
+        /// The registered id.
+        tensor_id: String,
+        /// Measured plan footprint if the plan was admitted to the cache;
+        /// `None` when the plan alone exceeds the whole budget (it is then
+        /// rebuilt per decomposition).
+        plan_bytes: Option<usize>,
+    },
+    /// The solve finished (or was cut off by its deadline).
+    Decomposed {
+        /// The decomposition — a deterministic function of the request for
+        /// untruncated solves.
+        decomposition: TuckerDecomposition,
+        /// Whether the deadline stopped HOOI before its iteration budget;
+        /// the result is then the exact prefix a `max_iters =
+        /// iterations-completed` solve would produce.
+        truncated: bool,
+    },
+    /// The model values, one per query tuple.
+    Predicted {
+        /// Scores in query order.
+        values: Vec<f64>,
+    },
+    /// The tensor and everything derived from it are gone.
+    Evicted {
+        /// The removed id.
+        tensor_id: String,
+        /// Whether a cached plan was dropped with it.
+        plan_was_cached: bool,
+    },
+}
+
+/// A finished request: what happened and what it cost.
+#[derive(Debug)]
+pub struct Completed {
+    /// Ticket returned by [`submit`](crate::DecompositionService::submit).
+    pub request_id: u64,
+    /// The issuing tenant.
+    pub tenant: String,
+    /// The response, or the error the request failed with.
+    pub outcome: Result<Response, TuckerError>,
+    /// Flops charged to the tenant by the cost model (fairness currency).
+    pub charged_flops: u64,
+    /// For decompositions: whether the plan came from the cache.  `None`
+    /// for other kinds and for requests rejected before plan lookup.
+    pub plan_cache_hit: Option<bool>,
+}

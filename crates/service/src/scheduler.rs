@@ -1,0 +1,151 @@
+//! Cross-tenant fair admission.
+//!
+//! The service runs one request at a time on its shared pool, so *which*
+//! pending request runs next is the whole fairness story.  The scheduler
+//! keeps a FIFO queue per tenant and an account of the flops charged to
+//! each tenant so far (by the deterministic cost model in
+//! [`hooi::per_mode_costs`]); admission is **cheapest-deficit-first**: the
+//! next request comes from the backlogged tenant with the least charged
+//! work, ties broken by tenant name.  A tenant that has burned a lot of
+//! flops therefore waits while lighter tenants catch up, but never starves
+//! — once it is the cheapest backlogged tenant again it runs.
+
+use crate::request::Request;
+use std::collections::{BTreeMap, VecDeque};
+use std::time::Instant;
+
+/// A submitted, not-yet-executed request.
+#[derive(Debug)]
+pub(crate) struct Pending {
+    pub request_id: u64,
+    pub tenant: String,
+    /// Submission time; deadlines are counted from here.
+    pub arrival: Instant,
+    pub request: Request,
+}
+
+/// Per-tenant FIFO queues plus the charged-flop accounts that order them.
+#[derive(Debug, Default)]
+pub(crate) struct FairScheduler {
+    queues: BTreeMap<String, VecDeque<Pending>>,
+    charged: BTreeMap<String, u64>,
+    pending: usize,
+}
+
+impl FairScheduler {
+    /// Enqueues a request at the back of its tenant's FIFO.
+    pub fn submit(&mut self, pending: Pending) {
+        self.charged.entry(pending.tenant.clone()).or_insert(0);
+        self.queues
+            .entry(pending.tenant.clone())
+            .or_default()
+            .push_back(pending);
+        self.pending += 1;
+    }
+
+    /// Pops the next request: front of the queue of the backlogged tenant
+    /// with the minimum `(charged flops, tenant name)` — deterministic for
+    /// a given submission history.
+    pub fn next(&mut self) -> Option<Pending> {
+        let tenant = self
+            .queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(t, _)| (self.charged.get(t).copied().unwrap_or(0), t.clone()))
+            .min()?
+            .1;
+        let popped = self.queues.get_mut(&tenant)?.pop_front()?;
+        self.pending -= 1;
+        Some(popped)
+    }
+
+    /// Adds `flops` to a tenant's account after its request completed.
+    pub fn charge(&mut self, tenant: &str, flops: u64) {
+        *self.charged.entry(tenant.to_string()).or_insert(0) += flops;
+    }
+
+    /// Total requests waiting across all tenants.
+    pub fn pending(&self) -> usize {
+        self.pending
+    }
+
+    /// Requests waiting per tenant (only backlogged tenants appear).
+    pub fn pending_by_tenant(&self) -> BTreeMap<String, usize> {
+        self.queues
+            .iter()
+            .filter(|(_, q)| !q.is_empty())
+            .map(|(t, q)| (t.clone(), q.len()))
+            .collect()
+    }
+
+    /// Flops charged so far, per tenant ever seen.
+    pub fn charged_flops(&self) -> &BTreeMap<String, u64> {
+        &self.charged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(id: u64, tenant: &str) -> Pending {
+        Pending {
+            request_id: id,
+            tenant: tenant.to_string(),
+            arrival: Instant::now(),
+            request: Request::Evict {
+                tensor_id: "t".to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn cheapest_tenant_goes_first_with_name_tiebreak() {
+        let mut s = FairScheduler::default();
+        s.submit(pending(1, "beta"));
+        s.submit(pending(2, "alpha"));
+        // Equal accounts: alphabetical order breaks the tie.
+        assert_eq!(s.next().unwrap().tenant, "alpha");
+        assert_eq!(s.next().unwrap().tenant, "beta");
+        assert!(s.next().is_none());
+    }
+
+    #[test]
+    fn charged_tenant_waits_for_lighter_ones() {
+        let mut s = FairScheduler::default();
+        s.charge("alpha", 1000);
+        s.submit(pending(1, "alpha"));
+        s.submit(pending(2, "beta"));
+        s.submit(pending(3, "beta"));
+        assert_eq!(s.next().unwrap().tenant, "beta");
+        s.charge("beta", 600);
+        assert_eq!(s.next().unwrap().tenant, "beta");
+        s.charge("beta", 600);
+        // beta has now out-spent alpha; alpha runs.
+        assert_eq!(s.next().unwrap().tenant, "alpha");
+    }
+
+    #[test]
+    fn fifo_within_a_tenant() {
+        let mut s = FairScheduler::default();
+        s.submit(pending(7, "a"));
+        s.submit(pending(8, "a"));
+        s.submit(pending(9, "a"));
+        assert_eq!(s.next().unwrap().request_id, 7);
+        assert_eq!(s.next().unwrap().request_id, 8);
+        assert_eq!(s.next().unwrap().request_id, 9);
+    }
+
+    #[test]
+    fn pending_counts_track_queues() {
+        let mut s = FairScheduler::default();
+        assert_eq!(s.pending(), 0);
+        s.submit(pending(1, "a"));
+        s.submit(pending(2, "b"));
+        s.submit(pending(3, "b"));
+        assert_eq!(s.pending(), 3);
+        assert_eq!(s.pending_by_tenant().get("b"), Some(&2));
+        s.next();
+        assert_eq!(s.pending(), 2);
+    }
+}

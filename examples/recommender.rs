@@ -51,12 +51,15 @@ fn main() -> Result<(), TuckerError> {
     );
 
     // Predict the held-out entries from the model and compare against a
-    // baseline that predicts the global mean rating.
+    // baseline that predicts the global mean rating.  The whole test set is
+    // scored in one `predict_many` batch — the serving shape — which
+    // enumerates the core's nonzero terms once instead of per rating.
     let mean: f64 = train.values().iter().sum::<f64>() / train.nnz() as f64;
+    let queries: Vec<Vec<usize>> = test.iter().map(|(idx, _)| idx.to_vec()).collect();
+    let predicted = model.predict_many(&queries);
     let mut model_se = 0.0;
     let mut baseline_se = 0.0;
-    for (idx, actual) in test.iter() {
-        let predicted = model.predict(idx);
+    for ((_, actual), predicted) in test.iter().zip(&predicted) {
         model_se += (actual - predicted).powi(2);
         baseline_se += (actual - mean).powi(2);
     }

@@ -1,0 +1,134 @@
+//! Serving scenario: one decomposition service, several tenants.
+//!
+//! Two teams share one box.  The "movies" team keeps a Netflix-profile
+//! rating tensor hot and refreshes its model on a schedule; the "tags"
+//! team drops in occasionally with a Flickr-profile tensor.  The service
+//! runs both on ONE thread pool, schedules them cheapest-charged-first,
+//! caches plans under a memory budget, and answers predictions from the
+//! latest model even after the plan is evicted.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+use tucker_repro::prelude::*;
+
+fn main() -> Result<(), TuckerError> {
+    let movies = Arc::new(DatasetProfile::new(ProfileName::Netflix).generate(30_000, 7));
+    let tags = Arc::new(DatasetProfile::new(ProfileName::Flickr).generate(20_000, 8));
+    println!(
+        "movies: {:?} with {} nonzeros; tags: {:?} with {} nonzeros",
+        movies.dims(),
+        movies.nnz(),
+        tags.dims(),
+        tags.nnz()
+    );
+
+    // One shared pool, a 64 MiB plan cache.
+    let mut svc = DecompositionService::new(
+        ServiceOptions::new()
+            .num_threads(2)
+            .plan_cache_bytes(64 << 20),
+    )?;
+
+    // Both teams ingest (the plan is built once here) and ask for a model.
+    svc.submit(
+        "movies-team",
+        Request::Ingest {
+            tensor_id: "ratings".into(),
+            tensor: Arc::clone(&movies),
+        },
+    );
+    svc.submit(
+        "tags-team",
+        Request::Ingest {
+            tensor_id: "photo-tags".into(),
+            tensor: Arc::clone(&tags),
+        },
+    );
+    svc.submit(
+        "movies-team",
+        Request::Decompose {
+            tensor_id: "ratings".into(),
+            ranks: vec![8, 8, 8],
+            seed: 3,
+            max_iters: 6,
+            deadline: None,
+        },
+    );
+    // The tags team is in a hurry: a wall-clock budget counted from
+    // submission.  If HOOI cannot finish in time, the best model so far
+    // comes back flagged `truncated` instead of an error.
+    svc.submit(
+        "tags-team",
+        Request::Decompose {
+            tensor_id: "photo-tags".into(),
+            ranks: vec![4, 4, 4, 4],
+            seed: 5,
+            max_iters: 6,
+            deadline: Some(Duration::from_secs(30)),
+        },
+    );
+    for done in svc.run_until_idle() {
+        match done.outcome? {
+            Response::Ingested {
+                tensor_id,
+                plan_bytes,
+            } => println!(
+                "[{}] planned '{tensor_id}' ({} plan bytes cached)",
+                done.tenant,
+                plan_bytes.unwrap_or(0)
+            ),
+            Response::Decomposed {
+                decomposition,
+                truncated,
+            } => println!(
+                "[{}] model ready: fit {:.4} after {} iterations{} \
+                 (plan cache {})",
+                done.tenant,
+                decomposition.final_fit(),
+                decomposition.iterations,
+                if truncated {
+                    " (deadline-truncated)"
+                } else {
+                    ""
+                },
+                if done.plan_cache_hit == Some(true) {
+                    "hit"
+                } else {
+                    "miss"
+                },
+            ),
+            other => println!("[{}] {other:?}", done.tenant),
+        }
+    }
+
+    // Predictions read the latest model; they keep working even if memory
+    // pressure later evicts the plan, because models live in the registry.
+    svc.submit(
+        "movies-team",
+        Request::Predict {
+            tensor_id: "ratings".into(),
+            indices: vec![vec![0, 0, 0], vec![1, 2, 3], vec![5, 10, 2]],
+        },
+    );
+    let done = svc.run_until_idle().pop().expect("one prediction");
+    if let Ok(Response::Predicted { values }) = done.outcome {
+        println!("[movies-team] scores for three (user, movie, week) cells: {values:?}");
+    }
+
+    let stats = svc.stats();
+    println!(
+        "\nserved {} requests ({} failed); plan cache: {:.0}% hits, {} bytes held",
+        stats.completed,
+        stats.failed,
+        100.0 * stats.cache_hit_rate(),
+        stats.plan_cache_bytes
+    );
+    for (tenant, flops) in &stats.charged_flops {
+        println!("  {tenant:<12} charged {flops:>12} cost-model flops");
+    }
+    Ok(())
+}

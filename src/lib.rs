@@ -13,6 +13,10 @@
 //!   Algorithm 4 over real channel/TCP backends, bit-identically to the
 //!   shared-memory solver,
 //! * [`partition`] — hypergraph models and partitioners,
+//! * [`service`] — the multi-tenant decomposition service: a tensor
+//!   registry with one shared thread pool, a memory-budgeted plan cache,
+//!   cheapest-deficit-first cross-tenant scheduling and deadline-aware
+//!   solves,
 //! * [`sptensor`], [`linalg`], [`datagen`] — the substrates.
 //!
 //! # Quickstart
@@ -54,6 +58,7 @@ pub use distsim;
 pub use hooi;
 pub use linalg;
 pub use partition;
+pub use service;
 pub use sptensor;
 
 /// Convenience re-exports covering the common workflow: generate or load a
@@ -67,12 +72,13 @@ pub mod prelude {
         MachineModel, PartitionMethod, SimConfig,
     };
     pub use hooi::{
-        tucker_hooi, DimTree, Initialization, IterationControl, IterationObserver, IterationReport,
-        PlanOptions, TrsvdBackend, TtmcCosts, TtmcStrategy, TuckerConfig, TuckerDecomposition,
-        TuckerError, TuckerSolver,
+        tucker_hooi, DeadlineObserver, DimTree, Initialization, IterationControl,
+        IterationObserver, IterationReport, PlanOptions, TrsvdBackend, TtmcCosts, TtmcStrategy,
+        TuckerConfig, TuckerDecomposition, TuckerError, TuckerSession, TuckerSolver,
     };
     pub use linalg::Matrix;
     pub use partition::{fine_grain_hypergraph, hypergraph::Hypergraph};
+    pub use service::{DecompositionService, Request, Response, ServiceOptions, ServiceStats};
     pub use sptensor::{io::read_tns_file, io::write_tns_file, DenseTensor, SparseTensor};
 }
 

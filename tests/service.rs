@@ -1,0 +1,201 @@
+//! Integration tests for the multi-tenant decomposition service: the
+//! determinism contract (bit-identical responses across cache states and
+//! submission interleavings) and the plan cache's eviction behaviour.
+
+use std::sync::{Arc, Mutex};
+use std::thread;
+use tucker_repro::prelude::*;
+
+fn tensor(seed: u64) -> Arc<SparseTensor> {
+    Arc::new(random_tensor(&[16, 14, 12], 500, seed))
+}
+
+/// Footprint of a freshly planned (not yet solved) session for the test
+/// tensors — the unit the cache budgets below are expressed in.
+fn plan_bytes() -> usize {
+    TuckerSession::plan(tensor(0), PlanOptions::new().caller_pool())
+        .unwrap()
+        .memory_bytes()
+}
+
+fn ingest(id: &str, seed: u64) -> Request {
+    Request::Ingest {
+        tensor_id: id.into(),
+        tensor: tensor(seed),
+    }
+}
+
+fn decompose(id: &str, seed: u64) -> Request {
+    Request::Decompose {
+        tensor_id: id.into(),
+        ranks: vec![3, 3, 3],
+        seed,
+        max_iters: 3,
+        deadline: None,
+    }
+}
+
+fn decomposition(outcome: &Result<Response, TuckerError>) -> &TuckerDecomposition {
+    match outcome.as_ref().unwrap() {
+        Response::Decomposed { decomposition, .. } => decomposition,
+        other => panic!("expected a decomposition, got {other:?}"),
+    }
+}
+
+/// Under memory pressure the plan cache must evict in LRU order driven by
+/// the *logical* request clock — the same request history always evicts
+/// the same plans in the same order.
+#[test]
+fn eviction_order_under_pressure_is_deterministic() {
+    let per_plan = plan_bytes();
+    let run = || {
+        let mut svc = DecompositionService::new(
+            ServiceOptions::new()
+                .num_threads(1)
+                // Room for two same-shaped plans, never three.
+                .plan_cache_bytes(2 * per_plan + per_plan / 2),
+        )
+        .unwrap();
+        for (i, id) in ["a", "b", "c", "d"].iter().enumerate() {
+            svc.submit("tenant", ingest(id, i as u64));
+        }
+        svc.run_until_idle();
+        (svc.stats().evicted_plans.clone(), svc.cached_plan_ids())
+    };
+    let (evicted, cached) = run();
+    // Ingest order a, b, c, d with room for two: c evicts a, d evicts b.
+    assert_eq!(evicted, vec!["a".to_string(), "b".to_string()]);
+    assert_eq!(cached, vec!["c".to_string(), "d".to_string()]);
+    // Bit-for-bit repeatable, not an artifact of wall-clock timing.
+    assert_eq!(run(), (evicted, cached));
+}
+
+/// A decomposition whose plan was evicted re-plans transparently and
+/// returns exactly the bits a never-evicted service returns; predictions
+/// keep working after plan eviction because models outlive plans.
+#[test]
+fn replan_after_eviction_is_transparent_and_bit_identical() {
+    let queries = vec![vec![0, 0, 0], vec![15, 13, 11], vec![7, 3, 9]];
+    // Reference: a service whose cache never feels pressure.
+    let mut reference = DecompositionService::new(ServiceOptions::new().num_threads(1)).unwrap();
+    reference.submit("t", ingest("a", 0));
+    reference.submit("t", decompose("a", 42));
+    let completions = reference.run_until_idle();
+    assert_eq!(completions[1].plan_cache_hit, Some(true));
+    let expected = decomposition(&completions[1].outcome).clone();
+
+    // Pressured: room for one plan only, so ingesting `b` evicts `a`.
+    let per_plan = plan_bytes();
+    let mut svc = DecompositionService::new(
+        ServiceOptions::new()
+            .num_threads(1)
+            .plan_cache_bytes(per_plan + per_plan / 2),
+    )
+    .unwrap();
+    svc.submit("t", ingest("a", 0));
+    svc.submit("t", ingest("b", 1));
+    svc.submit("t", decompose("a", 42));
+    let completions = svc.run_until_idle();
+    // Ingesting `b` pushed `a` out (the solved session re-admitted after
+    // the decomposition may push `b` out in turn; the first victim is
+    // what this test arranges).
+    assert_eq!(svc.stats().evicted_plans.first().unwrap(), "a");
+    // The re-plan is invisible except to the cache counters...
+    assert_eq!(completions[2].plan_cache_hit, Some(false));
+    let replanned = decomposition(&completions[2].outcome);
+    // ...and the factors are the reference bits exactly.
+    assert_eq!(replanned.factors, expected.factors);
+    assert_eq!(replanned.core.as_slice(), expected.core.as_slice());
+    assert_eq!(replanned.fits, expected.fits);
+
+    // Evict `a`'s plan again (ingest `b` refreshes nothing: re-ingest `b`),
+    // then predict: the model lives in the registry, not the plan cache.
+    svc.submit("t", ingest("b", 1));
+    svc.submit(
+        "t",
+        Request::Predict {
+            tensor_id: "a".into(),
+            indices: queries.clone(),
+        },
+    );
+    let completions = svc.run_until_idle();
+    match completions[1].outcome.as_ref().unwrap() {
+        Response::Predicted { values } => {
+            assert_eq!(values, &expected.predict_many(&queries));
+        }
+        other => panic!("expected predictions, got {other:?}"),
+    }
+}
+
+/// N tenants hammering one shared service from real threads — submissions
+/// and steps interleaved however the OS schedules them — must each get
+/// bit-identical decompositions to a serial, single-tenant replay of their
+/// own request stream.
+#[test]
+fn concurrent_tenants_match_serial_bit_for_bit() {
+    const TENANTS: usize = 4;
+    let options = || ServiceOptions::new().num_threads(2);
+    let per_tenant_requests = |t: usize| {
+        let id = format!("t{t}");
+        vec![
+            ingest(&id, t as u64),
+            decompose(&id, 10 + t as u64),
+            decompose(&id, 20 + t as u64),
+        ]
+    };
+
+    // Serial reference: each tenant alone on a fresh service.
+    let mut reference = Vec::new();
+    for t in 0..TENANTS {
+        let mut svc = DecompositionService::new(options()).unwrap();
+        for request in per_tenant_requests(t) {
+            svc.submit(&format!("t{t}"), request);
+        }
+        let done = svc.run_until_idle();
+        reference.push(vec![
+            decomposition(&done[1].outcome).clone(),
+            decomposition(&done[2].outcome).clone(),
+        ]);
+    }
+
+    // Concurrent: all tenants share one service behind a mutex, submitting
+    // and stepping from their own threads.
+    let svc = Arc::new(Mutex::new(DecompositionService::new(options()).unwrap()));
+    let done = Arc::new(Mutex::new(Vec::new()));
+    thread::scope(|scope| {
+        for t in 0..TENANTS {
+            let svc = Arc::clone(&svc);
+            let done = Arc::clone(&done);
+            scope.spawn(move || {
+                for request in per_tenant_requests(t) {
+                    svc.lock().unwrap().submit(&format!("t{t}"), request);
+                    // Interleave execution with everyone else's submissions.
+                    if let Some(completed) = svc.lock().unwrap().step() {
+                        done.lock().unwrap().push(completed);
+                    }
+                }
+            });
+        }
+    });
+    done.lock()
+        .unwrap()
+        .extend(svc.lock().unwrap().run_until_idle());
+
+    let done = done.lock().unwrap();
+    assert_eq!(done.len(), 3 * TENANTS);
+    for t in 0..TENANTS {
+        let tenant = format!("t{t}");
+        let models: Vec<&TuckerDecomposition> = done
+            .iter()
+            .filter(|c| c.tenant == tenant && matches!(c.outcome, Ok(Response::Decomposed { .. })))
+            .map(|c| decomposition(&c.outcome))
+            .collect();
+        assert_eq!(models.len(), 2, "tenant {tenant} lost a decomposition");
+        // Per-tenant FIFO order: first completion is the seed-10+t solve.
+        for (got, want) in models.iter().zip(&reference[t]) {
+            assert_eq!(got.factors, want.factors, "tenant {tenant} diverged");
+            assert_eq!(got.core.as_slice(), want.core.as_slice());
+            assert_eq!(got.fits, want.fits);
+        }
+    }
+}
