@@ -1,0 +1,27 @@
+//! Regenerates the committed golden-test fixture tensor
+//! (`crates/bench/tests/fixtures/golden.tns`).  The fixture is a small
+//! NELL-profile synthetic tensor with a fixed seed, written with the
+//! `# dims:` header so the streamed reader validates every index against
+//! the declared shape.  Run from the workspace root:
+//!
+//! ```text
+//! cargo run -p bench --bin gen_fixture
+//! ```
+//!
+//! After changing the fixture, re-bless the table snapshots with
+//! `GOLDEN_BLESS=1 cargo test -p bench --test tables_golden`.
+
+use datagen::{DatasetProfile, ProfileName};
+use sptensor::io::write_tns_file_with_header;
+
+fn main() {
+    let tensor = DatasetProfile::new(ProfileName::Nell).generate(500, 7);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/golden.tns");
+    write_tns_file_with_header(&tensor, path).expect("write fixture");
+    println!(
+        "wrote {} ({} nonzeros, dims {:?})",
+        path,
+        tensor.nnz(),
+        tensor.dims()
+    );
+}

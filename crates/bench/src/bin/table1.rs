@@ -2,11 +2,48 @@
 //! tensors, both at the paper's full scale (from the dataset profiles) and
 //! at the scale actually generated for this reproduction.
 
-use bench::{print_header, table_nnz};
+use bench::{
+    cli_args, cli_tensor, layout_memory_report, print_header, run_requested_check, table_nnz,
+};
 use datagen::{DatasetProfile, ProfileName};
+use hooi::IndexLayout;
 use sptensor::stats::{format_count, tensor_stats};
 
 fn main() {
+    let args = cli_args();
+    if let Some((label, tensor, ranks)) = cli_tensor(&args) {
+        print_header(
+            "Table I — properties of the supplied tensor",
+            &format!("Loaded '{label}' through the streamed .tns reader."),
+        );
+        let stats = tensor_stats(&tensor);
+        let dims: Vec<String> = tensor.dims().iter().map(|&d| format_count(d)).collect();
+        let max_imb = stats
+            .modes
+            .iter()
+            .map(|m| m.imbalance)
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<12} {:>24} {:>10} {:>8}",
+            "Tensor", "dims", "nnz", "max imb"
+        );
+        println!(
+            "{:<12} {:>24} {:>10} {:>8.1}",
+            label,
+            dims.join(" x "),
+            format_count(tensor.nnz()),
+            max_imb
+        );
+        println!();
+        println!("Per-mode plan footprint by index layout (per-mode TTMc strategy):");
+        for (layout, bytes) in layout_memory_report(&tensor) {
+            println!("  {:<12} {:>12} bytes", format!("{layout:?}"), bytes);
+        }
+        let resolved = IndexLayout::Auto.resolve_for(tensor.order(), tensor.nnz());
+        println!("  auto resolves to {resolved:?} for this tensor");
+        run_requested_check(&args, &tensor, &ranks);
+        return;
+    }
     print_header(
         "Table I — tensors used in the experiments",
         "Full-scale shapes come from the paper; the 'generated' columns describe the\n\

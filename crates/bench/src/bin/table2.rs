@@ -7,13 +7,49 @@
 //! DESIGN.md); the paper's absolute BlueGene/Q seconds are not expected, but
 //! the orderings and scaling shapes are.
 
-use bench::{paper_configurations, print_header, profile_tensor, sim_config, table_nnz};
+use bench::{
+    cli_args, cli_tensor, paper_configurations, print_header, profile_tensor, run_requested_check,
+    sim_config, table_nnz,
+};
 use datagen::ProfileName;
 use distsim::{simulate_iteration, DistributedSetup, MachineModel};
 
 fn main() {
-    let nnz = table_nnz();
+    let args = cli_args();
     let node_counts = [1usize, 4, 16, 64, 256];
+    let machine = MachineModel::bluegene_q();
+
+    if let Some((label, tensor, ranks)) = cli_tensor(&args) {
+        print_header(
+            "Table II — time per HOOI iteration (simulated seconds) vs node count",
+            &format!("Supplied tensor '{label}', 32 threads per node."),
+        );
+        println!("--- {label} ---");
+        println!(
+            "{:>10} {:>12} {:>12} {:>12} {:>12}",
+            "#nodes", "fine-hp", "fine-rd", "coarse-hp", "coarse-bl"
+        );
+        for &nodes in &node_counts {
+            let mut row = format!("{:>10}", format!("{nodes}x16"));
+            for (grain, method) in paper_configurations() {
+                let config = sim_config(nodes, grain, method, &ranks);
+                let setup = DistributedSetup::build(&tensor, &config);
+                let cost = simulate_iteration(
+                    &tensor,
+                    &setup,
+                    &machine,
+                    distsim::stats::DEFAULT_TRSVD_APPLICATIONS,
+                );
+                row.push_str(&format!(" {:>12.4}", cost.total_seconds()));
+            }
+            println!("{row}");
+        }
+        println!();
+        run_requested_check(&args, &tensor, &ranks);
+        return;
+    }
+
+    let nnz = table_nnz();
     print_header(
         "Table II — time per HOOI iteration (simulated seconds) vs node count",
         &format!(
@@ -21,7 +57,6 @@ fn main() {
         ),
     );
 
-    let machine = MachineModel::bluegene_q();
     for name in [
         ProfileName::Delicious,
         ProfileName::Flickr,

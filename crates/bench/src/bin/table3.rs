@@ -8,22 +8,38 @@
 //! that mode (factor rows plus the fine-grain vector-entry merges).
 
 use bench::{
-    format_kilo, paper_configurations, print_header, profile_tensor, sim_config, table_nnz,
+    cli_args, cli_tensor, format_kilo, paper_configurations, print_header, profile_tensor,
+    run_requested_check, sim_config, table_nnz,
 };
 use datagen::ProfileName;
 use distsim::stats::{iteration_stats, ModeRankStats, DEFAULT_TRSVD_APPLICATIONS};
 use distsim::DistributedSetup;
 
 fn main() {
-    let nnz = table_nnz();
-    let num_ranks = 256;
-    print_header(
-        "Table III — per-mode statistics, Flickr profile, 256 ranks",
-        &format!("Synthetic Flickr-profile tensor with ~{nnz} nonzeros; max / avg over ranks."),
-    );
-
-    let (profile, tensor) = profile_tensor(ProfileName::Flickr, nnz, 42);
-    let ranks = profile.paper_ranks().to_vec();
+    let args = cli_args();
+    // A supplied tensor is usually much smaller than the paper's Flickr
+    // run, so its breakdown uses a modest rank count.
+    let (label, tensor, ranks, num_ranks, from_cli) = match cli_tensor(&args) {
+        Some((label, tensor, ranks)) => (label, tensor, ranks, 16usize, true),
+        None => {
+            let nnz = table_nnz();
+            let (profile, tensor) = profile_tensor(ProfileName::Flickr, nnz, 42);
+            let ranks = profile.paper_ranks().to_vec();
+            ("Flickr".to_string(), tensor, ranks, 256usize, false)
+        }
+    };
+    if from_cli {
+        print_header(
+            &format!("Table III — per-mode statistics, '{label}', {num_ranks} ranks"),
+            "Supplied tensor; max / avg over ranks.",
+        );
+    } else {
+        let nnz = table_nnz();
+        print_header(
+            "Table III — per-mode statistics, Flickr profile, 256 ranks",
+            &format!("Synthetic Flickr-profile tensor with ~{nnz} nonzeros; max / avg over ranks."),
+        );
+    }
 
     println!(
         "{:<12} {:>4} {:>10} {:>10} {:>10} {:>10} {:>12} {:>12}",
@@ -59,7 +75,11 @@ fn main() {
         }
         println!();
     }
-    println!("Expected shape (paper): fine-grain W_TTMc perfectly balanced in every mode;");
-    println!("coarse-grain W_TTMc heavily imbalanced in mode 4; fine-hp communication far");
-    println!("below fine-rd; fine-hp average W_TRSVD close to the coarse-grain value.");
+    if from_cli {
+        run_requested_check(&args, &tensor, &ranks);
+    } else {
+        println!("Expected shape (paper): fine-grain W_TTMc perfectly balanced in every mode;");
+        println!("coarse-grain W_TTMc heavily imbalanced in mode 4; fine-hp communication far");
+        println!("below fine-rd; fine-hp average W_TRSVD close to the coarse-grain value.");
+    }
 }

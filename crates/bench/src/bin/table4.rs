@@ -2,11 +2,44 @@
 //! core-tensor steps within one HOOI iteration under the 256-way `fine-hp`
 //! partition, for every dataset.
 
-use bench::{print_header, profile_tensor, sim_config, table_nnz};
+use bench::{
+    cli_args, cli_tensor, print_header, profile_tensor, run_requested_check, sim_config, table_nnz,
+};
 use datagen::ProfileName;
 use distsim::{simulate_iteration, DistributedSetup, Grain, MachineModel, PartitionMethod};
 
 fn main() {
+    let args = cli_args();
+    if let Some((label, tensor, ranks)) = cli_tensor(&args) {
+        print_header(
+            "Table IV — relative timings of TTMc / TRSVD+comm / core+comm (percent)",
+            &format!("Supplied tensor '{label}', fine-hp partition, 32 threads per rank."),
+        );
+        println!(
+            "{:<12} {:>7} {:>10} {:>14} {:>12}",
+            "Tensor", "#ranks", "TTMc %", "TRSVD+comm %", "core+comm %"
+        );
+        let machine = MachineModel::bluegene_q();
+        for num_ranks in [4usize, 16] {
+            let config = sim_config(num_ranks, Grain::Fine, PartitionMethod::Hypergraph, &ranks);
+            let setup = DistributedSetup::build(&tensor, &config);
+            let cost = simulate_iteration(
+                &tensor,
+                &setup,
+                &machine,
+                distsim::stats::DEFAULT_TRSVD_APPLICATIONS,
+            );
+            let (ttmc, trsvd, core) = cost.relative_shares();
+            println!(
+                "{:<12} {:>7} {:>10.1} {:>14.1} {:>12.1}",
+                label, num_ranks, ttmc, trsvd, core
+            );
+        }
+        println!();
+        run_requested_check(&args, &tensor, &ranks);
+        return;
+    }
+
     let nnz = table_nnz();
     // The paper uses 256 ranks on 78–140M-nonzero tensors (~400K nonzeros
     // per rank).  To keep a comparable amount of work per rank on the

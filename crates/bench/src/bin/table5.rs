@@ -12,22 +12,30 @@
 //!    solver with that many rayon threads (meaningful only up to the number
 //!    of physical cores of the host running this binary).
 
-use bench::{print_header, profile_tensor, simulated_iteration_seconds, table_nnz};
+use bench::{
+    cli_args, cli_tensor, print_header, profile_tensor, run_requested_check,
+    simulated_iteration_seconds, table_nnz,
+};
 use datagen::ProfileName;
 use distsim::{Grain, PartitionMethod};
-use hooi::{PlanOptions, TuckerConfig, TuckerSolver};
+use hooi::{IndexLayout, PlanOptions, TtmcStrategy, TuckerConfig, TuckerSolver};
 use std::time::Instant;
 
 fn measured_seconds_per_iteration(
     tensor: &sptensor::SparseTensor,
     ranks: &[usize],
     threads: usize,
+    layout: IndexLayout,
+    strategy: TtmcStrategy,
 ) -> f64 {
     // The session's pool is fixed at plan time, so the thread sweep plans
     // one session per thread count and times the solve (the symbolic
     // analysis stays outside the measurement, as in the paper's tables).
-    let mut solver =
-        TuckerSolver::plan(tensor, PlanOptions::new().num_threads(threads)).expect("plan failed");
+    let options = PlanOptions::new()
+        .num_threads(threads)
+        .ttmc_strategy(strategy)
+        .index_layout(layout);
+    let mut solver = TuckerSolver::plan(tensor, options).expect("plan failed");
     let config = TuckerConfig::new(ranks.to_vec())
         .max_iterations(2)
         .fit_tolerance(-1.0)
@@ -38,8 +46,59 @@ fn measured_seconds_per_iteration(
 }
 
 fn main() {
-    let nnz = table_nnz();
+    let args = cli_args();
     let threads_sweep = [1usize, 2, 4, 8, 16, 32];
+
+    if let Some((label, tensor, ranks)) = cli_tensor(&args) {
+        print_header(
+            "Table V — shared-memory scalability (time per iteration vs #threads)",
+            &format!(
+                "Supplied tensor '{label}', fine-hp partition on a single node.\n\
+                 'sim' rows use the BG/Q cost model{}.",
+                if args.sim_only {
+                    "; measured rows skipped (--sim-only)"
+                } else {
+                    "; 'meas' rows run the real rayon solver on this host"
+                }
+            ),
+        );
+        println!("{:>8} {:>14}", "#threads", label);
+        for &threads in &threads_sweep {
+            let secs = simulated_iteration_seconds(
+                &tensor,
+                1,
+                Grain::Fine,
+                PartitionMethod::Hypergraph,
+                &ranks,
+                threads,
+            );
+            println!("{threads:>8} {secs:>14.4}  (sim)");
+        }
+        println!();
+        if !args.sim_only {
+            let host_cores = std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1);
+            for &threads in threads_sweep
+                .iter()
+                .filter(|&&t| t <= (2 * host_cores).max(2))
+            {
+                let secs = measured_seconds_per_iteration(
+                    &tensor,
+                    &ranks,
+                    threads,
+                    args.layout,
+                    TtmcStrategy::Auto,
+                );
+                println!("{threads:>8} {secs:>14.4}  (meas, this host)");
+            }
+            println!();
+        }
+        run_requested_check(&args, &tensor, &ranks);
+        return;
+    }
+
+    let nnz = table_nnz();
     // Minimum node counts per dataset, as in the paper.
     let datasets = [
         (ProfileName::Delicious, 8usize),
@@ -102,7 +161,13 @@ fn main() {
         for (name, _) in datasets {
             let (profile, tensor) = profile_tensor(name, nnz, 42);
             let ranks = profile.paper_ranks().to_vec();
-            let secs = measured_seconds_per_iteration(&tensor, &ranks, threads);
+            let secs = measured_seconds_per_iteration(
+                &tensor,
+                &ranks,
+                threads,
+                IndexLayout::Auto,
+                TtmcStrategy::Auto,
+            );
             row.push_str(&format!("{:>14.4}", secs));
         }
         println!("{row}  (meas, single node on this host)");

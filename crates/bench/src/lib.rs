@@ -9,6 +9,8 @@ pub mod scheduling;
 
 use datagen::{DatasetProfile, ProfileName};
 use distsim::{DistributedSetup, Grain, MachineModel, PartitionMethod, SimConfig};
+use hooi::{IndexLayout, PlanOptions, TtmcStrategy, TuckerConfig, TuckerSolver};
+use sptensor::io::StreamOptions;
 use sptensor::SparseTensor;
 
 /// Default nonzero budget per synthetic dataset used by the table binaries.
@@ -85,10 +87,37 @@ pub struct CliArgs {
     /// Ranks passed via `--ranks r1,r2,…` (only meaningful with `--tns`;
     /// defaults to 4 per mode).
     pub ranks: Option<Vec<usize>>,
+    /// Per-mode index layout passed via `--layout coo|modesorted|csf|auto`;
+    /// defaults to `auto` (resolved from the tensor size at plan time).
+    pub layout: IndexLayout,
+    /// Streaming chunk size (nonzeros resident per parser chunk) passed via
+    /// `--chunk <n>`; `None` keeps the reader's default.
+    pub chunk: Option<usize>,
+    /// `--sim-only`: skip wall-clock-measured sweeps so the output is a
+    /// deterministic function of the input (used by the golden-file tests).
+    pub sim_only: bool,
+    /// `--check`: verify that the CSF and flat TTMc paths produce
+    /// bit-identical decompositions on the loaded tensor before reporting.
+    pub check: bool,
 }
 
-/// Parses `--tns <path>` and `--ranks r1,r2,…` from the process arguments,
-/// ignoring anything else (so Cargo's own flags pass through).
+fn parse_layout(spec: &str) -> IndexLayout {
+    match spec.to_ascii_lowercase().as_str() {
+        "coo" => IndexLayout::Coo,
+        "modesorted" | "mode-sorted" | "sorted" => IndexLayout::ModeSorted,
+        "csf" => IndexLayout::Csf,
+        "auto" => IndexLayout::Auto,
+        other => {
+            eprintln!("unknown --layout '{other}' (expected coo|modesorted|csf|auto)");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Parses the shared flags (`--tns <path>`, `--ranks r1,r2,…`,
+/// `--layout coo|modesorted|csf|auto`, `--chunk <n>`, `--sim-only`,
+/// `--check`) from the process arguments, ignoring anything else (so
+/// Cargo's own flags pass through).
 pub fn cli_args() -> CliArgs {
     let mut out = CliArgs::default();
     let mut args = std::env::args().skip(1);
@@ -115,10 +144,41 @@ pub fn cli_args() -> CliArgs {
                     }
                 }
             }
+            "--layout" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("--layout requires a value: coo|modesorted|csf|auto");
+                    std::process::exit(2);
+                });
+                out.layout = parse_layout(&spec);
+            }
+            "--chunk" => {
+                let spec = args.next().unwrap_or_else(|| {
+                    eprintln!("--chunk requires a positive nonzero count");
+                    std::process::exit(2);
+                });
+                match spec.parse::<usize>() {
+                    Ok(n) if n > 0 => out.chunk = Some(n),
+                    _ => {
+                        eprintln!("could not parse --chunk '{spec}' as a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--sim-only" => out.sim_only = true,
+            "--check" => out.check = true,
             _ => {}
         }
     }
     out
+}
+
+/// Builds the streaming-reader options the CLI flags ask for.
+pub fn stream_options(args: &CliArgs) -> StreamOptions {
+    let mut options = StreamOptions::new();
+    if let Some(chunk) = args.chunk {
+        options = options.chunk_nonzeros(chunk);
+    }
+    options
 }
 
 /// Loads the `--tns` tensor if one was requested: returns its display
@@ -127,8 +187,10 @@ pub fn cli_args() -> CliArgs {
 /// malformed file — a bad path should fail loudly, not fall back.
 pub fn cli_tensor(args: &CliArgs) -> Option<(String, SparseTensor, Vec<usize>)> {
     let path = args.tns.as_ref()?;
-    let tensor = match sptensor::io::read_tns_file(path, None) {
-        Ok(t) => t,
+    // The streamed reader keeps the parse buffer bounded by `--chunk`
+    // nonzeros regardless of the file size (see sptensor::io::stream_tns).
+    let tensor = match sptensor::io::read_tns_file_streamed(path, &stream_options(args)) {
+        Ok((t, _stats)) => t,
         Err(e) => {
             eprintln!("failed to read {path}: {e}");
             std::process::exit(2);
@@ -156,6 +218,90 @@ pub fn cli_tensor(args: &CliArgs) -> Option<(String, SparseTensor, Vec<usize>)> 
         .map(|s| s.to_string_lossy().into_owned())
         .unwrap_or_else(|| path.clone());
     Some((label, tensor, ranks))
+}
+
+/// Plans one single-threaded per-mode session per index layout, solves the
+/// same configuration in each, and asserts that the factor matrices, core
+/// tensor and fit trajectories agree **bit for bit** — the CSF walk and the
+/// flat gather must be the same IEEE accumulation, not merely close.
+/// Returns the number of modes checked; exits with a diagnostic on any
+/// divergence (this backs the table binaries' `--check` flag).
+pub fn check_layout_bit_identity(tensor: &SparseTensor, ranks: &[usize]) -> usize {
+    let config = TuckerConfig::new(ranks.to_vec())
+        .max_iterations(2)
+        .fit_tolerance(-1.0)
+        .seed(7);
+    let mut reference: Option<(IndexLayout, hooi::TuckerDecomposition)> = None;
+    for layout in [IndexLayout::Coo, IndexLayout::ModeSorted, IndexLayout::Csf] {
+        let options = PlanOptions::new()
+            .num_threads(1)
+            .ttmc_strategy(TtmcStrategy::PerMode)
+            .index_layout(layout);
+        let mut solver = TuckerSolver::plan(tensor, options)
+            .unwrap_or_else(|e| fail_check(&format!("planning with {layout:?} failed: {e}")));
+        let result = solver
+            .solve(&config)
+            .unwrap_or_else(|e| fail_check(&format!("solving with {layout:?} failed: {e}")));
+        match &reference {
+            None => reference = Some((layout, result)),
+            Some((base_layout, base)) => {
+                let same_core = bits_equal(base.core.as_slice(), result.core.as_slice());
+                let same_factors = base
+                    .factors
+                    .iter()
+                    .zip(result.factors.iter())
+                    .all(|(a, b)| bits_equal(a.as_slice(), b.as_slice()));
+                let same_fits = bits_equal(&base.fits, &result.fits);
+                if !(same_core && same_factors && same_fits) {
+                    fail_check(&format!(
+                        "{layout:?} diverges from {base_layout:?} \
+                         (core equal: {same_core}, factors equal: {same_factors}, \
+                         fits equal: {same_fits})"
+                    ));
+                }
+            }
+        }
+    }
+    tensor.order()
+}
+
+/// Runs the `--check` layout verification when the flag was passed and
+/// prints a stable one-line confirmation (snapshotted by the golden tests).
+pub fn run_requested_check(args: &CliArgs, tensor: &SparseTensor, ranks: &[usize]) {
+    if args.check {
+        let modes = check_layout_bit_identity(tensor, ranks);
+        println!("layout check: CSF and flat TTMc bit-identical over {modes} modes");
+    }
+}
+
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn fail_check(msg: &str) -> ! {
+    eprintln!("layout check FAILED: {msg}");
+    std::process::exit(1);
+}
+
+/// Plans the tensor once per concrete index layout (single worker thread,
+/// per-mode strategy) and reports each plan's measured memory footprint —
+/// the number Table I's `--tns` mode prints so the layout choice is
+/// auditable.  Returns `(layout, plan bytes)` rows in a fixed order.
+pub fn layout_memory_report(tensor: &SparseTensor) -> Vec<(IndexLayout, usize)> {
+    [IndexLayout::Coo, IndexLayout::ModeSorted, IndexLayout::Csf]
+        .into_iter()
+        .map(|layout| {
+            let options = PlanOptions::new()
+                .num_threads(1)
+                .ttmc_strategy(TtmcStrategy::PerMode)
+                .index_layout(layout);
+            let solver = TuckerSolver::plan(tensor, options).unwrap_or_else(|e| {
+                eprintln!("planning with {layout:?} failed: {e}");
+                std::process::exit(2);
+            });
+            (layout, solver.memory_bytes())
+        })
+        .collect()
 }
 
 /// Formats a number in the `K`/`M` style used by the paper's Table III.
@@ -204,6 +350,45 @@ mod tests {
         assert_eq!(format_kilo(950.0), "950");
         assert_eq!(format_kilo(441_000.0), "441K");
         assert_eq!(format_kilo(2_500_000.0), "2M");
+    }
+
+    #[test]
+    fn layout_spec_parses_all_variants() {
+        assert_eq!(parse_layout("coo"), IndexLayout::Coo);
+        assert_eq!(parse_layout("modesorted"), IndexLayout::ModeSorted);
+        assert_eq!(parse_layout("mode-sorted"), IndexLayout::ModeSorted);
+        assert_eq!(parse_layout("CSF"), IndexLayout::Csf);
+        assert_eq!(parse_layout("auto"), IndexLayout::Auto);
+    }
+
+    #[test]
+    fn stream_options_honour_chunk_flag() {
+        let args = CliArgs {
+            chunk: Some(128),
+            ..CliArgs::default()
+        };
+        assert_eq!(stream_options(&args).chunk_nonzeros, 128);
+        let defaults = stream_options(&CliArgs::default());
+        assert_eq!(defaults.chunk_nonzeros, StreamOptions::new().chunk_nonzeros);
+    }
+
+    #[test]
+    fn layout_check_passes_on_a_profile_tensor() {
+        let (_, tensor) = profile_tensor(ProfileName::Nell, 3_000, 11);
+        let modes = check_layout_bit_identity(&tensor, &[3, 3, 3]);
+        assert_eq!(modes, tensor.order());
+    }
+
+    #[test]
+    fn layout_memory_report_covers_all_layouts() {
+        let (_, tensor) = profile_tensor(ProfileName::Netflix, 4_000, 5);
+        let report = layout_memory_report(&tensor);
+        assert_eq!(report.len(), 3);
+        assert_eq!(report[0].0, IndexLayout::Coo);
+        assert!(report.iter().all(|&(_, bytes)| bytes > 0));
+        // Attaching any streaming layout can only grow the plan.
+        assert!(report[1].1 > report[0].1);
+        assert!(report[2].1 > report[0].1);
     }
 
     #[test]

@@ -42,6 +42,71 @@ pub enum TtmcStrategy {
     Auto,
 }
 
+/// Which per-mode nonzero index structure the per-mode numeric TTMc
+/// streams.
+///
+/// All three concrete layouts accumulate every output row in the same
+/// order with the same arithmetic, so solves are bit-identical across
+/// them — the choice trades memory footprint against streaming speed:
+///
+/// * [`Coo`](Self::Coo) stores nothing beyond the symbolic update lists
+///   and gathers each nonzero through its COO id (slowest, zero extra
+///   memory),
+/// * [`ModeSorted`](Self::ModeSorted) copies values + foreign indices per
+///   mode into update-list order (fastest streaming, `order²·nnz` words),
+/// * [`Csf`](Self::Csf) compresses shared foreign-index prefixes into
+///   fiber hierarchies with `u32` ids where the dimensions permit (smaller
+///   than `ModeSorted`, hoists one factor-row lookup per fiber).
+///
+/// Only per-mode plans consult this knob; dimension-tree plans serve TTMc
+/// from their own node structures and carry no per-mode layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IndexLayout {
+    /// Gather through COO ids; no per-mode copy of the nonzero data.
+    Coo,
+    /// Mode-sorted value/index copies per mode (the PR 5 layout).
+    ModeSorted,
+    /// Compressed sparse fiber hierarchies per mode.
+    Csf,
+    /// Resolve at plan time from the tensor's size: [`Csf`](Self::Csf)
+    /// when the estimated `ModeSorted` footprint exceeds
+    /// [`AUTO_CSF_THRESHOLD_BYTES`](Self::AUTO_CSF_THRESHOLD_BYTES),
+    /// [`ModeSorted`](Self::ModeSorted) otherwise.  A pure function of
+    /// `(order, nnz)`, so the resolution is deterministic per tensor.
+    #[default]
+    Auto,
+}
+
+impl IndexLayout {
+    /// [`Auto`](Self::Auto) switches to CSF above this estimated
+    /// `ModeSorted` footprint (64 MiB): small tensors keep the flat copies
+    /// cache-resident, large ones take the compressed hierarchies.
+    pub const AUTO_CSF_THRESHOLD_BYTES: usize = 64 << 20;
+
+    /// Estimated total `ModeSorted` footprint for a tensor shape: per mode,
+    /// `nnz` values plus `(order-1)·nnz` word-sized indices, across `order`
+    /// modes.
+    pub fn mode_sorted_estimate_bytes(order: usize, nnz: usize) -> usize {
+        order * order * nnz * std::mem::size_of::<usize>()
+    }
+
+    /// The concrete layout this knob selects for a tensor with the given
+    /// order and nonzero count; identity on everything but
+    /// [`Auto`](Self::Auto).
+    pub fn resolve_for(self, order: usize, nnz: usize) -> IndexLayout {
+        match self {
+            IndexLayout::Auto => {
+                if Self::mode_sorted_estimate_bytes(order, nnz) > Self::AUTO_CSF_THRESHOLD_BYTES {
+                    IndexLayout::Csf
+                } else {
+                    IndexLayout::ModeSorted
+                }
+            }
+            concrete => concrete,
+        }
+    }
+}
+
 /// Which truncated-SVD backend updates the factor matrices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TrsvdBackend {
@@ -86,6 +151,12 @@ pub struct TuckerConfig {
     /// [`crate::TuckerSolver`] fixes the strategy at plan time instead (see
     /// [`crate::PlanOptions::ttmc_strategy`]) and ignores this field.
     pub ttmc_strategy: TtmcStrategy,
+    /// Which per-mode index layout a per-mode TTMc plan streams; defaults
+    /// to [`IndexLayout::Auto`].  Like the strategy, a planned
+    /// [`crate::TuckerSolver`] fixes this at plan time (see
+    /// [`crate::PlanOptions::index_layout`]) and ignores this field during
+    /// solves.  Dimension-tree plans ignore it entirely.
+    pub index_layout: IndexLayout,
 }
 
 impl TuckerConfig {
@@ -107,6 +178,7 @@ impl TuckerConfig {
             seed: 0x7c4a_u64 ^ 0x00c0_ffee,
             num_threads: 0,
             ttmc_strategy: TtmcStrategy::default(),
+            index_layout: IndexLayout::default(),
         }
     }
 
@@ -156,6 +228,13 @@ impl TuckerConfig {
     /// entry points.
     pub fn ttmc_strategy(mut self, strategy: TtmcStrategy) -> Self {
         self.ttmc_strategy = strategy;
+        self
+    }
+
+    /// Builder-style setter for the per-mode index layout used by the
+    /// one-shot entry points.
+    pub fn index_layout(mut self, layout: IndexLayout) -> Self {
+        self.index_layout = layout;
         self
     }
 
@@ -316,6 +395,49 @@ mod tests {
     fn validated_ranks_clamp_like_clamped_ranks() {
         let c = TuckerConfig::new(vec![10, 10, 10]);
         assert_eq!(c.validated_ranks(&[100, 5, 50]).unwrap(), vec![10, 5, 10]);
+    }
+
+    #[test]
+    fn index_layout_auto_resolves_by_memory_estimate() {
+        // Concrete layouts are fixed points.
+        for l in [IndexLayout::Coo, IndexLayout::ModeSorted, IndexLayout::Csf] {
+            assert_eq!(l.resolve_for(3, 1), l);
+            assert_eq!(l.resolve_for(5, 1_000_000_000), l);
+        }
+        // Auto: small tensors keep the flat mode-sorted copies …
+        assert_eq!(
+            IndexLayout::Auto.resolve_for(3, 60_000),
+            IndexLayout::ModeSorted
+        );
+        // … and tensors whose estimated ModeSorted footprint exceeds the
+        // threshold switch to CSF.  order²·nnz·8 > 64 MiB at order 3 means
+        // nnz > ~932k.
+        assert_eq!(
+            IndexLayout::Auto.resolve_for(3, 1_000_000),
+            IndexLayout::Csf
+        );
+        assert_eq!(
+            IndexLayout::Auto.resolve_for(4, 30_000_000),
+            IndexLayout::Csf
+        );
+        // The boundary is exactly the threshold: equality stays flat.
+        let just_fits = IndexLayout::AUTO_CSF_THRESHOLD_BYTES / (3 * 3 * 8);
+        assert_eq!(
+            IndexLayout::Auto.resolve_for(3, just_fits),
+            IndexLayout::ModeSorted
+        );
+        assert_eq!(
+            IndexLayout::Auto.resolve_for(3, just_fits + 1),
+            IndexLayout::Csf
+        );
+    }
+
+    #[test]
+    fn index_layout_builder_and_default() {
+        let c = TuckerConfig::new(vec![2, 2, 2]);
+        assert_eq!(c.index_layout, IndexLayout::Auto);
+        let c = c.index_layout(IndexLayout::Csf);
+        assert_eq!(c.index_layout, IndexLayout::Csf);
     }
 
     #[test]

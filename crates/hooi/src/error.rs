@@ -73,6 +73,19 @@ pub enum TuckerError {
         /// The id the request asked for.
         tensor_id: String,
     },
+    /// A `.tns` ingestion failure — parse error, index out of the declared
+    /// range, rejected duplicate, truncated file, or an I/O fault — with
+    /// the reader's message (line numbers included) carried as a string so
+    /// the error stays `Eq`-comparable.  Produced by the `From`
+    /// conversion from [`sptensor::io::TensorIoError`], so `?` works across
+    /// the ingestion boundary.
+    Ingestion(String),
+}
+
+impl From<sptensor::io::TensorIoError> for TuckerError {
+    fn from(e: sptensor::io::TensorIoError) -> Self {
+        TuckerError::Ingestion(e.to_string())
+    }
 }
 
 impl fmt::Display for TuckerError {
@@ -117,6 +130,9 @@ impl fmt::Display for TuckerError {
                     f,
                     "tensor '{tensor_id}' has no completed decomposition to predict from"
                 )
+            }
+            TuckerError::Ingestion(reason) => {
+                write!(f, "tensor ingestion failed: {reason}")
             }
         }
     }
@@ -186,6 +202,17 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains("flickr") && msg.contains("decomposition"));
+    }
+
+    #[test]
+    fn ingestion_errors_convert_with_line_numbers() {
+        let io_err = sptensor::io::TensorIoError::Parse(7, "bad value".into());
+        let mapped: TuckerError = io_err.into();
+        let msg = mapped.to_string();
+        assert!(
+            msg.contains("line 7") && msg.contains("ingestion"),
+            "conversion lost the reader's context: {msg}"
+        );
     }
 
     #[test]

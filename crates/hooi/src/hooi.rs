@@ -194,7 +194,8 @@ pub fn tucker_hooi(
         tensor,
         PlanOptions::new()
             .num_threads(config.num_threads)
-            .ttmc_strategy(config.ttmc_strategy),
+            .ttmc_strategy(config.ttmc_strategy)
+            .index_layout(config.index_layout),
     )?
     .solve(config)
 }
@@ -214,7 +215,8 @@ pub fn tucker_hooi_in_current_pool(
     let t0 = Instant::now();
     // Same plan-time resolution as a solver session, so a pooled and a
     // pool-agnostic run of one configuration execute the same strategy.
-    let (symbolic, tree) = crate::solver::resolve_plan(tensor, config.ttmc_strategy);
+    let (symbolic, tree) =
+        crate::solver::resolve_plan(tensor, config.ttmc_strategy, config.index_layout);
     let symbolic_time = t0.elapsed();
     let mut workspace = HooiWorkspace::new(&symbolic, &ranks);
     Ok(crate::solver::run_hooi(

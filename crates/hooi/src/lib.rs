@@ -50,7 +50,7 @@ pub mod trsvd;
 pub mod ttmc;
 pub mod workspace;
 
-pub use config::{Initialization, TrsvdBackend, TtmcStrategy, TuckerConfig};
+pub use config::{IndexLayout, Initialization, TrsvdBackend, TtmcStrategy, TuckerConfig};
 pub use dimtree::{per_mode_costs, DimTree, TtmcCosts};
 pub use error::TuckerError;
 pub use hooi::{tucker_hooi, tucker_hooi_in_current_pool, TimingBreakdown, TuckerDecomposition};

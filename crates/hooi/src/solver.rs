@@ -40,7 +40,7 @@
 //! # Ok::<(), hooi::TuckerError>(())
 //! ```
 
-use crate::config::{Initialization, TtmcStrategy, TuckerConfig};
+use crate::config::{IndexLayout, Initialization, TtmcStrategy, TuckerConfig};
 use crate::core_tensor::core_from_last_ttmc_into;
 use crate::dimtree::{self, DimTree};
 use crate::error::TuckerError;
@@ -68,6 +68,13 @@ pub struct PlanOptions {
     /// modeled flops for this tensor and keeps the cheaper one.  Single-
     /// mode tensors fall back to [`TtmcStrategy::PerMode`] silently.
     pub ttmc_strategy: TtmcStrategy,
+    /// Which per-mode index layout the session's TTMc streams when the
+    /// per-mode strategy runs; defaults to [`IndexLayout::Auto`], which
+    /// resolves from the tensor's size at plan time (flat mode-sorted
+    /// copies while they stay cache-friendly, compressed fiber hierarchies
+    /// beyond).  Dimension-tree plans ignore this knob — the tree serves
+    /// TTMc from its own node structures.
+    pub index_layout: IndexLayout,
     /// When `true`, the session builds **no pool of its own**: the symbolic
     /// analysis and every solve run in whatever thread context the caller
     /// establishes (e.g. inside `shared_pool.install(..)`).  This is how a
@@ -96,6 +103,12 @@ impl PlanOptions {
     /// Builder-style setter for the TTMc strategy of the session.
     pub fn ttmc_strategy(mut self, strategy: TtmcStrategy) -> Self {
         self.ttmc_strategy = strategy;
+        self
+    }
+
+    /// Builder-style setter for the per-mode index layout of the session.
+    pub fn index_layout(mut self, layout: IndexLayout) -> Self {
+        self.index_layout = layout;
         self
     }
 
@@ -129,9 +142,13 @@ const AUTO_RANK_HINT: usize = 8;
 pub(crate) fn resolve_plan(
     tensor: &SparseTensor,
     requested: TtmcStrategy,
+    layout: IndexLayout,
 ) -> (SymbolicTtmc, Option<DimTree>) {
+    let layout = layout.resolve_for(tensor.order(), tensor.nnz());
     if tensor.order() < 2 || requested == TtmcStrategy::PerMode {
-        return (SymbolicTtmc::build(tensor), None);
+        let mut symbolic = SymbolicTtmc::build_without_layout(tensor);
+        apply_index_layout(&mut symbolic, tensor, layout);
+        return (symbolic, None);
     }
     if requested == TtmcStrategy::DimensionTree {
         return (
@@ -151,10 +168,23 @@ pub(crate) fn resolve_plan(
     if tree_flops < per_mode_flops {
         (symbolic, Some(tree))
     } else {
-        // The per-mode kernel won: give it the cache-resident mode-sorted
-        // nonzero layouts the tree plan skipped.
-        symbolic.attach_layouts(tensor);
+        // The per-mode kernel won: give it the streaming index structures
+        // the tree plan skipped.
+        apply_index_layout(&mut symbolic, tensor, layout);
         (symbolic, None)
+    }
+}
+
+/// Attaches the per-mode streaming structures a resolved [`IndexLayout`]
+/// calls for to layout-free symbolic data.  [`IndexLayout::Coo`] attaches
+/// nothing — the kernel then gathers through COO ids.
+fn apply_index_layout(symbolic: &mut SymbolicTtmc, tensor: &SparseTensor, layout: IndexLayout) {
+    match layout {
+        IndexLayout::Coo => {}
+        IndexLayout::Csf => symbolic.attach_csf_layouts(tensor),
+        // `Auto` was resolved by the caller; treat it like its default arm
+        // for robustness.
+        IndexLayout::ModeSorted | IndexLayout::Auto => symbolic.attach_layouts(tensor),
     }
 }
 
@@ -321,9 +351,10 @@ impl<T: std::borrow::Borrow<SparseTensor>> TuckerSession<T> {
         let (symbolic, dimtree) = {
             let t = tensor.borrow();
             let strategy = options.ttmc_strategy;
+            let layout = options.index_layout;
             match &pool {
-                Some(pool) => pool.install(|| resolve_plan(t, strategy)),
-                None => resolve_plan(t, strategy),
+                Some(pool) => pool.install(|| resolve_plan(t, strategy, layout)),
+                None => resolve_plan(t, strategy, layout),
             }
         };
         let symbolic_time = t0.elapsed();
@@ -369,6 +400,22 @@ impl<T: std::borrow::Borrow<SparseTensor>> TuckerSession<T> {
     /// [`TtmcStrategy::DimensionTree`] strategy.
     pub fn dimtree(&self) -> Option<&DimTree> {
         self.dimtree.as_ref()
+    }
+
+    /// The concrete per-mode index layout this session's TTMc streams: the
+    /// plan-time option with [`IndexLayout::Auto`] resolved.  Derived from
+    /// the symbolic structures themselves, so it reports what is actually
+    /// attached; dimension-tree plans carry no per-mode structures and
+    /// report [`IndexLayout::Coo`] (the per-mode kernel's gather fallback).
+    pub fn index_layout(&self) -> IndexLayout {
+        let m = self.symbolic.mode(0);
+        if m.csf().is_some() {
+            IndexLayout::Csf
+        } else if m.layout().is_some() {
+            IndexLayout::ModeSorted
+        } else {
+            IndexLayout::Coo
+        }
     }
 
     /// Wall-clock time the one-time symbolic analysis took.
@@ -891,6 +938,74 @@ mod tests {
         assert_eq!(result.factors, reference.factors);
         assert_eq!(result.core.as_slice(), reference.core.as_slice());
         assert_eq!(shared.install(|| session.num_threads()), 2);
+    }
+
+    #[test]
+    fn index_layout_is_fixed_at_plan_time_and_solves_bitwise_equal() {
+        let t = random_tensor(&[22, 18, 14], 900, 21);
+        let config = TuckerConfig::new(vec![3, 3, 3]).max_iterations(3).seed(2);
+        let mut results = Vec::new();
+        for layout in [IndexLayout::Coo, IndexLayout::ModeSorted, IndexLayout::Csf] {
+            let mut solver = TuckerSolver::plan(
+                &t,
+                PlanOptions::new()
+                    .num_threads(1)
+                    .ttmc_strategy(TtmcStrategy::PerMode)
+                    .index_layout(layout),
+            )
+            .unwrap();
+            assert_eq!(solver.index_layout(), layout);
+            results.push(solver.solve(&config).unwrap());
+        }
+        for r in &results[1..] {
+            assert_eq!(r.factors, results[0].factors);
+            assert_eq!(r.core.as_slice(), results[0].core.as_slice());
+            assert_eq!(r.fits, results[0].fits);
+        }
+    }
+
+    #[test]
+    fn auto_layout_resolves_to_mode_sorted_on_small_tensors() {
+        let t = random_tensor(&[15, 12, 10], 400, 23);
+        let solver = TuckerSolver::plan(
+            &t,
+            PlanOptions::new()
+                .num_threads(1)
+                .ttmc_strategy(TtmcStrategy::PerMode),
+        )
+        .unwrap();
+        assert_eq!(solver.index_layout(), IndexLayout::ModeSorted);
+        // Dimension-tree plans carry no per-mode layout at all.
+        let tree = TuckerSolver::plan(
+            &t,
+            PlanOptions::new()
+                .num_threads(1)
+                .ttmc_strategy(TtmcStrategy::DimensionTree),
+        )
+        .unwrap();
+        assert_eq!(tree.index_layout(), IndexLayout::Coo);
+    }
+
+    #[test]
+    fn csf_plan_is_smaller_than_mode_sorted_plan() {
+        let t = random_tensor(&[40, 35, 30], 6000, 27);
+        let plan_with = |layout: IndexLayout| {
+            TuckerSolver::plan(
+                &t,
+                PlanOptions::new()
+                    .num_threads(1)
+                    .ttmc_strategy(TtmcStrategy::PerMode)
+                    .index_layout(layout),
+            )
+            .unwrap()
+            .memory_bytes()
+        };
+        let flat = plan_with(IndexLayout::ModeSorted);
+        let csf = plan_with(IndexLayout::Csf);
+        assert!(
+            csf < flat,
+            "CSF plan ({csf} bytes) should undercut ModeSorted ({flat} bytes)"
+        );
     }
 
     #[test]

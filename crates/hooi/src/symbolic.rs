@@ -15,6 +15,7 @@
 //! copies of the nonzeros, exactly as the paper describes.
 
 use rayon::prelude::*;
+use sptensor::csf::CsfMode;
 use sptensor::layout::ModeSortedNonzeros;
 use sptensor::SparseTensor;
 
@@ -46,6 +47,13 @@ pub struct SymbolicMode {
     /// [`crate::ttmc`] gathers through COO ids in the identical
     /// accumulation order.
     layout: Option<ModeSortedNonzeros>,
+    /// Compressed fiber hierarchy for this mode, present exactly when the
+    /// plan resolved to the CSF index layout
+    /// ([`crate::config::IndexLayout::Csf`]).  Built from
+    /// [`nonzero_ids`](Self::nonzero_ids) / [`row_ptr`](Self::row_ptr), so
+    /// its leaf order *is* the update-list order and the CSF kernel
+    /// accumulates bit-identically to the COO and mode-sorted paths.
+    csf: Option<CsfMode>,
 }
 
 impl SymbolicMode {
@@ -103,6 +111,7 @@ impl SymbolicMode {
             nonzero_ids,
             row_pos,
             layout,
+            csf: None,
         }
     }
 
@@ -135,6 +144,15 @@ impl SymbolicMode {
         self.layout.as_ref()
     }
 
+    /// The compressed fiber hierarchy for this mode, if the plan resolved to
+    /// the CSF index layout.  The numeric kernel checks this before
+    /// [`layout`](Self::layout); both produce bit-identical results, they
+    /// differ only in memory footprint and streaming pattern.
+    #[inline]
+    pub fn csf(&self) -> Option<&CsfMode> {
+        self.csf.as_ref()
+    }
+
     /// The length of the longest update list — the largest atomic task in
     /// this mode, which bounds the parallel load imbalance.
     pub fn max_update_list_len(&self) -> usize {
@@ -164,6 +182,22 @@ impl SymbolicMode {
                 tensor,
                 self.mode,
                 &self.nonzero_ids,
+            ));
+        }
+    }
+
+    /// Builds and attaches the compressed fiber hierarchy if absent — the
+    /// plan-time upgrade path for the CSF index layout.  The hierarchy is
+    /// built from the update-list permutation, so root slice `p` aligns with
+    /// [`rows`](Self::rows)`[p]` and the leaf order matches the COO-gather
+    /// accumulation order exactly.
+    pub fn attach_csf(&mut self, tensor: &SparseTensor) {
+        if self.csf.is_none() {
+            self.csf = Some(CsfMode::build(
+                tensor,
+                self.mode,
+                &self.nonzero_ids,
+                &self.row_ptr,
             ));
         }
     }
@@ -228,6 +262,20 @@ impl SymbolicTtmc {
             .collect::<SymbolicMode, Vec<SymbolicMode>>();
     }
 
+    /// Attaches the compressed fiber hierarchies to every mode that lacks
+    /// one (see [`SymbolicMode::attach_csf`]); modes are processed in
+    /// parallel like the build itself.
+    pub fn attach_csf_layouts(&mut self, tensor: &SparseTensor) {
+        let modes = std::mem::take(&mut self.modes);
+        self.modes = modes
+            .into_par_iter()
+            .map(|mut m| {
+                m.attach_csf(tensor);
+                m
+            })
+            .collect::<SymbolicMode, Vec<SymbolicMode>>();
+    }
+
     /// Number of modes.
     pub fn order(&self) -> usize {
         self.modes.len()
@@ -242,6 +290,7 @@ impl SymbolicTtmc {
                 (m.rows.len() + m.row_ptr.len() + m.nonzero_ids.len() + m.row_pos.len())
                     * std::mem::size_of::<usize>()
                     + m.layout.as_ref().map_or(0, |l| l.memory_bytes())
+                    + m.csf.as_ref().map_or(0, |c| c.memory_bytes())
             })
             .sum()
     }
@@ -342,6 +391,50 @@ mod tests {
         }
         let bare = SymbolicTtmc::build_without_layout(&t);
         assert!(bare.memory_bytes() < SymbolicTtmc::build(&t).memory_bytes());
+    }
+
+    #[test]
+    fn attached_csf_mirrors_update_list_order() {
+        let t = sample();
+        for mode in 0..3 {
+            let mut s = SymbolicMode::build_with_layout(&t, mode, false);
+            assert!(s.csf().is_none());
+            s.attach_csf(&t);
+            let csf = s.csf().expect("csf attached");
+            assert_eq!(csf.num_rows(), s.num_rows());
+            assert_eq!(csf.nnz(), t.nnz());
+            let mut seen: Vec<(usize, Vec<usize>, f64)> = Vec::new();
+            csf.for_each_nonzero(|root, foreign, value| {
+                seen.push((root, foreign.to_vec(), value));
+            });
+            let expect: Vec<(usize, Vec<usize>, f64)> = s
+                .nonzero_ids
+                .iter()
+                .map(|&id| {
+                    let full = t.index(id);
+                    let foreign: Vec<usize> = full
+                        .iter()
+                        .enumerate()
+                        .filter(|&(m, _)| m != mode)
+                        .map(|(_, &i)| i)
+                        .collect();
+                    (full[mode], foreign, t.value(id))
+                })
+                .collect();
+            assert_eq!(seen, expect, "mode {mode}");
+        }
+    }
+
+    #[test]
+    fn attach_csf_layouts_grows_memory_and_covers_all_modes() {
+        let t = sample();
+        let mut s = SymbolicTtmc::build_without_layout(&t);
+        let bare = s.memory_bytes();
+        s.attach_csf_layouts(&t);
+        assert!(s.memory_bytes() > bare);
+        for m in 0..s.order() {
+            assert!(s.mode(m).csf().is_some());
+        }
     }
 
     #[test]

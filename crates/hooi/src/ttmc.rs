@@ -21,6 +21,7 @@
 use crate::symbolic::SymbolicMode;
 use linalg::Matrix;
 use rayon::prelude::*;
+use sptensor::csf::{CsfData, CsfIndex, CsfMode};
 use sptensor::kron::accumulate_scaled_kron;
 use sptensor::SparseTensor;
 
@@ -55,6 +56,18 @@ fn compute_row<'a>(
     rows: &mut Vec<&'a [f64]>,
 ) {
     out.iter_mut().for_each(|v| *v = 0.0);
+    if let Some(csf) = sym.csf() {
+        // CSF plans stream the fiber hierarchy: factor-row lookups are
+        // hoisted per fiber, but every per-element multiply/add runs in the
+        // exact order of the flat kernels below, so the bits match.
+        match csf {
+            CsfMode::Small(d) => {
+                compute_row_csf(d, row_position, factors, mode, out, scratch, rows)
+            }
+            CsfMode::Wide(d) => compute_row_csf(d, row_position, factors, mode, out, scratch, rows),
+        }
+        return;
+    }
     let lo = sym.row_ptr[row_position];
     let hi = sym.row_ptr[row_position + 1];
     let Some(layout) = sym.layout() else {
@@ -171,27 +184,36 @@ fn compute_row3(values: &[f64], coords: &[usize], fa: &Matrix, fb: &Matrix, out:
         }
         let u = fa.row(coords[2 * k]);
         let v = fb.row(coords[2 * k + 1]);
-        for (i, &ui) in u.iter().enumerate() {
-            let coeff = x * ui;
-            if coeff == 0.0 {
-                continue;
-            }
-            let acc = &mut out[i * rb..(i + 1) * rb];
-            let mut acc_chunks = acc.chunks_exact_mut(4);
-            let mut v_chunks = v.chunks_exact(4);
-            for (a4, v4) in acc_chunks.by_ref().zip(v_chunks.by_ref()) {
-                a4[0] += coeff * v4[0];
-                a4[1] += coeff * v4[1];
-                a4[2] += coeff * v4[2];
-                a4[3] += coeff * v4[3];
-            }
-            for (a1, &v1) in acc_chunks
-                .into_remainder()
-                .iter_mut()
-                .zip(v_chunks.remainder())
-            {
-                *a1 += coeff * v1;
-            }
+        scaled_outer2(x, u, v, rb, out);
+    }
+}
+
+/// The per-nonzero body of the order-3 kernel: `out += x · (u ⊗ v)`,
+/// coefficient hoisted per `u`-entry with a zero skip, inner axpy unrolled
+/// by four.  Shared by the mode-sorted and CSF streaming kernels so the two
+/// layouts run byte-for-byte the same arithmetic.
+#[inline(always)]
+fn scaled_outer2(x: f64, u: &[f64], v: &[f64], rb: usize, out: &mut [f64]) {
+    for (i, &ui) in u.iter().enumerate() {
+        let coeff = x * ui;
+        if coeff == 0.0 {
+            continue;
+        }
+        let acc = &mut out[i * rb..(i + 1) * rb];
+        let mut acc_chunks = acc.chunks_exact_mut(4);
+        let mut v_chunks = v.chunks_exact(4);
+        for (a4, v4) in acc_chunks.by_ref().zip(v_chunks.by_ref()) {
+            a4[0] += coeff * v4[0];
+            a4[1] += coeff * v4[1];
+            a4[2] += coeff * v4[2];
+            a4[3] += coeff * v4[3];
+        }
+        for (a1, &v1) in acc_chunks
+            .into_remainder()
+            .iter_mut()
+            .zip(v_chunks.remainder())
+        {
+            *a1 += coeff * v1;
         }
     }
 }
@@ -228,26 +250,175 @@ fn compute_row4(
         let u = fa.row(coords[3 * k]);
         let v = fb.row(coords[3 * k + 1]);
         let w = fc.row(coords[3 * k + 2]);
-        let mut acc_rows = out.chunks_exact_mut(rc);
-        for &ui in u.iter() {
-            for &vj in v.iter() {
-                let p = ui * vj;
-                let acc = acc_rows.next().expect("output length is Ra*Rb*Rc");
-                // 4-wide unrolled inner loop; each element still computes
-                // `t = p·w_k; acc += x·t` like the materialized path.
-                let mut acc4 = acc.chunks_exact_mut(4);
-                let mut w4 = w.chunks_exact(4);
-                for (a4, c4) in (&mut acc4).zip(&mut w4) {
-                    a4[0] += x * (p * c4[0]);
-                    a4[1] += x * (p * c4[1]);
-                    a4[2] += x * (p * c4[2]);
-                    a4[3] += x * (p * c4[3]);
-                }
-                for (a1, &w1) in acc4.into_remainder().iter_mut().zip(w4.remainder()) {
-                    *a1 += x * (p * w1);
-                }
+        scaled_outer3(x, u, v, w, rc, out);
+    }
+}
+
+/// The per-nonzero body of the order-4 kernel:
+/// `out += x · (u ⊗ v ⊗ w)` without materializing the Kronecker product.
+/// Shared by the mode-sorted and CSF streaming kernels so the two layouts
+/// run byte-for-byte the same arithmetic.
+#[inline(always)]
+fn scaled_outer3(x: f64, u: &[f64], v: &[f64], w: &[f64], rc: usize, out: &mut [f64]) {
+    let mut acc_rows = out.chunks_exact_mut(rc);
+    for &ui in u.iter() {
+        for &vj in v.iter() {
+            let p = ui * vj;
+            let acc = acc_rows.next().expect("output length is Ra*Rb*Rc");
+            // 4-wide unrolled inner loop; each element still computes
+            // `t = p·w_k; acc += x·t` like the materialized path.
+            let mut acc4 = acc.chunks_exact_mut(4);
+            let mut w4 = w.chunks_exact(4);
+            for (a4, c4) in (&mut acc4).zip(&mut w4) {
+                a4[0] += x * (p * c4[0]);
+                a4[1] += x * (p * c4[1]);
+                a4[2] += x * (p * c4[2]);
+                a4[3] += x * (p * c4[3]);
+            }
+            for (a1, &w1) in acc4.into_remainder().iter_mut().zip(w4.remainder()) {
+                *a1 += x * (p * w1);
             }
         }
+    }
+}
+
+/// Computes one row of the compact TTMc result from a CSF fiber hierarchy,
+/// accumulating into a pre-zeroed `out`.
+///
+/// Root slice `row_position` of the hierarchy aligns with the symbolic
+/// data's `rows[row_position]` because the hierarchy is built from the same
+/// update-list permutation.  Arities 2 and 3 stream through the shared
+/// per-nonzero bodies of the flat micro-kernels ([`scaled_outer2`] /
+/// [`scaled_outer3`]) with the factor-row lookups hoisted per fiber; every
+/// other arity walks the hierarchy and feeds [`accumulate_scaled_kron`] with
+/// the factor rows in ascending foreign-mode order — exactly what the COO
+/// gather does — so all layouts produce the same bits.
+fn compute_row_csf<'a, I: CsfIndex>(
+    csf: &CsfData<I>,
+    row_position: usize,
+    factors: &'a [Matrix],
+    mode: usize,
+    out: &mut [f64],
+    scratch: &mut [f64],
+    rows: &mut Vec<&'a [f64]>,
+) {
+    let arity = csf.arity();
+    if arity == 2 {
+        let (a, b) = foreign_pair(mode);
+        compute_row3_csf(csf, row_position, &factors[a], &factors[b], out);
+        return;
+    }
+    if arity == 3 {
+        let (a, b, c) = foreign_triple(mode);
+        compute_row4_csf(
+            csf,
+            row_position,
+            &factors[a],
+            &factors[b],
+            &factors[c],
+            out,
+        );
+        return;
+    }
+    rows.clear();
+    let (lo, hi) = csf.root_range(row_position);
+    walk_csf(csf, 0, lo, hi, factors, mode, out, scratch, rows);
+}
+
+/// Order-3 CSF kernel: one `U_a` row lookup per level-0 fiber, the leaf
+/// level streams `(i_b, x)` pairs through [`scaled_outer2`].
+fn compute_row3_csf<I: CsfIndex>(
+    csf: &CsfData<I>,
+    p: usize,
+    fa: &Matrix,
+    fb: &Matrix,
+    out: &mut [f64],
+) {
+    let rb = fb.ncols();
+    let (flo, fhi) = csf.root_range(p);
+    for f in flo..fhi {
+        let u = fa.row(csf.fiber_id(0, f));
+        let (lo, hi) = csf.fiber_range(0, f);
+        let (ids, values) = csf.leaves(lo, hi);
+        for (k, &x) in values.iter().enumerate() {
+            if k + 1 < values.len() {
+                prefetch(fb.row(ids[k + 1].to_usize()));
+            }
+            let v = fb.row(ids[k].to_usize());
+            scaled_outer2(x, u, v, rb, out);
+        }
+    }
+}
+
+/// Order-4 CSF kernel: `U_a` hoisted per level-0 fiber, `U_b` per level-1
+/// fiber, leaves stream `(i_c, x)` through [`scaled_outer3`].
+fn compute_row4_csf<I: CsfIndex>(
+    csf: &CsfData<I>,
+    p: usize,
+    fa: &Matrix,
+    fb: &Matrix,
+    fc: &Matrix,
+    out: &mut [f64],
+) {
+    let rc = fc.ncols();
+    let (alo, ahi) = csf.root_range(p);
+    for fib_a in alo..ahi {
+        let u = fa.row(csf.fiber_id(0, fib_a));
+        let (blo, bhi) = csf.fiber_range(0, fib_a);
+        for fib_b in blo..bhi {
+            let v = fb.row(csf.fiber_id(1, fib_b));
+            let (lo, hi) = csf.fiber_range(1, fib_b);
+            let (ids, values) = csf.leaves(lo, hi);
+            for (k, &x) in values.iter().enumerate() {
+                if k + 1 < values.len() {
+                    prefetch(fc.row(ids[k + 1].to_usize()));
+                }
+                let w = fc.row(ids[k].to_usize());
+                scaled_outer3(x, u, v, w, rc, out);
+            }
+        }
+    }
+}
+
+/// Generic-arity CSF walk (orders 2 and ≥ 5): descends the hierarchy
+/// pushing one factor row per level (ascending foreign-mode order) and
+/// calls [`accumulate_scaled_kron`] per leaf — the identical call the COO
+/// gather makes per nonzero, in the identical order.
+#[allow(clippy::too_many_arguments)]
+fn walk_csf<'a, I: CsfIndex>(
+    csf: &CsfData<I>,
+    level: usize,
+    lo: usize,
+    hi: usize,
+    factors: &'a [Matrix],
+    mode: usize,
+    out: &mut [f64],
+    scratch: &mut [f64],
+    rows: &mut Vec<&'a [f64]>,
+) {
+    let arity = csf.arity();
+    if arity == 0 {
+        // Order-1 tensor: no foreign modes, each leaf adds its value.
+        for k in lo..hi {
+            accumulate_scaled_kron(csf.value(k), rows, out, scratch);
+        }
+        return;
+    }
+    let foreign = if level < mode { level } else { level + 1 };
+    if level + 1 == arity {
+        let (ids, values) = csf.leaves(lo, hi);
+        for (k, &x) in values.iter().enumerate() {
+            rows.push(factors[foreign].row(ids[k].to_usize()));
+            accumulate_scaled_kron(x, rows, out, scratch);
+            rows.pop();
+        }
+        return;
+    }
+    for f in lo..hi {
+        rows.push(factors[foreign].row(csf.fiber_id(level, f)));
+        let (clo, chi) = csf.fiber_range(level, f);
+        walk_csf(csf, level + 1, clo, chi, factors, mode, out, scratch, rows);
+        rows.pop();
     }
 }
 
@@ -626,6 +797,36 @@ mod tests {
                     "order {} mode {mode}",
                     dims.len()
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn csf_symbolic_gives_bit_identical_results() {
+        // The CSF plan must reproduce the mode-sorted streaming kernel and
+        // the COO gather bit for bit, across the specialized arities (2, 3)
+        // and the generic walker (arity 1 and ≥ 4).
+        for (dims, nnz) in [
+            (vec![20, 15], 120usize),
+            (vec![14, 11, 9], 400),
+            (vec![7, 6, 5, 4], 250),
+            (vec![5, 4, 3, 4, 3], 150),
+        ] {
+            let t = random_tensor(&dims, nnz, 37);
+            let ranks: Vec<usize> = dims.iter().map(|_| 3).collect();
+            let factors = factors_for(&t, &ranks, 41);
+            let with = SymbolicTtmc::build(&t);
+            let coo = SymbolicTtmc::build_without_layout(&t);
+            let mut csf = SymbolicTtmc::build_without_layout(&t);
+            csf.attach_csf_layouts(&t);
+            for mode in 0..dims.len() {
+                let a = ttmc_mode(&t, with.mode(mode), &factors, mode);
+                let b = ttmc_mode(&t, csf.mode(mode), &factors, mode);
+                let c = ttmc_mode(&t, coo.mode(mode), &factors, mode);
+                let bits =
+                    |m: &Matrix| m.as_slice().iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&a), bits(&b), "order {} mode {mode}", dims.len());
+                assert_eq!(bits(&c), bits(&b), "order {} mode {mode}", dims.len());
             }
         }
     }

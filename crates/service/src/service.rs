@@ -6,8 +6,8 @@ use crate::request::{Completed, Request, Response};
 use crate::scheduler::{FairScheduler, Pending};
 use crate::stats::ServiceStats;
 use hooi::{
-    per_mode_costs, DeadlineObserver, PlanOptions, TtmcStrategy, TuckerConfig, TuckerDecomposition,
-    TuckerError, TuckerSession,
+    per_mode_costs, DeadlineObserver, IndexLayout, PlanOptions, TtmcStrategy, TuckerConfig,
+    TuckerDecomposition, TuckerError, TuckerSession,
 };
 use sptensor::SparseTensor;
 use std::collections::BTreeMap;
@@ -25,6 +25,13 @@ pub struct ServiceOptions {
     pub plan_cache_bytes: usize,
     /// TTMc strategy every plan is built with.
     pub ttmc_strategy: TtmcStrategy,
+    /// Per-mode index layout every plan is built with
+    /// ([`IndexLayout::Auto`] by default, which picks flat mode-sorted
+    /// copies or compressed fiber hierarchies from each tensor's size).
+    /// Both layouts solve bit-identically, so this only moves the
+    /// footprint [`TuckerSession::memory_bytes`] reports to the plan
+    /// cache.
+    pub index_layout: IndexLayout,
 }
 
 impl Default for ServiceOptions {
@@ -33,6 +40,7 @@ impl Default for ServiceOptions {
             num_threads: 0,
             plan_cache_bytes: 256 << 20,
             ttmc_strategy: TtmcStrategy::Auto,
+            index_layout: IndexLayout::Auto,
         }
     }
 }
@@ -59,6 +67,12 @@ impl ServiceOptions {
     /// Sets the TTMc strategy plans are built with.
     pub fn ttmc_strategy(mut self, strategy: TtmcStrategy) -> Self {
         self.ttmc_strategy = strategy;
+        self
+    }
+
+    /// Sets the per-mode index layout plans are built with.
+    pub fn index_layout(mut self, layout: IndexLayout) -> Self {
+        self.index_layout = layout;
         self
     }
 }
@@ -285,11 +299,15 @@ impl DecompositionService {
         tensor: &Arc<SparseTensor>,
     ) -> Result<TuckerSession<Arc<SparseTensor>>, TuckerError> {
         let strategy = self.options.ttmc_strategy;
+        let layout = self.options.index_layout;
         let tensor = Arc::clone(tensor);
         self.pool.install(|| {
             TuckerSession::plan(
                 tensor,
-                PlanOptions::new().caller_pool().ttmc_strategy(strategy),
+                PlanOptions::new()
+                    .caller_pool()
+                    .ttmc_strategy(strategy)
+                    .index_layout(layout),
             )
         })
     }
@@ -556,6 +574,35 @@ mod tests {
         assert_eq!(stats.failed, 0);
         assert_eq!(stats.plan_cache_hits, 1);
         assert!(done[1].charged_flops > done[2].charged_flops);
+    }
+
+    #[test]
+    fn csf_layout_service_matches_mode_sorted_bitwise() {
+        // The index layout only changes the plan's memory shape; every
+        // response must stay bit-identical across layouts.
+        let mut responses = Vec::new();
+        for layout in [IndexLayout::ModeSorted, IndexLayout::Csf] {
+            let mut svc = DecompositionService::new(
+                ServiceOptions::new()
+                    .num_threads(2)
+                    .ttmc_strategy(TtmcStrategy::PerMode)
+                    .index_layout(layout),
+            )
+            .unwrap();
+            svc.submit(
+                "a",
+                Request::Ingest {
+                    tensor_id: "t".into(),
+                    tensor: toy(),
+                },
+            );
+            svc.submit("a", decompose("t", 7));
+            let done = svc.run_until_idle();
+            responses.push(factors(&done[1]).clone());
+        }
+        assert_eq!(responses[0].factors, responses[1].factors);
+        assert_eq!(responses[0].core.as_slice(), responses[1].core.as_slice());
+        assert_eq!(responses[0].fits, responses[1].fits);
     }
 
     #[test]

@@ -14,7 +14,12 @@
 //! * [`layout::ModeSortedNonzeros`] — cache-resident per-mode copies of the
 //!   nonzero data (values + foreign-mode indices permuted into update-list
 //!   order) so the numeric TTMc streams instead of gathering through COO ids,
-//! * [`io`] — FROSTT-style `.tns` text I/O,
+//! * [`csf::CsfMode`] / [`csf::CsfTensor`] — compressed sparse fiber (CSF)
+//!   hierarchies with `u32` ids where the dimensions permit, built from COO
+//!   or streamed from a sorted nonzero stream,
+//! * [`io`] — FROSTT-style `.tns` text I/O, including a bounded-memory
+//!   chunked reader and an external-sort spill/merge pipeline for tensors
+//!   larger than RAM,
 //! * [`stats`] — per-mode nonzero statistics used by the experiment tables,
 //! * [`hash`] — a small fast hasher for integer keys (FxHash-style), used by
 //!   coalescing and the data generators.
@@ -30,6 +35,7 @@
 //! writes rows of the unfolding directly.
 
 pub mod coo;
+pub mod csf;
 pub mod dense;
 pub mod hash;
 pub mod io;
@@ -38,6 +44,7 @@ pub mod layout;
 pub mod stats;
 
 pub use coo::SparseTensor;
+pub use csf::{CsfData, CsfIndex, CsfMode, CsfModeBuilder, CsfTensor};
 pub use dense::DenseTensor;
 pub use kron::{accumulate_scaled_kron, kron_rows};
 pub use layout::ModeSortedNonzeros;

@@ -2,7 +2,10 @@
 //! (feeds the ROADMAP's FROSTT validation item: real tensor files must load
 //! exactly or fail with an error value, never a panic).
 
-use sptensor::io::{read_tns, read_tns_file, write_tns, write_tns_file, TensorIoError};
+use sptensor::io::{
+    external_sort_tns, read_tns, read_tns_file, read_tns_streamed, write_tns, write_tns_file,
+    DuplicatePolicy, StreamOptions, TensorIoError,
+};
 use sptensor::SparseTensor;
 use std::io::Cursor;
 
@@ -120,6 +123,90 @@ fn comments_blanks_and_whitespace_are_tolerated() {
     assert_eq!(t.index(0), &[0, 1, 2]);
     assert_eq!(t.value(0), 1.5);
     assert_eq!(t.value(1), -0.25);
+}
+
+#[test]
+fn crlf_line_endings_and_missing_final_newline_parse() {
+    // Windows-style endings, mixed with Unix ones, and a last line cut off
+    // without its newline: all legal.
+    let data = "# dims: 3 4 5\r\n1 1 1 1.5\r\n2 2 2 -2.0\n3 4 5 0.25";
+    let t = read_tns(Cursor::new(data), None).unwrap();
+    assert_eq!(t.dims(), &[3, 4, 5]);
+    assert_eq!(t.nnz(), 3);
+    assert_eq!(t.index(2), &[2, 3, 4]);
+    assert_eq!(t.value(2), 0.25);
+}
+
+#[test]
+fn truncated_files_are_parse_errors_with_the_right_line() {
+    // A file cut mid-entry — whether mid-value, mid-index, or with the
+    // value missing entirely — must fail as a typed error naming the line,
+    // never panic or silently drop the tail.
+    let cases: &[(&str, usize)] = &[
+        // Value column missing on the last (unterminated) line.
+        ("1 1 1 1.0\n2 2 2\n", 2),
+        // Cut mid-index list, no trailing newline.
+        ("1 1 1 1.0\n2 2", 2),
+        // Cut mid-number: "-" alone is not a value.
+        ("1 1 1 1.0\n2 2 2 -", 2),
+    ];
+    for (input, line) in cases {
+        match read_tns(Cursor::new(*input), None) {
+            Err(TensorIoError::Parse(l, _)) => assert_eq!(l, *line, "input {input:?}"),
+            other => panic!("input {input:?}: expected parse error, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn rejected_duplicates_name_both_lines() {
+    // Lines 2 and 4 collide (line 1 is the header).  The merge surfaces
+    // both 1-based line numbers so a user can fix the file.
+    let data = "# dims: 4 4 4\n2 3 4 1.0\n1 1 1 2.0\n2 3 4 5.0\n";
+    let dir = std::env::temp_dir().join(format!("sptensor_dup_test_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let options = StreamOptions::new().chunk_nonzeros(2);
+    let runs = external_sort_tns(Cursor::new(data), &options, Some(0), &dir).unwrap();
+    let err = runs
+        .for_each(DuplicatePolicy::Reject, |_, _| {})
+        .unwrap_err();
+    match err {
+        TensorIoError::Duplicate { line, earlier_line } => {
+            assert_eq!((earlier_line, line), (2, 4));
+        }
+        other => panic!("expected duplicate error, got {other:?}"),
+    }
+
+    // Sum keeps one merged entry instead.
+    let runs = external_sort_tns(Cursor::new(data), &options, Some(0), &dir).unwrap();
+    let mut merged = Vec::new();
+    runs.for_each(DuplicatePolicy::Sum, |idx, v| {
+        merged.push((idx.to_vec(), v))
+    })
+    .unwrap();
+    assert_eq!(merged.len(), 2);
+    assert!(merged.contains(&(vec![1, 2, 3], 6.0)));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn out_of_range_indices_fail_during_streaming_with_line_numbers() {
+    // The declared dims (here via the header) are enforced while the file
+    // streams, so a bad index fails fast with its line — the file is never
+    // buffered whole first.
+    let data = "# dims: 3 3 3\n1 1 1 1.0\n2 9 2 2.0\n";
+    let err = read_tns_streamed(Cursor::new(data), &StreamOptions::new()).unwrap_err();
+    match err {
+        TensorIoError::IndexOutOfRange {
+            line,
+            mode,
+            index,
+            size,
+        } => {
+            assert_eq!((line, mode, index, size), (3, 1, 9, 3));
+        }
+        other => panic!("expected out-of-range error, got {other:?}"),
+    }
 }
 
 #[test]

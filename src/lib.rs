@@ -72,14 +72,18 @@ pub mod prelude {
         MachineModel, PartitionMethod, SimConfig,
     };
     pub use hooi::{
-        tucker_hooi, DeadlineObserver, DimTree, Initialization, IterationControl,
+        tucker_hooi, DeadlineObserver, DimTree, IndexLayout, Initialization, IterationControl,
         IterationObserver, IterationReport, PlanOptions, TrsvdBackend, TtmcCosts, TtmcStrategy,
         TuckerConfig, TuckerDecomposition, TuckerError, TuckerSession, TuckerSolver,
     };
     pub use linalg::Matrix;
     pub use partition::{fine_grain_hypergraph, hypergraph::Hypergraph};
     pub use service::{DecompositionService, Request, Response, ServiceOptions, ServiceStats};
-    pub use sptensor::{io::read_tns_file, io::write_tns_file, DenseTensor, SparseTensor};
+    pub use sptensor::{
+        io::read_csf_tns_file, io::read_tns_file, io::read_tns_file_streamed, io::write_tns_file,
+        io::write_tns_file_with_header, io::DuplicatePolicy, io::StreamOptions, io::StreamStats,
+        CsfTensor, DenseTensor, SparseTensor,
+    };
 }
 
 #[cfg(test)]
