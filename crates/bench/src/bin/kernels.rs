@@ -1,0 +1,406 @@
+//! Microbenchmarks of the runtime-dispatched SIMD kernel layer.
+//!
+//! Sweeps the hot TTMc kernels — `axpy` (the arity-1 Kronecker accumulate),
+//! `scaled_outer2` (arity 2), `scaled_outer3` (the order-4 micro-kernel)
+//! and the materialized `accumulate_scaled_kron` (arity ≥ 3) — over a grid
+//! of rank sizes that includes non-multiple-of-4 lengths (5, 7, 9, 15, 31),
+//! so the remainder handling is measured, not just the full-lane bodies.
+//! Every `(kernel, rank)` cell runs once per *explicitly forced* ISA tier
+//! ([`KernelIsa::Scalar`], [`KernelIsa::Avx2`], [`KernelIsa::Fma`] — tiers
+//! the host lacks are skipped), bypassing both the `TUCKER_KERNEL`
+//! environment override and the hardware auto-detection so the numbers
+//! compare kernels, not dispatch policy.
+//!
+//! Before timing, every AVX2 cell is checked **bitwise** against its scalar
+//! twin on identical inputs — the default-tier contract (vector lanes
+//! perform the same multiply-then-add as the scalar loop, no FMA
+//! contraction, no reordered reductions) is asserted here on every run, not
+//! just in the test suite.  A mismatch aborts the bin.
+//!
+//! Machine-readable output goes to `BENCH_kernels.json` (override with
+//! `--out <path>`), including the host's `cpu_features` so a 1.0x speedup
+//! on an AVX2-less host is interpretable.  With `--check` the bin doubles
+//! as the SIMD perf gate: it exits nonzero unless the median single-thread
+//! AVX2 speedup of `scaled_outer2` and `scaled_outer3` over forced scalar,
+//! across the rank ≥ 8 cells, reaches 1.3x — skipped gracefully (exit 0
+//! with a notice) on hosts without AVX2, where there is nothing to gate.
+//!
+//! Run with `cargo run --release -p bench --bin kernels`.
+
+use bench::{cpu_features_json, print_header};
+use linalg::simd::{self, AlignedVec, KernelIsa};
+use sptensor::kron::accumulate_scaled_kron_isa;
+use std::time::Instant;
+
+/// Rank grid: powers of two for the full-lane fast path, odd sizes for the
+/// 1–3-element remainders, and the rank-8/16/32 sizes the solver's TTMc
+/// actually runs at.
+const RANKS: [usize; 10] = [4, 5, 7, 8, 9, 12, 15, 16, 31, 32];
+
+/// `--check`: required median AVX2 speedup of the outer-product kernels
+/// over forced scalar at rank ≥ 8.
+const REQUIRED_SPEEDUP: f64 = 1.3;
+
+/// Minimum rank a cell must have to count toward the `--check` gate (below
+/// this the buffers are too small for SIMD to matter).
+const GATE_MIN_RANK: usize = 8;
+
+/// Target wall time per measured batch; long enough to dominate timer
+/// resolution, short enough that the full sweep stays in seconds.
+const TARGET_SECONDS: f64 = 0.01;
+
+/// Timing repetitions per cell.  The ISAs are measured **interleaved** —
+/// scalar, avx2, fma, scalar, … — and each ISA reports its minimum, so
+/// slow frequency drift (turbo decay, hypervisor steal on a shared vCPU)
+/// hits every tier equally instead of flattering whichever ran first.
+const REPEATS: usize = 5;
+
+/// Deterministic pseudo-random data in `[-0.5, 0.5)`.
+fn lcg_data(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64) - 0.5
+        })
+        .collect()
+}
+
+/// Deterministic pseudo-random data in a fresh [`AlignedVec`].
+fn lcg_aligned(n: usize, seed: u64) -> AlignedVec {
+    let mut buf = AlignedVec::zeros(n);
+    buf.copy_from_slice(&lcg_data(n, seed));
+    buf
+}
+
+/// One benchmarked kernel shape at one rank: inputs are owned so a single
+/// closure-free `call` can run it at any ISA against any output buffer.
+/// All buffers are 64-byte aligned ([`AlignedVec`]), matching how a tuned
+/// caller should allocate long-lived accumulators — unaligned buffers pay
+/// a cache-line-split penalty that measures allocator luck, not kernels.
+struct Case {
+    kernel: &'static str,
+    rank: usize,
+    out_len: usize,
+    flops_per_call: u64,
+    alpha: f64,
+    u: AlignedVec,
+    v: AlignedVec,
+    w: AlignedVec,
+}
+
+impl Case {
+    fn new(kernel: &'static str, rank: usize, seed: u64) -> Case {
+        let r = rank;
+        let (out_len, flops, ul, vl, wl) = match kernel {
+            // axpy over a TTMc-row-sized vector (rank² for a 3-mode result).
+            "axpy" => (r * r, 2 * (r * r) as u64, r * r, 0, 0),
+            "scaled_outer2" => (r * r, (r + 2 * r * r) as u64, r, r, 0),
+            // Per output element: t = p·w, acc += x·t (3 flops) plus the
+            // r² hoisted p = α·u coefficients… the outer2-style count.
+            "scaled_outer3" => (r * r * r, (r * r + 3 * r * r * r) as u64, r, r, r),
+            // Materialize u ⊗ v ⊗ w, then axpy it.
+            "kron3_materialized" => (
+                r * r * r,
+                (r + r * r + r * r * r) as u64 + 2 * (r * r * r) as u64,
+                r,
+                r,
+                r,
+            ),
+            other => unreachable!("unknown kernel {other}"),
+        };
+        Case {
+            kernel,
+            rank,
+            out_len,
+            flops_per_call: flops,
+            alpha: 0.7315,
+            u: lcg_aligned(ul, seed ^ 0x11),
+            v: lcg_aligned(vl, seed ^ 0x22),
+            w: lcg_aligned(wl, seed ^ 0x33),
+        }
+    }
+
+    /// One kernel invocation at `isa`, accumulating into `out` (and using
+    /// `scratch` where the kernel needs it).
+    fn call(&self, isa: KernelIsa, out: &mut [f64], scratch: &mut [f64]) {
+        match self.kernel {
+            "axpy" => simd::axpy(isa, self.alpha, &self.u, out),
+            "scaled_outer2" => simd::scaled_outer2(isa, self.alpha, &self.u, &self.v, out),
+            "scaled_outer3" => simd::scaled_outer3(isa, self.alpha, &self.u, &self.v, &self.w, out),
+            "kron3_materialized" => accumulate_scaled_kron_isa(
+                isa,
+                self.alpha,
+                &[&self.u, &self.v, &self.w],
+                out,
+                scratch,
+            ),
+            other => unreachable!("unknown kernel {other}"),
+        }
+    }
+}
+
+/// One measured `(kernel, rank, isa)` cell.
+struct Cell {
+    kernel: &'static str,
+    rank: usize,
+    out_len: usize,
+    isa: &'static str,
+    ns_per_call: f64,
+    gflops: f64,
+    /// This cell's time relative to the same `(kernel, rank)` at forced
+    /// scalar (1.0 for the scalar cells themselves).
+    speedup_vs_scalar: f64,
+}
+
+/// Asserts that `isa` produces bit-identical output to forced scalar on
+/// this case (fresh zeroed accumulators, identical inputs).  The scalar
+/// reference runs in a deliberately *unaligned* buffer: results must not
+/// depend on where the accumulator lives.
+fn assert_bitwise_matches_scalar(case: &Case, isa: KernelIsa) {
+    let mut backing = vec![0.0f64; case.out_len + 1];
+    let reference = &mut backing[1..];
+    let mut scratch_a = vec![0.0f64; case.out_len];
+    case.call(KernelIsa::Scalar, reference, &mut scratch_a);
+    let mut out = AlignedVec::zeros(case.out_len);
+    let mut scratch_b = AlignedVec::zeros(case.out_len);
+    case.call(isa, &mut out, &mut scratch_b);
+    for (i, (a, b)) in reference.iter().zip(out.iter()).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "{} rank {} diverges from scalar at element {i} under {isa}: {a:e} vs {b:e}",
+            case.kernel,
+            case.rank,
+        );
+    }
+}
+
+/// Measures one kernel at every ISA, interleaved: calibrates an iteration
+/// count that runs for [`TARGET_SECONDS`] (on the scalar tier, so every
+/// tier runs the same batch), then cycles scalar → avx2 → fma for
+/// [`REPEATS`] rounds and reports each tier's minimum in nanoseconds per
+/// call, in the same order as `isas`.  `call` is a monomorphized closure —
+/// the timing loop contains the kernel's real dispatch (the per-call ISA
+/// branch the TTMc inner loop also pays) and nothing else.
+fn measure_cell<F>(out_len: usize, isas: &[KernelIsa], call: F) -> Vec<f64>
+where
+    F: Fn(KernelIsa, &mut [f64], &mut [f64]),
+{
+    let mut out = AlignedVec::zeros(out_len);
+    let mut scratch = AlignedVec::zeros(out_len);
+    // Calibration: double until the batch is measurable, then scale.
+    let mut iters = 1u64;
+    let per_call = loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            call(KernelIsa::Scalar, &mut out, &mut scratch);
+        }
+        let elapsed = t.elapsed().as_secs_f64();
+        if elapsed > 1e-3 {
+            break elapsed / iters as f64;
+        }
+        iters *= 2;
+    };
+    let iters = ((TARGET_SECONDS / per_call) as u64).max(1);
+    let mut best = vec![f64::INFINITY; isas.len()];
+    for _ in 0..REPEATS {
+        for (slot, &isa) in isas.iter().enumerate() {
+            // Fresh accumulator per batch keeps the values bounded.
+            out.iter_mut().for_each(|x| *x = 0.0);
+            let t = Instant::now();
+            for _ in 0..iters {
+                call(isa, &mut out, &mut scratch);
+            }
+            best[slot] = best[slot].min(t.elapsed().as_secs_f64() / iters as f64 * 1e9);
+        }
+    }
+    best
+}
+
+/// Dispatches `measure_cell` with a monomorphized closure per kernel, so
+/// the timed loop never matches on the kernel name.
+fn measure_case(case: &Case, isas: &[KernelIsa]) -> Vec<f64> {
+    match case.kernel {
+        "axpy" => measure_cell(case.out_len, isas, |isa, out, _s| {
+            simd::axpy(isa, case.alpha, &case.u, out)
+        }),
+        "scaled_outer2" => measure_cell(case.out_len, isas, |isa, out, _s| {
+            simd::scaled_outer2(isa, case.alpha, &case.u, &case.v, out)
+        }),
+        "scaled_outer3" => measure_cell(case.out_len, isas, |isa, out, _s| {
+            simd::scaled_outer3(isa, case.alpha, &case.u, &case.v, &case.w, out)
+        }),
+        "kron3_materialized" => measure_cell(case.out_len, isas, |isa, out, s| {
+            accumulate_scaled_kron_isa(isa, case.alpha, &[&case.u, &case.v, &case.w], out, s)
+        }),
+        other => unreachable!("unknown kernel {other}"),
+    }
+}
+
+fn to_json(host_cpus: usize, cells: &[Cell]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"kernels\",\n");
+    out.push_str("  \"command\": \"cargo run --release -p bench --bin kernels\",\n");
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&cpu_features_json());
+    out.push_str("  \"results\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"rank\": {}, \"out_len\": {}, \"isa\": \"{}\", \
+             \"ns_per_call\": {:.2}, \"gflops\": {:.3}, \"speedup_vs_scalar\": {:.4}}}{}\n",
+            c.kernel,
+            c.rank,
+            c.out_len,
+            c.isa,
+            c.ns_per_call,
+            c.gflops,
+            c.speedup_vs_scalar,
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+struct BinArgs {
+    out: String,
+    check: bool,
+}
+
+fn bin_args() -> BinArgs {
+    let mut out = BinArgs {
+        out: "BENCH_kernels.json".to_string(),
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => {
+                out.out = args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a path argument");
+                    std::process::exit(2);
+                })
+            }
+            "--check" => out.check = true,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Median of a cell subset's speedups (the `--check` statistic: robust to
+/// one noisy rank without letting a systematic regression through).
+fn median(mut values: Vec<f64>) -> f64 {
+    values.sort_by(|a, b| a.total_cmp(b));
+    match values.len() {
+        0 => f64::NAN,
+        n if n % 2 == 1 => values[n / 2],
+        n => 0.5 * (values[n / 2 - 1] + values[n / 2]),
+    }
+}
+
+/// Applies the `--check` speedup gate; returns the process exit code.
+fn check_gate(cells: &[Cell]) -> i32 {
+    if !simd::avx2_available() {
+        println!("\n--check skipped: host has no AVX2, there is no SIMD speedup to gate");
+        return 0;
+    }
+    let mut ok = true;
+    for kernel in ["scaled_outer2", "scaled_outer3"] {
+        let speedups: Vec<f64> = cells
+            .iter()
+            .filter(|c| c.kernel == kernel && c.isa == "avx2" && c.rank >= GATE_MIN_RANK)
+            .map(|c| c.speedup_vs_scalar)
+            .collect();
+        let med = median(speedups);
+        let pass = med >= REQUIRED_SPEEDUP;
+        ok &= pass;
+        println!(
+            "  gate: {kernel:<15} median avx2 speedup at rank >= {GATE_MIN_RANK}: \
+             {med:.2}x (need {REQUIRED_SPEEDUP:.2}x) {}",
+            if pass { "ok" } else { "FAIL" }
+        );
+    }
+    if ok {
+        println!("--check passed");
+        0
+    } else {
+        println!("--check FAILED");
+        1
+    }
+}
+
+fn main() {
+    let args = bin_args();
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut isas = vec![KernelIsa::Scalar];
+    if simd::avx2_available() {
+        isas.push(KernelIsa::Avx2);
+    }
+    if simd::fma_available() {
+        isas.push(KernelIsa::Fma);
+    }
+    print_header(
+        "SIMD kernel microbenchmarks: forced scalar vs AVX2 vs FMA",
+        &format!(
+            "ranks {RANKS:?}, single thread, {host_cpus} host CPU(s), \
+             tiers available here: {}",
+            isas.iter()
+                .map(|i| i.as_str())
+                .collect::<Vec<_>>()
+                .join("/")
+        ),
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for kernel in [
+        "axpy",
+        "scaled_outer2",
+        "scaled_outer3",
+        "kron3_materialized",
+    ] {
+        println!("{kernel}:");
+        for (k, &rank) in RANKS.iter().enumerate() {
+            let case = Case::new(kernel, rank, 0xbe5c ^ (k as u64) << 8);
+            // The default-tier bit-identity contract, asserted on real
+            // hardware every time the bench runs.
+            if simd::avx2_available() {
+                assert_bitwise_matches_scalar(&case, KernelIsa::Avx2);
+            }
+            let timings = measure_case(&case, &isas);
+            let scalar_ns = timings[0];
+            for (&isa, &ns) in isas.iter().zip(timings.iter()) {
+                let speedup = scalar_ns / ns;
+                println!(
+                    "  rank {rank:>2} ({:>5} out) {:<6} {:>9.1} ns/call, {:>6.2} gflop/s, \
+                     {speedup:>5.2}x vs scalar",
+                    case.out_len,
+                    isa.as_str(),
+                    ns,
+                    case.flops_per_call as f64 / ns,
+                );
+                cells.push(Cell {
+                    kernel,
+                    rank,
+                    out_len: case.out_len,
+                    isa: isa.as_str(),
+                    ns_per_call: ns,
+                    gflops: case.flops_per_call as f64 / ns,
+                    speedup_vs_scalar: speedup,
+                });
+            }
+        }
+    }
+
+    std::fs::write(&args.out, to_json(host_cpus, &cells)).expect("write BENCH_kernels.json");
+    println!("\nwrote {} ({} cells)", args.out, cells.len());
+
+    if args.check {
+        std::process::exit(check_gate(&cells));
+    }
+}

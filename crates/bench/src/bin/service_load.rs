@@ -352,6 +352,7 @@ fn to_json(args: &BinArgs, host_cpus: usize, result: &ReplayResult) -> String {
         args.requests, args.tensors, args.tenants, args.threads, args.seed
     ));
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&bench::cpu_features_json());
     out.push_str(&format!(
         "  \"latency_ms\": {{\"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4}}},\n",
         1e3 * percentile(&mut all, 0.50),

@@ -31,7 +31,7 @@
 //! `HYPERTENSOR_NNZ` environment variable is honoured when the flag is
 //! absent).
 
-use bench::{cli_args, cli_tensor, print_header};
+use bench::{cli_args, cli_tensor, cpu_features_json, print_header};
 use datagen::{DatasetProfile, ProfileName};
 use hooi::symbolic::SymbolicTtmc;
 use hooi::{per_mode_costs, DimTree, PlanOptions, TtmcStrategy, TuckerConfig, TuckerSolver};
@@ -55,6 +55,9 @@ struct Cell {
     /// The concrete strategy that ran (differs from `strategy` only for
     /// `auto`, which the plan-time cost model resolves per tensor).
     resolved: &'static str,
+    /// The concrete SIMD kernel tier the session resolved at plan time
+    /// (`scalar`/`avx2`/`fma`; depends on the host and `TUCKER_KERNEL`).
+    isa: &'static str,
     threads: usize,
     flops_per_iter: u64,
     words_per_iter: u64,
@@ -75,13 +78,13 @@ fn strategy_label(strategy: TtmcStrategy) -> &'static str {
 }
 
 /// Runs one solver session and returns (ttmc s/it, iteration s/it, fits,
-/// the concrete strategy the plan resolved to).
+/// the concrete strategy the plan resolved to, the resolved kernel ISA).
 fn measure(
     tensor: &SparseTensor,
     ranks: &[usize],
     strategy: TtmcStrategy,
     threads: usize,
-) -> (f64, f64, Vec<f64>, TtmcStrategy) {
+) -> (f64, f64, Vec<f64>, TtmcStrategy, &'static str) {
     let mut solver = TuckerSolver::plan(
         tensor,
         PlanOptions::new()
@@ -90,6 +93,7 @@ fn measure(
     )
     .expect("plan");
     let resolved = solver.ttmc_strategy();
+    let isa = solver.kernel_isa().as_str();
     let config = TuckerConfig::new(ranks.to_vec())
         .max_iterations(3)
         .fit_tolerance(-1.0) // fixed iteration count: comparable timings
@@ -104,6 +108,7 @@ fn measure(
         result.timings.iteration_time().as_secs_f64() / iters,
         result.fits,
         resolved,
+        isa,
     )
 }
 
@@ -134,7 +139,7 @@ fn run_tensor(label: &str, tensor: &SparseTensor, ranks: &[usize], cells: &mut V
     ] {
         let mut one_thread_ttmc = f64::NAN;
         for threads in THREAD_GRID {
-            let (ttmc_s, iter_s, fits, resolved) = measure(tensor, ranks, strategy, threads);
+            let (ttmc_s, iter_s, fits, resolved, isa) = measure(tensor, ranks, strategy, threads);
             match &reference_fits {
                 None => reference_fits = Some(fits),
                 Some(r) => {
@@ -175,6 +180,7 @@ fn run_tensor(label: &str, tensor: &SparseTensor, ranks: &[usize], cells: &mut V
                 ranks: ranks.to_vec(),
                 strategy: strategy_label(strategy),
                 resolved: strategy_label(resolved),
+                isa,
                 threads,
                 flops_per_iter: costs.flops,
                 words_per_iter: costs.words,
@@ -210,6 +216,7 @@ fn to_json(nnz_budget: usize, host_cpus: usize, cells: &[Cell]) -> String {
     out.push_str("  \"command\": \"cargo run --release -p bench --bin ttmc_strategy\",\n");
     out.push_str(&format!("  \"nnz_budget\": {nnz_budget},\n"));
     out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&cpu_features_json());
     out.push_str("  \"results\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let ranks = c
@@ -220,7 +227,7 @@ fn to_json(nnz_budget: usize, host_cpus: usize, cells: &[Cell]) -> String {
             .join(", ");
         out.push_str(&format!(
             "    {{\"dataset\": \"{}\", \"order\": {}, \"nnz\": {}, \"ranks\": [{}], \
-             \"strategy\": \"{}\", \"resolved\": \"{}\", \"threads\": {}, \
+             \"strategy\": \"{}\", \"resolved\": \"{}\", \"isa\": \"{}\", \"threads\": {}, \
              \"flops_per_iter\": {}, \"words_per_iter\": {}, \"ttmc_s_per_it\": {:e}, \
              \"iter_s_per_it\": {:e}, \"speedup_vs_1t\": {:.4}, \
              \"parallel_efficiency\": {:.4}}}{}\n",
@@ -230,6 +237,7 @@ fn to_json(nnz_budget: usize, host_cpus: usize, cells: &[Cell]) -> String {
             ranks,
             c.strategy,
             c.resolved,
+            c.isa,
             c.threads,
             c.flops_per_iter,
             c.words_per_iter,

@@ -304,6 +304,18 @@ pub fn layout_memory_report(tensor: &SparseTensor) -> Vec<(IndexLayout, usize)> 
         .collect()
 }
 
+/// JSON fragment reporting the host's SIMD capabilities (one line, with a
+/// trailing comma), embedded at the top level of every bench's
+/// machine-readable output so measured speedups can be interpreted per
+/// host: an `avx2: false` host legitimately reports 1.0x SIMD speedups.
+pub fn cpu_features_json() -> String {
+    format!(
+        "  \"cpu_features\": {{\"avx2\": {}, \"fma\": {}}},\n",
+        linalg::simd::avx2_available(),
+        linalg::simd::fma_available()
+    )
+}
+
 /// Formats a number in the `K`/`M` style used by the paper's Table III.
 pub fn format_kilo(x: f64) -> String {
     if x >= 1e6 {
@@ -343,6 +355,14 @@ mod tests {
             .map(|&(g, m)| sim_config(2, g, m, &[2, 2]).label())
             .collect();
         assert_eq!(labels, vec!["fine-hp", "fine-rd", "coarse-hp", "coarse-bl"]);
+    }
+
+    #[test]
+    fn cpu_features_json_is_a_flat_object_line() {
+        let line = cpu_features_json();
+        assert!(line.starts_with("  \"cpu_features\": {\"avx2\": "));
+        assert!(line.ends_with("},\n"));
+        assert!(line.contains("\"fma\": "));
     }
 
     #[test]

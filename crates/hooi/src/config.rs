@@ -1,6 +1,7 @@
 //! Configuration of the HOOI solver.
 
 use crate::error::TuckerError;
+use linalg::simd::KernelIsa;
 
 /// How the factor matrices are initialized before the first HOOI iteration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -157,6 +158,17 @@ pub struct TuckerConfig {
     /// [`crate::PlanOptions::index_layout`]) and ignores this field during
     /// solves.  Dimension-tree plans ignore it entirely.
     pub index_layout: IndexLayout,
+    /// Which SIMD kernel tier the numeric TTMc and Kronecker-accumulate
+    /// kernels run at; defaults to [`KernelIsa::Auto`] (the widest tier
+    /// whose results are bit-identical to scalar — AVX2 where available).
+    /// [`KernelIsa::Fma`] must be requested explicitly because fused
+    /// multiply-adds round differently from scalar.  Consulted by the
+    /// one-shot entry points; a planned [`crate::TuckerSolver`] fixes the
+    /// resolved ISA at plan time instead (see
+    /// [`crate::PlanOptions::kernel_isa`]) and ignores this field during
+    /// solves.  The `TUCKER_KERNEL` environment variable overrides
+    /// everything (see [`KernelIsa::resolve`]).
+    pub kernel_isa: KernelIsa,
 }
 
 impl TuckerConfig {
@@ -179,6 +191,7 @@ impl TuckerConfig {
             num_threads: 0,
             ttmc_strategy: TtmcStrategy::default(),
             index_layout: IndexLayout::default(),
+            kernel_isa: KernelIsa::default(),
         }
     }
 
@@ -235,6 +248,13 @@ impl TuckerConfig {
     /// one-shot entry points.
     pub fn index_layout(mut self, layout: IndexLayout) -> Self {
         self.index_layout = layout;
+        self
+    }
+
+    /// Builder-style setter for the SIMD kernel tier used by the one-shot
+    /// entry points.
+    pub fn kernel_isa(mut self, isa: KernelIsa) -> Self {
+        self.kernel_isa = isa;
         self
     }
 
@@ -438,6 +458,14 @@ mod tests {
         assert_eq!(c.index_layout, IndexLayout::Auto);
         let c = c.index_layout(IndexLayout::Csf);
         assert_eq!(c.index_layout, IndexLayout::Csf);
+    }
+
+    #[test]
+    fn kernel_isa_builder_and_default() {
+        let c = TuckerConfig::new(vec![2, 2, 2]);
+        assert_eq!(c.kernel_isa, KernelIsa::Auto);
+        let c = c.kernel_isa(KernelIsa::Scalar);
+        assert_eq!(c.kernel_isa, KernelIsa::Scalar);
     }
 
     #[test]

@@ -47,7 +47,8 @@ use crate::symbolic::{SymbolicMode, SymbolicTtmc};
 use crate::workspace::HooiWorkspace;
 use linalg::Matrix;
 use rayon::prelude::*;
-use sptensor::kron::{accumulate_scaled_kron, kron_rows};
+use sptensor::kron::{accumulate_scaled_kron_isa, kron_rows};
+use sptensor::simd::KernelIsa;
 use sptensor::SparseTensor;
 
 /// Sentinel for "no node" in parent/child links.
@@ -211,9 +212,12 @@ fn kron_materialize_flops(lens: &[usize]) -> u64 {
     total
 }
 
-/// Flops [`accumulate_scaled_kron`] spends adding `alpha · (⊗ rows)` into an
-/// accumulator, per its per-arity branches (the order-3 micro-kernel in
-/// [`crate::ttmc`] performs exactly the two-factor count).
+/// Flops [`accumulate_scaled_kron`](sptensor::kron::accumulate_scaled_kron)
+/// spends adding `alpha · (⊗ rows)` into an accumulator, per its per-arity
+/// branches (the order-3 micro-kernel in [`crate::ttmc`] performs exactly
+/// the two-factor count).  SIMD dispatch does not change the count: the
+/// vector bodies perform the same multiplies and adds, just four lanes at a
+/// time.
 fn accumulate_flops(lens: &[usize]) -> u64 {
     let width: u64 = lens.iter().map(|&l| l as u64).product();
     match lens.len() {
@@ -583,6 +587,31 @@ impl DimTree {
         out: &mut Matrix,
         partials: &mut Matrix,
     ) {
+        self.compute_node_into_isa(
+            id,
+            tensor,
+            factors,
+            parent_values,
+            out,
+            partials,
+            KernelIsa::resolved_default(),
+        );
+    }
+
+    /// [`Self::compute_node_into`] at an explicit kernel ISA — the form the
+    /// solver threads its plan-resolved [`KernelIsa`] through (see
+    /// [`crate::TuckerSolver::kernel_isa`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute_node_into_isa(
+        &self,
+        id: usize,
+        tensor: &SparseTensor,
+        factors: &[Matrix],
+        parent_values: Option<&Matrix>,
+        out: &mut Matrix,
+        partials: &mut Matrix,
+        isa: KernelIsa,
+    ) {
         let node = &self.nodes[id];
         assert_ne!(id, 0, "the root is the tensor itself and is never computed");
         let ranks: Vec<usize> = factors.iter().map(|u| u.ncols()).collect();
@@ -645,6 +674,7 @@ impl DimTree {
                             kbuf,
                             sbuf,
                             d_rows,
+                            isa,
                         );
                     },
                 );
@@ -692,6 +722,7 @@ impl DimTree {
                             kbuf,
                             sbuf,
                             d_rows,
+                            isa,
                         );
                     }
                 },
@@ -714,6 +745,7 @@ impl DimTree {
         kbuf: &mut [f64],
         sbuf: &mut [f64],
         d_rows: &mut Vec<&'a [f64]>,
+        isa: KernelIsa,
     ) {
         row_out.iter_mut().for_each(|v| *v = 0.0);
         let d_len = node.d_modes.len();
@@ -727,17 +759,29 @@ impl DimTree {
             match parent_values {
                 // Child of the root: contract the factor rows against the
                 // scalar nonzero value.
-                None => accumulate_scaled_kron(tensor.value(e), d_rows, row_out, sbuf),
+                None => accumulate_scaled_kron_isa(isa, tensor.value(e), d_rows, row_out, sbuf),
                 // Deeper node: `row += parent_value ⊗ K`, a single bilinear
                 // accumulate that reuses everything already contracted.
                 Some(pv) => {
                     let parent_row = pv.row(e);
                     if d_len == 1 {
-                        accumulate_scaled_kron(1.0, &[parent_row, d_rows[0]], row_out, sbuf);
+                        accumulate_scaled_kron_isa(
+                            isa,
+                            1.0,
+                            &[parent_row, d_rows[0]],
+                            row_out,
+                            sbuf,
+                        );
                     } else {
                         let wd = kbuf.len();
                         kron_rows(d_rows, kbuf);
-                        accumulate_scaled_kron(1.0, &[parent_row, &kbuf[..wd]], row_out, sbuf);
+                        accumulate_scaled_kron_isa(
+                            isa,
+                            1.0,
+                            &[parent_row, &kbuf[..wd]],
+                            row_out,
+                            sbuf,
+                        );
                     }
                 }
             }
@@ -826,6 +870,30 @@ pub fn serve_mode_into(
     mode: usize,
     workspace: &mut HooiWorkspace,
 ) {
+    serve_mode_into_isa(
+        tree,
+        tensor,
+        sym,
+        factors,
+        mode,
+        workspace,
+        KernelIsa::resolved_default(),
+    );
+}
+
+/// [`serve_mode_into`] at an explicit kernel ISA — the form the HOOI sweep
+/// threads its plan-resolved [`KernelIsa`] through (see
+/// [`crate::TuckerSolver::kernel_isa`]).
+#[allow(clippy::too_many_arguments)]
+pub fn serve_mode_into_isa(
+    tree: &DimTree,
+    tensor: &SparseTensor,
+    sym: &SymbolicMode,
+    factors: &[Matrix],
+    mode: usize,
+    workspace: &mut HooiWorkspace,
+    isa: KernelIsa,
+) {
     let leaf = tree.leaf_of_mode(mode);
     debug_assert_eq!(tree.node_entries(leaf), sym.num_rows());
     // Stale chain from the leaf upward; ancestors above the first valid node
@@ -851,13 +919,14 @@ pub fn serve_mode_into(
             } else {
                 Some(&ws.tree_values[parent])
             };
-            tree.compute_node_into(
+            tree.compute_node_into_isa(
                 id,
                 tensor,
                 factors,
                 parent_values,
                 &mut ws.compact[mode],
                 &mut ws.tree_partials[id],
+                isa,
             );
         } else {
             let (before, rest) = ws.tree_values.split_at_mut(id);
@@ -866,13 +935,14 @@ pub fn serve_mode_into(
             } else {
                 Some(&before[parent])
             };
-            tree.compute_node_into(
+            tree.compute_node_into_isa(
                 id,
                 tensor,
                 factors,
                 parent_values,
                 &mut rest[0],
                 &mut ws.tree_partials[id],
+                isa,
             );
         }
         ws.tree_valid[id] = true;

@@ -195,7 +195,8 @@ pub fn tucker_hooi(
         PlanOptions::new()
             .num_threads(config.num_threads)
             .ttmc_strategy(config.ttmc_strategy)
-            .index_layout(config.index_layout),
+            .index_layout(config.index_layout)
+            .kernel_isa(config.kernel_isa),
     )?
     .solve(config)
 }
@@ -229,6 +230,7 @@ pub fn tucker_hooi_in_current_pool(
         config,
         symbolic_time,
         Duration::ZERO, // no pool is built: the ambient thread context runs it
+        config.kernel_isa.resolve(),
         &mut |_: &crate::solver::IterationReport| crate::solver::IterationControl::Continue,
     ))
 }

@@ -58,8 +58,10 @@ pub use observers::DeadlineObserver;
 pub use solver::{
     IterationControl, IterationObserver, IterationReport, PlanOptions, TuckerSession, TuckerSolver,
 };
+pub use sptensor::simd::KernelIsa;
 pub use symbolic::{SymbolicMode, SymbolicTtmc};
 pub use ttmc::{
-    ttmc_contribution_into, ttmc_mode, ttmc_mode_into, ttmc_mode_sequential, ttmc_row_into,
+    ttmc_contribution_into, ttmc_mode, ttmc_mode_into, ttmc_mode_into_isa, ttmc_mode_sequential,
+    ttmc_row_into,
 };
 pub use workspace::HooiWorkspace;

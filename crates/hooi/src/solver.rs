@@ -49,8 +49,9 @@ use crate::hooi::{TimingBreakdown, TuckerDecomposition};
 use crate::hosvd::{hosvd_factors, random_factors, DEFAULT_HOSVD_MAX_COLS};
 use crate::symbolic::SymbolicTtmc;
 use crate::trsvd::trsvd_factor_with;
-use crate::ttmc::ttmc_mode_into;
+use crate::ttmc::ttmc_mode_into_isa;
 use crate::workspace::HooiWorkspace;
+use sptensor::simd::KernelIsa;
 use sptensor::SparseTensor;
 use std::time::{Duration, Instant};
 
@@ -75,6 +76,15 @@ pub struct PlanOptions {
     /// beyond).  Dimension-tree plans ignore this knob — the tree serves
     /// TTMc from its own node structures.
     pub index_layout: IndexLayout,
+    /// Which SIMD kernel tier the session's numeric kernels run at; defaults
+    /// to [`KernelIsa::Auto`] (the widest tier that stays bit-identical to
+    /// scalar — AVX2 where the hardware has it).  Resolved to a concrete
+    /// tier at plan time ([`KernelIsa::resolve`], which also honors the
+    /// `TUCKER_KERNEL` environment override) and fixed for the session's
+    /// lifetime, so every solve of one plan runs the same kernels;
+    /// [`TuckerSession::kernel_isa`] reports the resolution.
+    /// [`KernelIsa::Fma`] changes rounding and must be requested explicitly.
+    pub kernel_isa: KernelIsa,
     /// When `true`, the session builds **no pool of its own**: the symbolic
     /// analysis and every solve run in whatever thread context the caller
     /// establishes (e.g. inside `shared_pool.install(..)`).  This is how a
@@ -109,6 +119,12 @@ impl PlanOptions {
     /// Builder-style setter for the per-mode index layout of the session.
     pub fn index_layout(mut self, layout: IndexLayout) -> Self {
         self.index_layout = layout;
+        self
+    }
+
+    /// Builder-style setter for the SIMD kernel tier of the session.
+    pub fn kernel_isa(mut self, isa: KernelIsa) -> Self {
+        self.kernel_isa = isa;
         self
     }
 
@@ -294,6 +310,8 @@ pub struct TuckerSession<T: std::borrow::Borrow<SparseTensor>> {
     symbolic_time: Duration,
     pool_build_time: Duration,
     completed_solves: usize,
+    /// Concrete kernel tier resolved at plan time; every solve runs it.
+    kernel_isa: KernelIsa,
 }
 
 /// The borrowing [`TuckerSession`]: plans against `&'a SparseTensor`, so
@@ -372,6 +390,7 @@ impl<T: std::borrow::Borrow<SparseTensor>> TuckerSession<T> {
             symbolic_time,
             pool_build_time,
             completed_solves: 0,
+            kernel_isa: options.kernel_isa.resolve(),
         })
     }
 
@@ -416,6 +435,15 @@ impl<T: std::borrow::Borrow<SparseTensor>> TuckerSession<T> {
         } else {
             IndexLayout::Coo
         }
+    }
+
+    /// The concrete SIMD kernel tier this session's numeric kernels run at:
+    /// the plan-time [`PlanOptions::kernel_isa`] request after
+    /// [`KernelIsa::resolve`] applied the `TUCKER_KERNEL` environment
+    /// override and downgraded tiers the hardware lacks.  Never
+    /// [`KernelIsa::Auto`].
+    pub fn kernel_isa(&self) -> KernelIsa {
+        self.kernel_isa
     }
 
     /// Wall-clock time the one-time symbolic analysis took.
@@ -511,11 +539,13 @@ impl<T: std::borrow::Borrow<SparseTensor>> TuckerSession<T> {
             dimtree,
             workspace,
             pool,
+            kernel_isa,
             ..
         } = self;
         let tensor: &SparseTensor = (*tensor).borrow();
         let tensor_norm = *tensor_norm;
         let tree = dimtree.as_ref();
+        let isa = *kernel_isa;
         let mut run = move || {
             run_hooi(
                 tensor,
@@ -527,6 +557,7 @@ impl<T: std::borrow::Borrow<SparseTensor>> TuckerSession<T> {
                 config,
                 symbolic_time,
                 pool_time,
+                isa,
                 observer,
             )
         };
@@ -585,6 +616,7 @@ pub(crate) fn run_hooi(
     config: &TuckerConfig,
     symbolic_time: Duration,
     pool_time: Duration,
+    isa: KernelIsa,
     observer: &mut dyn IterationObserver,
 ) -> TuckerDecomposition {
     let order = tensor.order();
@@ -619,20 +651,22 @@ pub(crate) fn run_hooi(
         for mode in 0..order {
             let t_ttmc = Instant::now();
             match tree {
-                Some(tree) => dimtree::serve_mode_into(
+                Some(tree) => dimtree::serve_mode_into_isa(
                     tree,
                     tensor,
                     symbolic.mode(mode),
                     &factors,
                     mode,
                     workspace,
+                    isa,
                 ),
-                None => ttmc_mode_into(
+                None => ttmc_mode_into_isa(
                     tensor,
                     symbolic.mode(mode),
                     &factors,
                     mode,
                     workspace.compact_mut(mode),
+                    isa,
                 ),
             }
             iter_ttmc += t_ttmc.elapsed();
@@ -1033,6 +1067,27 @@ mod tests {
             .solve(&TuckerConfig::new(vec![3, 3, 3, 3]).max_iterations(1))
             .unwrap();
         assert_eq!(solver.memory_bytes(), after_solve);
+    }
+
+    #[test]
+    fn kernel_isa_is_resolved_concrete_at_plan_time() {
+        let t = random_tensor(&[10, 10, 10], 200, 3);
+        let solver = TuckerSolver::plan(&t, PlanOptions::new().num_threads(1)).unwrap();
+        let isa = solver.kernel_isa();
+        assert_ne!(isa, KernelIsa::Auto);
+        assert!(isa.supported());
+        // An explicit scalar request sticks unless the `TUCKER_KERNEL`
+        // environment override redirects every resolution.
+        if KernelIsa::from_env().is_none() {
+            let solver = TuckerSolver::plan(
+                &t,
+                PlanOptions::new()
+                    .num_threads(1)
+                    .kernel_isa(KernelIsa::Scalar),
+            )
+            .unwrap();
+            assert_eq!(solver.kernel_isa(), KernelIsa::Scalar);
+        }
     }
 
     #[test]

@@ -22,7 +22,8 @@ use crate::symbolic::SymbolicMode;
 use linalg::Matrix;
 use rayon::prelude::*;
 use sptensor::csf::{CsfData, CsfIndex, CsfMode};
-use sptensor::kron::accumulate_scaled_kron;
+use sptensor::kron::accumulate_scaled_kron_isa;
+use sptensor::simd::{self, KernelIsa};
 use sptensor::SparseTensor;
 
 /// Computes the width `Π_{t≠mode} R_t` of the compact TTMc result from the
@@ -54,6 +55,7 @@ fn compute_row<'a>(
     out: &mut [f64],
     scratch: &mut [f64],
     rows: &mut Vec<&'a [f64]>,
+    isa: KernelIsa,
 ) {
     out.iter_mut().for_each(|v| *v = 0.0);
     if let Some(csf) = sym.csf() {
@@ -62,9 +64,11 @@ fn compute_row<'a>(
         // exact order of the flat kernels below, so the bits match.
         match csf {
             CsfMode::Small(d) => {
-                compute_row_csf(d, row_position, factors, mode, out, scratch, rows)
+                compute_row_csf(d, row_position, factors, mode, out, scratch, rows, isa)
             }
-            CsfMode::Wide(d) => compute_row_csf(d, row_position, factors, mode, out, scratch, rows),
+            CsfMode::Wide(d) => {
+                compute_row_csf(d, row_position, factors, mode, out, scratch, rows, isa)
+            }
         }
         return;
     }
@@ -82,7 +86,7 @@ fn compute_row<'a>(
                 }
                 rows.push(factor.row(index[t]));
             }
-            accumulate_scaled_kron(tensor.value(id), rows, out, scratch);
+            accumulate_scaled_kron_isa(isa, tensor.value(id), rows, out, scratch);
         }
         return;
     };
@@ -96,6 +100,7 @@ fn compute_row<'a>(
             &factors[a],
             &factors[b],
             out,
+            isa,
         );
         return;
     }
@@ -110,6 +115,7 @@ fn compute_row<'a>(
             &factors[b],
             &factors[c],
             out,
+            isa,
         );
         return;
     }
@@ -131,7 +137,7 @@ fn compute_row<'a>(
             rows.push(factor.row(c[j]));
             j += 1;
         }
-        accumulate_scaled_kron(value, rows, out, scratch);
+        accumulate_scaled_kron_isa(isa, value, rows, out, scratch);
     }
 }
 
@@ -172,11 +178,19 @@ fn prefetch(row: &[f64]) {
 /// Order-3 micro-kernel: accumulates `Σ_k x_k · (U_a(i_a) ⊗ U_b(i_b))` into
 /// `out`, streaming the mode-sorted `values`/`coords` arrays.  The scaled
 /// outer product of the two factor rows is written directly (coefficient
-/// hoisted per `a`-entry, inner axpy unrolled by four); the per-element
+/// hoisted per `a`-entry, inner axpy on SIMD lanes); the per-element
 /// operations and their order match [`accumulate_scaled_kron`]'s two-factor
 /// branch exactly, so the result is bit-identical to the generic path.
-fn compute_row3(values: &[f64], coords: &[usize], fa: &Matrix, fb: &Matrix, out: &mut [f64]) {
-    let rb = fb.ncols();
+///
+/// [`accumulate_scaled_kron`]: sptensor::kron::accumulate_scaled_kron
+fn compute_row3(
+    values: &[f64],
+    coords: &[usize],
+    fa: &Matrix,
+    fb: &Matrix,
+    out: &mut [f64],
+    isa: KernelIsa,
+) {
     for (k, &x) in values.iter().enumerate() {
         if k + 1 < values.len() {
             prefetch(fa.row(coords[2 * (k + 1)]));
@@ -184,38 +198,25 @@ fn compute_row3(values: &[f64], coords: &[usize], fa: &Matrix, fb: &Matrix, out:
         }
         let u = fa.row(coords[2 * k]);
         let v = fb.row(coords[2 * k + 1]);
-        scaled_outer2(x, u, v, rb, out);
+        scaled_outer2(isa, x, u, v, out);
     }
 }
 
 /// The per-nonzero body of the order-3 kernel: `out += x · (u ⊗ v)`,
-/// coefficient hoisted per `u`-entry with a zero skip, inner axpy unrolled
-/// by four.  Shared by the mode-sorted and CSF streaming kernels so the two
-/// layouts run byte-for-byte the same arithmetic.
+/// coefficient hoisted per `u`-entry with a **zero-coefficient skip**
+/// (bit-transparent for finite inputs; see
+/// [`sptensor::kron::accumulate_scaled_kron_isa`] for the contract), inner
+/// axpy on the runtime-dispatched SIMD lanes ([`sptensor::simd`]).  Shared
+/// by the mode-sorted and CSF streaming kernels so the two layouts run
+/// byte-for-byte the same arithmetic; `Scalar` and `Avx2` produce identical
+/// bits, `Fma` is the opt-in fused tier.
+///
+/// `out` is row-major `u.len() × v.len()`.  Public so the kernel microbench
+/// (`bench --bin kernels`) and the equivalence tests drive exactly the body
+/// the TTMc sweeps run.
 #[inline(always)]
-fn scaled_outer2(x: f64, u: &[f64], v: &[f64], rb: usize, out: &mut [f64]) {
-    for (i, &ui) in u.iter().enumerate() {
-        let coeff = x * ui;
-        if coeff == 0.0 {
-            continue;
-        }
-        let acc = &mut out[i * rb..(i + 1) * rb];
-        let mut acc_chunks = acc.chunks_exact_mut(4);
-        let mut v_chunks = v.chunks_exact(4);
-        for (a4, v4) in acc_chunks.by_ref().zip(v_chunks.by_ref()) {
-            a4[0] += coeff * v4[0];
-            a4[1] += coeff * v4[1];
-            a4[2] += coeff * v4[2];
-            a4[3] += coeff * v4[3];
-        }
-        for (a1, &v1) in acc_chunks
-            .into_remainder()
-            .iter_mut()
-            .zip(v_chunks.remainder())
-        {
-            *a1 += coeff * v1;
-        }
-    }
+pub fn scaled_outer2(isa: KernelIsa, x: f64, u: &[f64], v: &[f64], out: &mut [f64]) {
+    simd::scaled_outer2(isa, x, u, v, out);
 }
 
 /// Order-4 micro-kernel: accumulates
@@ -232,6 +233,7 @@ fn scaled_outer2(x: f64, u: &[f64], v: &[f64], rb: usize, out: &mut [f64]) {
 /// the generic branch exactly.
 ///
 /// [`kron_rows`]: sptensor::kron::kron_rows
+#[allow(clippy::too_many_arguments)]
 fn compute_row4(
     values: &[f64],
     coords: &[usize],
@@ -239,8 +241,8 @@ fn compute_row4(
     fb: &Matrix,
     fc: &Matrix,
     out: &mut [f64],
+    isa: KernelIsa,
 ) {
-    let rc = fc.ncols();
     for (k, &x) in values.iter().enumerate() {
         if k + 1 < values.len() {
             prefetch(fa.row(coords[3 * (k + 1)]));
@@ -250,36 +252,26 @@ fn compute_row4(
         let u = fa.row(coords[3 * k]);
         let v = fb.row(coords[3 * k + 1]);
         let w = fc.row(coords[3 * k + 2]);
-        scaled_outer3(x, u, v, w, rc, out);
+        scaled_outer3(isa, x, u, v, w, out);
     }
 }
 
 /// The per-nonzero body of the order-4 kernel:
-/// `out += x · (u ⊗ v ⊗ w)` without materializing the Kronecker product.
-/// Shared by the mode-sorted and CSF streaming kernels so the two layouts
-/// run byte-for-byte the same arithmetic.
+/// `out += x · (u ⊗ v ⊗ w)` without materializing the Kronecker product, on
+/// the runtime-dispatched SIMD lanes ([`sptensor::simd`]).  Shared by the
+/// mode-sorted and CSF streaming kernels so the two layouts run
+/// byte-for-byte the same arithmetic.
+///
+/// Contract: each element computes `t = (u_i·v_j)·w_k` then `acc += x·t` —
+/// `x` multiplies **last** and there is **no** zero-coefficient skip,
+/// matching the materialized arity-3 path of
+/// [`sptensor::kron::accumulate_scaled_kron_isa`] bit for bit (see the
+/// zero-coefficient contract there for why the arity-2 skip is nonetheless
+/// equivalent).  `out` is row-major `u.len()·v.len() × w.len()`.  Public
+/// for the kernel microbench and the equivalence tests.
 #[inline(always)]
-fn scaled_outer3(x: f64, u: &[f64], v: &[f64], w: &[f64], rc: usize, out: &mut [f64]) {
-    let mut acc_rows = out.chunks_exact_mut(rc);
-    for &ui in u.iter() {
-        for &vj in v.iter() {
-            let p = ui * vj;
-            let acc = acc_rows.next().expect("output length is Ra*Rb*Rc");
-            // 4-wide unrolled inner loop; each element still computes
-            // `t = p·w_k; acc += x·t` like the materialized path.
-            let mut acc4 = acc.chunks_exact_mut(4);
-            let mut w4 = w.chunks_exact(4);
-            for (a4, c4) in (&mut acc4).zip(&mut w4) {
-                a4[0] += x * (p * c4[0]);
-                a4[1] += x * (p * c4[1]);
-                a4[2] += x * (p * c4[2]);
-                a4[3] += x * (p * c4[3]);
-            }
-            for (a1, &w1) in acc4.into_remainder().iter_mut().zip(w4.remainder()) {
-                *a1 += x * (p * w1);
-            }
-        }
-    }
+pub fn scaled_outer3(isa: KernelIsa, x: f64, u: &[f64], v: &[f64], w: &[f64], out: &mut [f64]) {
+    simd::scaled_outer3(isa, x, u, v, w, out);
 }
 
 /// Computes one row of the compact TTMc result from a CSF fiber hierarchy,
@@ -293,6 +285,7 @@ fn scaled_outer3(x: f64, u: &[f64], v: &[f64], w: &[f64], rc: usize, out: &mut [
 /// other arity walks the hierarchy and feeds [`accumulate_scaled_kron`] with
 /// the factor rows in ascending foreign-mode order — exactly what the COO
 /// gather does — so all layouts produce the same bits.
+#[allow(clippy::too_many_arguments)]
 fn compute_row_csf<'a, I: CsfIndex>(
     csf: &CsfData<I>,
     row_position: usize,
@@ -301,11 +294,12 @@ fn compute_row_csf<'a, I: CsfIndex>(
     out: &mut [f64],
     scratch: &mut [f64],
     rows: &mut Vec<&'a [f64]>,
+    isa: KernelIsa,
 ) {
     let arity = csf.arity();
     if arity == 2 {
         let (a, b) = foreign_pair(mode);
-        compute_row3_csf(csf, row_position, &factors[a], &factors[b], out);
+        compute_row3_csf(csf, row_position, &factors[a], &factors[b], out, isa);
         return;
     }
     if arity == 3 {
@@ -317,12 +311,13 @@ fn compute_row_csf<'a, I: CsfIndex>(
             &factors[b],
             &factors[c],
             out,
+            isa,
         );
         return;
     }
     rows.clear();
     let (lo, hi) = csf.root_range(row_position);
-    walk_csf(csf, 0, lo, hi, factors, mode, out, scratch, rows);
+    walk_csf(csf, 0, lo, hi, factors, mode, out, scratch, rows, isa);
 }
 
 /// Order-3 CSF kernel: one `U_a` row lookup per level-0 fiber, the leaf
@@ -333,8 +328,8 @@ fn compute_row3_csf<I: CsfIndex>(
     fa: &Matrix,
     fb: &Matrix,
     out: &mut [f64],
+    isa: KernelIsa,
 ) {
-    let rb = fb.ncols();
     let (flo, fhi) = csf.root_range(p);
     for f in flo..fhi {
         let u = fa.row(csf.fiber_id(0, f));
@@ -345,13 +340,14 @@ fn compute_row3_csf<I: CsfIndex>(
                 prefetch(fb.row(ids[k + 1].to_usize()));
             }
             let v = fb.row(ids[k].to_usize());
-            scaled_outer2(x, u, v, rb, out);
+            scaled_outer2(isa, x, u, v, out);
         }
     }
 }
 
 /// Order-4 CSF kernel: `U_a` hoisted per level-0 fiber, `U_b` per level-1
 /// fiber, leaves stream `(i_c, x)` through [`scaled_outer3`].
+#[allow(clippy::too_many_arguments)]
 fn compute_row4_csf<I: CsfIndex>(
     csf: &CsfData<I>,
     p: usize,
@@ -359,8 +355,8 @@ fn compute_row4_csf<I: CsfIndex>(
     fb: &Matrix,
     fc: &Matrix,
     out: &mut [f64],
+    isa: KernelIsa,
 ) {
-    let rc = fc.ncols();
     let (alo, ahi) = csf.root_range(p);
     for fib_a in alo..ahi {
         let u = fa.row(csf.fiber_id(0, fib_a));
@@ -374,7 +370,7 @@ fn compute_row4_csf<I: CsfIndex>(
                     prefetch(fc.row(ids[k + 1].to_usize()));
                 }
                 let w = fc.row(ids[k].to_usize());
-                scaled_outer3(x, u, v, w, rc, out);
+                scaled_outer3(isa, x, u, v, w, out);
             }
         }
     }
@@ -395,12 +391,13 @@ fn walk_csf<'a, I: CsfIndex>(
     out: &mut [f64],
     scratch: &mut [f64],
     rows: &mut Vec<&'a [f64]>,
+    isa: KernelIsa,
 ) {
     let arity = csf.arity();
     if arity == 0 {
         // Order-1 tensor: no foreign modes, each leaf adds its value.
         for k in lo..hi {
-            accumulate_scaled_kron(csf.value(k), rows, out, scratch);
+            accumulate_scaled_kron_isa(isa, csf.value(k), rows, out, scratch);
         }
         return;
     }
@@ -409,7 +406,7 @@ fn walk_csf<'a, I: CsfIndex>(
         let (ids, values) = csf.leaves(lo, hi);
         for (k, &x) in values.iter().enumerate() {
             rows.push(factors[foreign].row(ids[k].to_usize()));
-            accumulate_scaled_kron(x, rows, out, scratch);
+            accumulate_scaled_kron_isa(isa, x, rows, out, scratch);
             rows.pop();
         }
         return;
@@ -417,7 +414,18 @@ fn walk_csf<'a, I: CsfIndex>(
     for f in lo..hi {
         rows.push(factors[foreign].row(csf.fiber_id(level, f)));
         let (clo, chi) = csf.fiber_range(level, f);
-        walk_csf(csf, level + 1, clo, chi, factors, mode, out, scratch, rows);
+        walk_csf(
+            csf,
+            level + 1,
+            clo,
+            chi,
+            factors,
+            mode,
+            out,
+            scratch,
+            rows,
+            isa,
+        );
         rows.pop();
     }
 }
@@ -455,6 +463,28 @@ pub fn ttmc_mode_into(
     mode: usize,
     out: &mut Matrix,
 ) {
+    ttmc_mode_into_isa(
+        tensor,
+        sym,
+        factors,
+        mode,
+        out,
+        KernelIsa::resolved_default(),
+    );
+}
+
+/// [`ttmc_mode_into`] at an explicit kernel ISA — the form the planned
+/// solver session uses, with the ISA it resolved at plan time
+/// ([`crate::TuckerSolver::kernel_isa`]).  `Scalar` and `Avx2` are
+/// bit-identical; `Fma` is the opt-in fused tier.
+pub fn ttmc_mode_into_isa(
+    tensor: &SparseTensor,
+    sym: &SymbolicMode,
+    factors: &[Matrix],
+    mode: usize,
+    out: &mut Matrix,
+    isa: KernelIsa,
+) {
     validate_factors(tensor, factors, mode);
     let width = ttmc_result_width(factors, mode);
     assert_eq!(
@@ -481,7 +511,7 @@ pub fn ttmc_mode_into(
             &row_costs,
             || (vec![0.0; width], Vec::with_capacity(order - 1)),
             |(scratch, rows), (p, row_out)| {
-                compute_row(tensor, sym, factors, mode, p, row_out, scratch, rows);
+                compute_row(tensor, sym, factors, mode, p, row_out, scratch, rows, isa);
             },
         );
 }
@@ -512,6 +542,7 @@ pub fn ttmc_row_into(
         out,
         scratch,
         &mut rows,
+        KernelIsa::resolved_default(),
     );
 }
 
@@ -548,7 +579,7 @@ pub fn ttmc_contribution_into<'a>(
         }
         rows.push(factors[t].row(index[t]));
     }
-    accumulate_scaled_kron(value, rows, out, scratch);
+    accumulate_scaled_kron_isa(KernelIsa::resolved_default(), value, rows, out, scratch);
 }
 
 /// Sequential numeric TTMc (used for verification, the single-thread
@@ -566,11 +597,22 @@ pub fn ttmc_mode_sequential(
     let mut out = Matrix::zeros(nrows, width);
     let mut scratch = vec![0.0; width];
     let mut rows = Vec::with_capacity(tensor.order() - 1);
+    let isa = KernelIsa::resolved_default();
     for p in 0..nrows {
         let row_start = p * width;
         // Split borrow: compute into a temporary row slice.
         let row = &mut out.as_mut_slice()[row_start..row_start + width];
-        compute_row(tensor, sym, factors, mode, p, row, &mut scratch, &mut rows);
+        compute_row(
+            tensor,
+            sym,
+            factors,
+            mode,
+            p,
+            row,
+            &mut scratch,
+            &mut rows,
+            isa,
+        );
     }
     out
 }

@@ -5,8 +5,17 @@
 //! `Y_(n)` (paper §III-A2), so those two kernels have rayon-parallel
 //! variants.  The small dense products (Gram matrices, projected problems,
 //! core-tensor contractions) use the sequential `gemm`.
+//!
+//! The element-wise kernels ([`axpy`], [`scal`]) and the row-wise products
+//! built on them ([`gemv`], [`gemm`], [`gemm_tn`], the `par_*` variants)
+//! run on the runtime-dispatched SIMD layer ([`crate::simd`]) at the
+//! process-wide [`KernelIsa::resolved_default`] tier, which is
+//! **bit-identical** to the scalar reference by construction (separate
+//! mul+add lanes, no reassociation).  [`dot`] and [`nrm2`] are horizontal
+//! reductions and deliberately keep the scalar summation order.
 
 use crate::matrix::Matrix;
+use crate::simd::{self, KernelIsa};
 use rayon::prelude::*;
 
 /// Dot product of two equally sized slices.
@@ -16,21 +25,19 @@ pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     x.iter().zip(y.iter()).map(|(a, b)| a * b).sum()
 }
 
-/// `y += alpha * x`.
+/// `y += alpha * x`, SIMD-dispatched at the process-default ISA
+/// (bit-identical to the scalar loop).
 #[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     debug_assert_eq!(x.len(), y.len());
-    for (yi, xi) in y.iter_mut().zip(x.iter()) {
-        *yi += alpha * xi;
-    }
+    simd::axpy(KernelIsa::resolved_default(), alpha, x, y);
 }
 
-/// `x *= alpha`.
+/// `x *= alpha`, SIMD-dispatched (a pure multiply rounds once however it is
+/// issued, so every ISA produces identical bits).
 #[inline]
 pub fn scal(alpha: f64, x: &mut [f64]) {
-    for xi in x.iter_mut() {
-        *xi *= alpha;
-    }
+    simd::scal(KernelIsa::resolved_default(), alpha, x);
 }
 
 /// Euclidean norm of a slice.
@@ -50,12 +57,21 @@ pub fn normalize(x: &mut [f64]) -> f64 {
 }
 
 /// Dense matrix-vector product `y = A x` (sequential).
+///
+/// SIMD-dispatched with four *rows* per vector — each lane accumulates one
+/// row's dot product in exact scalar order (no horizontal reduction), so
+/// the result is bit-identical to `y[i] = dot(a.row(i), x)`.
 pub fn gemv(a: &Matrix, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), a.ncols());
     assert_eq!(y.len(), a.nrows());
-    for i in 0..a.nrows() {
-        y[i] = dot(a.row(i), x);
-    }
+    simd::gemv(
+        KernelIsa::resolved_default(),
+        a.as_slice(),
+        a.nrows(),
+        a.ncols(),
+        x,
+        y,
+    );
 }
 
 /// Dense matrix-vector product `y = A x` using rayon over rows.
@@ -114,6 +130,9 @@ pub fn par_gemv_t(a: &Matrix, x: &[f64], y: &mut [f64]) {
 }
 
 /// Dense matrix-matrix product `C = A B` (sequential, ikj loop order).
+///
+/// The inner body is the SIMD-dispatched [`axpy`], so the whole product
+/// vectorizes while keeping scalar accumulation order per element.
 pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.ncols(), b.nrows(), "gemm: inner dimensions must agree");
     let mut c = Matrix::zeros(a.nrows(), b.ncols());
@@ -149,6 +168,8 @@ pub fn par_gemm(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// `C = Aᵀ B` without materializing `Aᵀ`.
+///
+/// Row-major streaming with the SIMD-dispatched [`axpy`] as the inner body.
 pub fn gemm_tn(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.nrows(), b.nrows(), "gemm_tn: row counts must agree");
     let mut c = Matrix::zeros(a.ncols(), b.ncols());

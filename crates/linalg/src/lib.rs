@@ -24,6 +24,7 @@ pub mod matrix;
 pub mod operator;
 pub mod qr;
 pub mod randomized;
+pub mod simd;
 pub mod svd;
 
 pub use lanczos::{lanczos_svd, LanczosOptions, TruncatedSvd};
@@ -31,6 +32,7 @@ pub use matrix::Matrix;
 pub use operator::{DenseOperator, LinearOperator};
 pub use qr::{orthonormalize_columns, qr_thin};
 pub use randomized::{randomized_svd, RandomizedOptions};
+pub use simd::KernelIsa;
 pub use svd::dense_svd;
 
 /// Tolerance used throughout the crate when comparing floating point values

@@ -41,45 +41,61 @@ pub fn kron_rows(rows: &[&[f64]], out: &mut [f64]) {
 
 /// Adds `alpha · (⊗ rows)` to `acc` without materializing the Kronecker
 /// product when there are one or two factor rows (the common 3- and 4-mode
-/// cases fall back to a scratch buffer supplied by the caller).
+/// cases fall back to a scratch buffer supplied by the caller), running at
+/// the process-wide default kernel ISA
+/// ([`KernelIsa::resolved_default`](crate::simd::KernelIsa::resolved_default),
+/// which is bit-identical to scalar by construction).
 ///
 /// `acc.len()` must equal the product of the row lengths; `scratch` must be
 /// at least that long when `rows.len() > 2`.
 pub fn accumulate_scaled_kron(alpha: f64, rows: &[&[f64]], acc: &mut [f64], scratch: &mut [f64]) {
+    accumulate_scaled_kron_isa(
+        crate::simd::KernelIsa::resolved_default(),
+        alpha,
+        rows,
+        acc,
+        scratch,
+    )
+}
+
+/// [`accumulate_scaled_kron`] at an explicit kernel ISA — the form the
+/// solver threads its plan-resolved [`KernelIsa`](crate::simd::KernelIsa)
+/// through.
+///
+/// # Zero-coefficient contract
+///
+/// The two-factor branch hoists `coeff = alpha · u_i` per `u` entry and
+/// **skips the row when `coeff == 0.0`**; the arity-1 and arity-≥3 branches
+/// perform no such skip (every element is multiplied and added
+/// unconditionally).  The asymmetry is bit-transparent for finite inputs:
+/// accumulators start at `+0.0` and round-to-nearest additions can never
+/// produce `-0.0` from one, so adding `coeff·v_j = ±0.0` would leave every
+/// bit unchanged — exactly what the skip does.  Only non-finite factor
+/// entries (`±∞`, NaN, where `0 · ∞ = NaN`) could tell the branches apart,
+/// and tensors with non-finite values are outside every kernel's contract.
+/// The regression test `zero_factor_entries_keep_all_arities_bit_identical`
+/// in `tests/simd_kernels.rs` pins this across arities, layouts, and ISAs.
+pub fn accumulate_scaled_kron_isa(
+    isa: crate::simd::KernelIsa,
+    alpha: f64,
+    rows: &[&[f64]],
+    acc: &mut [f64],
+    scratch: &mut [f64],
+) {
     match rows.len() {
         0 => {
             acc[0] += alpha;
         }
         1 => {
             debug_assert_eq!(acc.len(), rows[0].len());
-            for (a, &r) in acc.iter_mut().zip(rows[0].iter()) {
-                *a += alpha * r;
-            }
+            crate::simd::axpy(isa, alpha, rows[0], acc);
         }
         2 => {
             let (u, v) = (rows[0], rows[1]);
             debug_assert_eq!(acc.len(), u.len() * v.len());
-            for (i, &ui) in u.iter().enumerate() {
-                let coeff = alpha * ui;
-                if coeff == 0.0 {
-                    continue;
-                }
-                let chunk = &mut acc[i * v.len()..(i + 1) * v.len()];
-                // 4-wide unrolled axpy: each element still computes exactly
-                // `a += coeff * v[j]`, so the unroll is bit-identical to the
-                // plain loop — only the dependency chains are shortened.
-                let mut acc4 = chunk.chunks_exact_mut(4);
-                let mut v4 = v.chunks_exact(4);
-                for (a, r) in (&mut acc4).zip(&mut v4) {
-                    a[0] += coeff * r[0];
-                    a[1] += coeff * r[1];
-                    a[2] += coeff * r[2];
-                    a[3] += coeff * r[3];
-                }
-                for (a, &vj) in acc4.into_remainder().iter_mut().zip(v4.remainder().iter()) {
-                    *a += coeff * vj;
-                }
-            }
+            // Coefficient hoisted per `u` entry with the zero skip (see the
+            // contract above), inner axpy on SIMD lanes.
+            crate::simd::scaled_outer2(isa, alpha, u, v, acc);
         }
         _ => {
             let len: usize = rows.iter().map(|r| r.len()).product();
@@ -89,9 +105,7 @@ pub fn accumulate_scaled_kron(alpha: f64, rows: &[&[f64]], acc: &mut [f64], scra
                 "scratch buffer too small for Kronecker accumulation"
             );
             kron_rows(rows, &mut scratch[..len]);
-            for (a, &s) in acc.iter_mut().zip(scratch[..len].iter()) {
-                *a += alpha * s;
-            }
+            crate::simd::axpy(isa, alpha, &scratch[..len], acc);
         }
     }
 }

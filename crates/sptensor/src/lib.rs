@@ -43,10 +43,16 @@ pub mod kron;
 pub mod layout;
 pub mod stats;
 
+/// Runtime-dispatched SIMD kernel layer (re-exported from `linalg` so the
+/// tensor kernels and their callers share one canonical `sptensor::simd`
+/// path without a dependency cycle).
+pub use linalg::simd;
+pub use linalg::simd::KernelIsa;
+
 pub use coo::SparseTensor;
 pub use csf::{CsfData, CsfIndex, CsfMode, CsfModeBuilder, CsfTensor};
 pub use dense::DenseTensor;
-pub use kron::{accumulate_scaled_kron, kron_rows};
+pub use kron::{accumulate_scaled_kron, accumulate_scaled_kron_isa, kron_rows};
 pub use layout::ModeSortedNonzeros;
 
 /// Computes the product of a slice of dimensions, used for unfolding sizes.

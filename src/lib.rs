@@ -73,8 +73,8 @@ pub mod prelude {
     };
     pub use hooi::{
         tucker_hooi, DeadlineObserver, DimTree, IndexLayout, Initialization, IterationControl,
-        IterationObserver, IterationReport, PlanOptions, TrsvdBackend, TtmcCosts, TtmcStrategy,
-        TuckerConfig, TuckerDecomposition, TuckerError, TuckerSession, TuckerSolver,
+        IterationObserver, IterationReport, KernelIsa, PlanOptions, TrsvdBackend, TtmcCosts,
+        TtmcStrategy, TuckerConfig, TuckerDecomposition, TuckerError, TuckerSession, TuckerSolver,
     };
     pub use linalg::Matrix;
     pub use partition::{fine_grain_hypergraph, hypergraph::Hypergraph};
