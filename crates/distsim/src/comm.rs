@@ -15,10 +15,29 @@
 //!   and messages travel over `std::sync::mpsc` channels.  This is the fast
 //!   backend the tests and the default executor use.
 //! * [`tcp_world`] — every rank owns real loopback TCP sockets to each
-//!   peer; messages are framed, serialized to bytes, and travel through the
-//!   kernel.  Nothing is shared except what crosses a socket, so an
-//!   executor that is correct on this backend performs the algorithm's
-//!   actual communication, not a simulation of it.
+//!   peer; messages are framed, serialized to bytes, checksummed, and
+//!   travel through the kernel.  Nothing is shared except what crosses a
+//!   socket, so an executor that is correct on this backend performs the
+//!   algorithm's actual communication, not a simulation of it.
+//!
+//! # Failure model
+//!
+//! Every communication primitive returns `Result<_, CommError>` instead of
+//! panicking or blocking forever:
+//!
+//! * a closed channel or socket surfaces [`CommError::PeerDisconnected`];
+//! * every `recv` is bounded by the endpoint's [`CommDeadline`] and
+//!   surfaces [`CommError::Timeout`] when it expires — the universal
+//!   backstop that guarantees no rank hangs, whatever was lost;
+//! * a frame that fails its checksum (TCP) or an injected corruption
+//!   surfaces [`CommError::Corrupt`];
+//! * an unexpected tag is [`CommError::TagMismatch`] — the executor's
+//!   protocol is deterministic, so this only happens when a message was
+//!   dropped or reordered by a fault;
+//! * a poison [`Phase::Control`] abort message from a failing peer is
+//!   intercepted inside [`Communicator::recv`] and surfaces as
+//!   [`CommError::RemoteAbort`] carrying the origin rank's failure
+//!   context, so aborts propagate through ranks blocked in collectives.
 //!
 //! Every [`Endpoint`] counts the words and messages it moves, classified by
 //! protocol [`Phase`] (expand, fold, gather, scatter, control).  The
@@ -29,13 +48,14 @@
 //!
 //! Message delivery between one (sender, receiver) pair is ordered on both
 //! backends (FIFO channels; TCP byte streams), and the executor's protocol
-//! is deterministic, so `recv` can assert the tag it expects: a mismatch is
-//! a protocol bug, not a runtime condition to handle.
+//! is deterministic, so `recv` can check the tag it expects: a mismatch is
+//! a typed error, not a panic.
 
 use std::io::{BufWriter, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Which part of the executor's protocol a message belongs to.  Counters
 /// are kept per phase so measured traffic can be compared against the cost
@@ -54,7 +74,8 @@ pub enum Phase {
     /// Factor rows sent from their owner to every rank that needs them for
     /// its local TTMc (Algorithm 4's expand, line 14).
     Expand,
-    /// Everything else: convergence flags, collectives, initialization.
+    /// Everything else: convergence flags, collectives, initialization,
+    /// abort notifications.
     Control,
 }
 
@@ -96,7 +117,7 @@ impl Phase {
 
 /// A message tag: protocol phase, tensor mode, and a step counter (the HOOI
 /// iteration, or a collective's sequence number).  Tags make the protocol
-/// self-checking — `recv` asserts the tag it expects.
+/// self-checking — `recv` verifies the tag it expects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Tag {
     /// Protocol phase of the message.
@@ -130,13 +151,177 @@ impl Tag {
     }
 }
 
+/// Step number reserved for poison abort messages on the
+/// [`Phase::Control`] plane; no regular protocol step ever uses it.
+pub const ABORT_STEP: u32 = 0xffff_ffff;
+
+/// Builds the poison abort message a failing rank sends on its surviving
+/// links: `ints = [origin, phase index, iteration]`.
+pub fn abort_message(origin: usize, phase: Phase, iteration: u32) -> Message {
+    Message {
+        tag: Tag::new(Phase::Control, 0, ABORT_STEP),
+        ints: vec![origin as u64, phase.index() as u64, iteration as u64],
+        floats: Vec::new(),
+    }
+}
+
+/// Decodes a poison abort message; `None` for regular traffic.
+pub fn parse_abort(msg: &Message) -> Option<(usize, Phase, u32)> {
+    if msg.tag.phase == Phase::Control && msg.tag.step == ABORT_STEP && msg.ints.len() == 3 {
+        Some((
+            msg.ints[0] as usize,
+            Phase::from_index(msg.ints[1]),
+            msg.ints[2] as u32,
+        ))
+    } else {
+        None
+    }
+}
+
+/// A typed communication failure observed by one rank.  Every variant
+/// names the observing rank and the peer involved, so the executor can
+/// report exactly which link failed and during which protocol phase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// The peer's channel or socket closed (the peer terminated or the
+    /// link was cut).
+    PeerDisconnected {
+        /// Observing rank.
+        rank: usize,
+        /// The peer whose link died.
+        peer: usize,
+    },
+    /// No message arrived from the peer within the endpoint's deadline.
+    Timeout {
+        /// Observing rank.
+        rank: usize,
+        /// The peer that never delivered.
+        peer: usize,
+        /// How long the receiver waited before giving up.
+        waited: Duration,
+    },
+    /// A message arrived with a tag other than the one the deterministic
+    /// protocol expects (a frame was dropped or reordered upstream).
+    TagMismatch {
+        /// Observing rank.
+        rank: usize,
+        /// The peer that sent the unexpected message.
+        peer: usize,
+        /// The tag the protocol expected.
+        expected: Tag,
+        /// The tag that actually arrived.
+        got: Tag,
+    },
+    /// A frame failed validation (checksum mismatch, insane length) or an
+    /// injected corruption destroyed it.
+    Corrupt {
+        /// Observing rank.
+        rank: usize,
+        /// The peer whose frame was corrupt.
+        peer: usize,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A poison abort from a failing peer: rank `origin` failed in `phase`
+    /// at `iteration` and is telling surviving ranks to unwind.
+    RemoteAbort {
+        /// The rank that originally failed.
+        origin: usize,
+        /// The protocol phase the origin was in when it failed.
+        phase: Phase,
+        /// The HOOI iteration the origin was in when it failed.
+        iteration: u32,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::PeerDisconnected { rank, peer } => {
+                write!(f, "rank {rank}: peer rank {peer} disconnected")
+            }
+            CommError::Timeout { rank, peer, waited } => write!(
+                f,
+                "rank {rank}: no message from rank {peer} within {waited:?}"
+            ),
+            CommError::TagMismatch {
+                rank,
+                peer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "rank {rank}: unexpected tag from rank {peer} (expected {expected:?}, got {got:?})"
+            ),
+            CommError::Corrupt { rank, peer, detail } => {
+                write!(f, "rank {rank}: corrupt frame from rank {peer}: {detail}")
+            }
+            CommError::RemoteAbort {
+                origin,
+                phase,
+                iteration,
+            } => write!(
+                f,
+                "abort from rank {origin} (failed in {} at iteration {iteration})",
+                phase.label()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Per-endpoint liveness knobs: how long a `recv` may block and how the
+/// TCP world's connection phase retries.  The defaults are generous enough
+/// for slow CI machines while still guaranteeing that no rank blocks
+/// forever.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommDeadline {
+    /// Upper bound on any single `recv` before it fails with
+    /// [`CommError::Timeout`].
+    pub recv_timeout: Duration,
+    /// How many times `tcp_world` retries a refused connection before
+    /// giving up.
+    pub connect_retries: u32,
+    /// Base backoff between connection retries (grows linearly with the
+    /// attempt number).
+    pub connect_backoff: Duration,
+}
+
+impl Default for CommDeadline {
+    fn default() -> Self {
+        CommDeadline {
+            recv_timeout: Duration::from_secs(10),
+            connect_retries: 10,
+            connect_backoff: Duration::from_millis(20),
+        }
+    }
+}
+
+impl CommDeadline {
+    /// A deadline with the given `recv` timeout and default connection
+    /// retry policy.
+    pub fn with_recv_timeout(recv_timeout: Duration) -> Self {
+        CommDeadline {
+            recv_timeout,
+            ..CommDeadline::default()
+        }
+    }
+
+    /// Total wall-clock budget for one bounded accept loop.
+    fn accept_budget(&self) -> Duration {
+        self.recv_timeout
+            .max(self.connect_backoff * (self.connect_retries + 1))
+    }
+}
+
 /// A typed message: a tag plus an integer section (row indices, counts,
 /// nonzero ids) and a float section (factor rows, TTMc contributions).
 /// Both backends transfer it losslessly — the TCP backend round-trips the
 /// exact `f64` bit patterns.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Message {
-    /// The tag the receiver will be asserted against.
+    /// The tag the receiver will be checked against.
     pub tag: Tag,
     /// Integer payload.
     pub ints: Vec<u64>,
@@ -244,7 +429,8 @@ impl CommCounters {
 }
 
 /// The raw point-to-point transport a backend implements; [`Endpoint`]
-/// wraps it with counting and the collective algorithms.
+/// wraps it with counting, deadline enforcement, and the collective
+/// algorithms.
 pub trait Transport: Send {
     /// This endpoint's rank id.
     fn rank(&self) -> usize;
@@ -252,12 +438,10 @@ pub trait Transport: Send {
     fn num_ranks(&self) -> usize;
     /// Delivers a message to `to` (must not be this rank).  May block only
     /// on backend flow control, never on the receiver's progress.
-    fn send_raw(&mut self, to: usize, msg: &Message);
-    /// Blocks until the next message from `from` arrives.
-    ///
-    /// # Panics
-    /// Panics if the peer disconnected (a rank died mid-protocol).
-    fn recv_raw(&mut self, from: usize) -> Message;
+    fn send_raw(&mut self, to: usize, msg: &Message) -> Result<(), CommError>;
+    /// Blocks until the next message from `from` arrives, or `timeout`
+    /// expires, or the link is observed dead.
+    fn recv_raw(&mut self, from: usize, timeout: Duration) -> Result<Message, CommError>;
 }
 
 /// A counted communicator over some [`Transport`] — the concrete type the
@@ -265,15 +449,27 @@ pub trait Transport: Send {
 pub struct Endpoint<T: Transport> {
     transport: T,
     counters: CommCounters,
+    deadline: CommDeadline,
 }
 
 impl<T: Transport> Endpoint<T> {
-    /// Wraps a transport with zeroed counters.
+    /// Wraps a transport with zeroed counters and the default deadline.
     pub fn new(transport: T) -> Self {
+        Endpoint::with_deadline(transport, CommDeadline::default())
+    }
+
+    /// Wraps a transport with zeroed counters and an explicit deadline.
+    pub fn with_deadline(transport: T, deadline: CommDeadline) -> Self {
         Endpoint {
             transport,
             counters: CommCounters::default(),
+            deadline,
         }
+    }
+
+    /// The deadline this endpoint enforces on every `recv`.
+    pub fn deadline(&self) -> CommDeadline {
+        self.deadline
     }
 }
 
@@ -284,51 +480,67 @@ impl<T: Transport> Endpoint<T> {
 /// their reduction order is fixed (ascending rank at the root), so a
 /// collective's floating-point result is bit-identical on every backend
 /// and at every timing.
+///
+/// Every receiving operation can fail with a [`CommError`]; the executor
+/// maps the first failure it observes into a poison abort on its surviving
+/// links ([`Communicator::send_abort`]) so the whole world unwinds.
 pub trait Communicator: Send {
     /// This rank's id (0-based; rank 0 is the executor's root).
     fn rank(&self) -> usize;
     /// Number of ranks in the world.
     fn num_ranks(&self) -> usize;
     /// Sends a message to rank `to`, counting its words.
-    fn send(&mut self, to: usize, msg: &Message);
-    /// Receives the next message from rank `from`, asserting it carries
+    fn send(&mut self, to: usize, msg: &Message) -> Result<(), CommError>;
+    /// Receives the next message from rank `from`, checking it carries
     /// `expected` — the executor's protocol is deterministic, so any other
-    /// tag is a bug.
-    fn recv(&mut self, from: usize, expected: Tag) -> Message;
+    /// tag is [`CommError::TagMismatch`].  A poison abort message is
+    /// intercepted here and surfaces as [`CommError::RemoteAbort`].
+    fn recv(&mut self, from: usize, expected: Tag) -> Result<Message, CommError>;
     /// The traffic this rank has moved so far.
     fn counters(&self) -> &CommCounters;
 
     /// Synchronizes all ranks: nobody returns until everyone has entered.
     /// Implemented as a gather-to-root plus release fan-out.
-    fn barrier(&mut self, step: u32) {
+    fn barrier(&mut self, step: u32) -> Result<(), CommError> {
         let tag = Tag::new(Phase::Control, 0, step);
         let me = self.rank();
         let p = self.num_ranks();
         if me == 0 {
             for src in 1..p {
-                self.recv(src, tag);
+                self.recv(src, tag)?;
             }
             for dst in 1..p {
-                self.send(dst, &Message::empty(tag));
+                self.send(dst, &Message::empty(tag))?;
             }
         } else {
-            self.send(0, &Message::empty(tag));
-            self.recv(0, tag);
+            self.send(0, &Message::empty(tag))?;
+            self.recv(0, tag)?;
         }
+        Ok(())
     }
 
     /// Element-wise global sum of `buf` across all ranks; every rank ends
     /// with the same result.  The root accumulates contributions in
     /// ascending rank order, so the floating-point result is deterministic
     /// and backend-independent.
-    fn allreduce_sum(&mut self, step: u32, buf: &mut [f64]) {
+    fn allreduce_sum(&mut self, step: u32, buf: &mut [f64]) -> Result<(), CommError> {
         let tag = Tag::new(Phase::Control, 0, step);
         let me = self.rank();
         let p = self.num_ranks();
         if me == 0 {
             for src in 1..p {
-                let part = self.recv(src, tag);
-                assert_eq!(part.floats.len(), buf.len(), "allreduce length mismatch");
+                let part = self.recv(src, tag)?;
+                if part.floats.len() != buf.len() {
+                    return Err(CommError::Corrupt {
+                        rank: me,
+                        peer: src,
+                        detail: format!(
+                            "allreduce length mismatch: expected {}, got {}",
+                            buf.len(),
+                            part.floats.len()
+                        ),
+                    });
+                }
                 for (b, &x) in buf.iter_mut().zip(part.floats.iter()) {
                     *b += x;
                 }
@@ -341,7 +553,7 @@ pub trait Communicator: Send {
                         ints: Vec::new(),
                         floats: buf.to_vec(),
                     },
-                );
+                )?;
             }
         } else {
             self.send(
@@ -351,26 +563,51 @@ pub trait Communicator: Send {
                     ints: Vec::new(),
                     floats: buf.to_vec(),
                 },
-            );
-            let result = self.recv(0, tag);
+            )?;
+            let result = self.recv(0, tag)?;
+            if result.floats.len() != buf.len() {
+                return Err(CommError::Corrupt {
+                    rank: me,
+                    peer: 0,
+                    detail: format!(
+                        "allreduce length mismatch: expected {}, got {}",
+                        buf.len(),
+                        result.floats.len()
+                    ),
+                });
+            }
             buf.copy_from_slice(&result.floats);
         }
+        Ok(())
     }
 
     /// Broadcasts `msg` from `root` to every rank; returns the payload
     /// everywhere (non-root callers pass anything — it is replaced).
-    fn broadcast(&mut self, root: usize, msg: Message) -> Message {
+    fn broadcast(&mut self, root: usize, msg: Message) -> Result<Message, CommError> {
         let me = self.rank();
         let p = self.num_ranks();
         if me == root {
             for dst in 0..p {
                 if dst != root {
-                    self.send(dst, &msg);
+                    self.send(dst, &msg)?;
                 }
             }
-            msg
+            Ok(msg)
         } else {
             self.recv(root, msg.tag)
+        }
+    }
+
+    /// Best-effort poison fan-out: tells every peer that rank `origin`
+    /// failed in `phase` at `iteration`.  Dead links are skipped silently —
+    /// the per-recv deadline covers peers this message cannot reach.
+    fn send_abort(&mut self, origin: usize, phase: Phase, iteration: u32) {
+        let msg = abort_message(origin, phase, iteration);
+        let me = self.rank();
+        for peer in 0..self.num_ranks() {
+            if peer != me {
+                let _ = self.send(peer, &msg);
+            }
         }
     }
 }
@@ -384,22 +621,34 @@ impl<T: Transport> Communicator for Endpoint<T> {
         self.transport.num_ranks()
     }
 
-    fn send(&mut self, to: usize, msg: &Message) {
+    fn send(&mut self, to: usize, msg: &Message) -> Result<(), CommError> {
         assert_ne!(to, self.rank(), "self-sends are a protocol bug");
+        self.transport.send_raw(to, msg)?;
         self.counters.record_send(msg);
-        self.transport.send_raw(to, msg);
+        Ok(())
     }
 
-    fn recv(&mut self, from: usize, expected: Tag) -> Message {
-        let msg = self.transport.recv_raw(from);
-        assert_eq!(
-            msg.tag,
-            expected,
-            "rank {}: unexpected tag from rank {from}",
-            self.rank()
-        );
+    fn recv(&mut self, from: usize, expected: Tag) -> Result<Message, CommError> {
+        let msg = self.transport.recv_raw(from, self.deadline.recv_timeout)?;
         self.counters.record_recv(&msg);
-        msg
+        if expected.step != ABORT_STEP {
+            if let Some((origin, phase, iteration)) = parse_abort(&msg) {
+                return Err(CommError::RemoteAbort {
+                    origin,
+                    phase,
+                    iteration,
+                });
+            }
+        }
+        if msg.tag != expected {
+            return Err(CommError::TagMismatch {
+                rank: self.rank(),
+                peer: from,
+                expected,
+                got: msg.tag,
+            });
+        }
+        Ok(msg)
     }
 
     fn counters(&self) -> &CommCounters {
@@ -428,33 +677,40 @@ impl Transport for ChannelTransport {
         self.num_ranks
     }
 
-    fn send_raw(&mut self, to: usize, msg: &Message) {
+    fn send_raw(&mut self, to: usize, msg: &Message) -> Result<(), CommError> {
         self.senders[to]
             .as_ref()
             .expect("no channel to self")
             .send(msg.clone())
-            .expect("peer rank terminated early (receiver dropped)");
+            .map_err(|_| CommError::PeerDisconnected {
+                rank: self.rank,
+                peer: to,
+            })
     }
 
-    fn recv_raw(&mut self, from: usize) -> Message {
+    fn recv_raw(&mut self, from: usize, timeout: Duration) -> Result<Message, CommError> {
         self.receivers[from]
             .as_ref()
             .expect("no channel from self")
-            .recv()
-            .unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: peer rank {from} terminated early (channel closed)",
-                    self.rank
-                )
+            .recv_timeout(timeout)
+            .map_err(|e| match e {
+                RecvTimeoutError::Timeout => CommError::Timeout {
+                    rank: self.rank,
+                    peer: from,
+                    waited: timeout,
+                },
+                RecvTimeoutError::Disconnected => CommError::PeerDisconnected {
+                    rank: self.rank,
+                    peer: from,
+                },
             })
     }
 }
 
-/// Builds the in-process channel world: one counted endpoint per rank, all
-/// pairs connected by FIFO channels.  Endpoints are handed to the rank
-/// threads; dropping one mid-protocol makes blocked peers panic instead of
-/// hanging.
-pub fn channel_world(num_ranks: usize) -> Vec<Endpoint<ChannelTransport>> {
+/// Builds the raw channel transports of an in-process world, so callers can
+/// wrap them (fault injection) before attaching counters via
+/// [`Endpoint::new`].
+pub fn channel_transports(num_ranks: usize) -> Vec<ChannelTransport> {
     assert!(num_ranks > 0);
     // mailboxes[dst][src] = receiver of the src -> dst channel.
     let mut senders: Vec<Vec<Option<Sender<Message>>>> = (0..num_ranks)
@@ -473,29 +729,91 @@ pub fn channel_world(num_ranks: usize) -> Vec<Endpoint<ChannelTransport>> {
             mailboxes[dst][src] = Some(rx);
         }
     }
-    let mut world = Vec::with_capacity(num_ranks);
-    for (rank, (senders, receivers)) in senders.drain(..).zip(mailboxes.drain(..)).enumerate() {
-        world.push(Endpoint::new(ChannelTransport {
+    senders
+        .drain(..)
+        .zip(mailboxes.drain(..))
+        .enumerate()
+        .map(|(rank, (senders, receivers))| ChannelTransport {
             rank,
             num_ranks,
             senders,
             receivers,
-        }));
-    }
-    world
+        })
+        .collect()
+}
+
+/// Builds the in-process channel world: one counted endpoint per rank, all
+/// pairs connected by FIFO channels.  Endpoints are handed to the rank
+/// threads; dropping one mid-protocol surfaces
+/// [`CommError::PeerDisconnected`] at blocked peers instead of hanging.
+pub fn channel_world(num_ranks: usize) -> Vec<Endpoint<ChannelTransport>> {
+    channel_transports(num_ranks)
+        .into_iter()
+        .map(Endpoint::new)
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
 // TCP backend
 // ---------------------------------------------------------------------------
 
-const FRAME_HEADER_BYTES: usize = 24;
+const FRAME_HEADER_BYTES: usize = 32;
+
+/// Upper bound on either payload section of one frame, in 8-byte words.
+/// Far above anything the executor sends; a length beyond it means the
+/// stream is corrupt, and rejecting it up front keeps a corrupted length
+/// field from triggering a giant allocation.
+const MAX_FRAME_WORDS: usize = 1 << 31;
+
+/// FNV-1a over the frame's tag, lengths, and payload bytes — cheap,
+/// deterministic, and plenty to catch torn or flipped frames on the wire.
+struct FnvHasher(u64);
+
+impl FnvHasher {
+    fn new() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+enum FrameError {
+    // The io::Error payload is only inspected by tests (the reader thread
+    // treats any I/O fault as end-of-stream), but carrying it keeps the
+    // diagnostics available where they matter.
+    Io(#[cfg_attr(not(test), allow(dead_code))] std::io::Error),
+    Corrupt(String),
+}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
 
 fn write_frame(writer: &mut impl Write, msg: &Message) -> std::io::Result<()> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     header[..8].copy_from_slice(&msg.tag.encode().to_le_bytes());
     header[8..16].copy_from_slice(&(msg.ints.len() as u64).to_le_bytes());
     header[16..24].copy_from_slice(&(msg.floats.len() as u64).to_le_bytes());
+    let mut hasher = FnvHasher::new();
+    hasher.update(&header[..24]);
+    for &v in &msg.ints {
+        hasher.update(&v.to_le_bytes());
+    }
+    for &v in &msg.floats {
+        hasher.update(&v.to_bits().to_le_bytes());
+    }
+    header[24..32].copy_from_slice(&hasher.finish().to_le_bytes());
     writer.write_all(&header)?;
     for &v in &msg.ints {
         writer.write_all(&v.to_le_bytes())?;
@@ -506,14 +824,28 @@ fn write_frame(writer: &mut impl Write, msg: &Message) -> std::io::Result<()> {
     writer.flush()
 }
 
-fn read_frame(reader: &mut impl Read) -> std::io::Result<Message> {
+fn read_frame(reader: &mut impl Read) -> Result<Message, FrameError> {
     let mut header = [0u8; FRAME_HEADER_BYTES];
     reader.read_exact(&mut header)?;
     let tag = Tag::decode(u64::from_le_bytes(header[..8].try_into().unwrap()));
     let n_ints = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
     let n_floats = u64::from_le_bytes(header[16..24].try_into().unwrap()) as usize;
+    let checksum = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    if n_ints > MAX_FRAME_WORDS || n_floats > MAX_FRAME_WORDS {
+        return Err(FrameError::Corrupt(format!(
+            "frame lengths out of range ({n_ints} ints, {n_floats} floats)"
+        )));
+    }
     let mut bytes = vec![0u8; 8 * (n_ints + n_floats)];
     reader.read_exact(&mut bytes)?;
+    let mut hasher = FnvHasher::new();
+    hasher.update(&header[..24]);
+    hasher.update(&bytes);
+    if hasher.finish() != checksum {
+        return Err(FrameError::Corrupt(format!(
+            "frame checksum mismatch (tag {tag:?}, {n_ints} ints, {n_floats} floats)"
+        )));
+    }
     let ints = bytes[..8 * n_ints]
         .chunks_exact(8)
         .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
@@ -532,11 +864,14 @@ fn read_frame(reader: &mut impl Read) -> std::io::Result<Message> {
 /// asynchronous runtime: a peer's inbound stream is always being drained,
 /// so `send_raw` can block on the kernel's socket buffer at most briefly,
 /// never on the peer reaching its matching `recv`.
+///
+/// `Drop` shuts down every socket and joins every reader thread, so an
+/// aborted run leaks neither threads nor file descriptors.
 pub struct TcpTransport {
     rank: usize,
     num_ranks: usize,
     writers: Vec<Option<BufWriter<TcpStream>>>,
-    mailboxes: Vec<Option<Receiver<Message>>>,
+    mailboxes: Vec<Option<Receiver<Result<Message, CommError>>>>,
     sockets: Vec<Option<TcpStream>>,
     readers: Vec<JoinHandle<()>>,
 }
@@ -550,24 +885,31 @@ impl Transport for TcpTransport {
         self.num_ranks
     }
 
-    fn send_raw(&mut self, to: usize, msg: &Message) {
+    fn send_raw(&mut self, to: usize, msg: &Message) -> Result<(), CommError> {
         let writer = self.writers[to].as_mut().expect("no socket to self");
-        write_frame(writer, msg).unwrap_or_else(|e| {
-            panic!("rank {}: socket write to rank {to} failed: {e}", self.rank)
-        });
+        write_frame(writer, msg).map_err(|_| CommError::PeerDisconnected {
+            rank: self.rank,
+            peer: to,
+        })
     }
 
-    fn recv_raw(&mut self, from: usize) -> Message {
-        self.mailboxes[from]
+    fn recv_raw(&mut self, from: usize, timeout: Duration) -> Result<Message, CommError> {
+        match self.mailboxes[from]
             .as_ref()
             .expect("no socket from self")
-            .recv()
-            .unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: peer rank {from} closed its socket mid-protocol",
-                    self.rank
-                )
-            })
+            .recv_timeout(timeout)
+        {
+            Ok(result) => result,
+            Err(RecvTimeoutError::Timeout) => Err(CommError::Timeout {
+                rank: self.rank,
+                peer: from,
+                waited: timeout,
+            }),
+            Err(RecvTimeoutError::Disconnected) => Err(CommError::PeerDisconnected {
+                rank: self.rank,
+                peer: from,
+            }),
+        }
     }
 }
 
@@ -582,11 +924,65 @@ impl Drop for TcpTransport {
     }
 }
 
-/// Builds a world of `num_ranks` peers connected pairwise over loopback
-/// TCP.  Fails with the underlying I/O error when the environment forbids
-/// sockets (sandboxes); callers probe with [`loopback_tcp_available`] and
-/// fall back to [`channel_world`].
-pub fn tcp_world(num_ranks: usize) -> std::io::Result<Vec<Endpoint<TcpTransport>>> {
+/// Connects to `addr`, retrying refused attempts with linear backoff per
+/// the deadline's connection policy.
+fn connect_with_retry(
+    addr: std::net::SocketAddr,
+    deadline: &CommDeadline,
+) -> std::io::Result<TcpStream> {
+    let mut attempt = 0;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if attempt >= deadline.connect_retries {
+                    return Err(e);
+                }
+                attempt += 1;
+                std::thread::sleep(deadline.connect_backoff * attempt);
+            }
+        }
+    }
+}
+
+/// Accepts one connection with a wall-clock bound instead of blocking
+/// forever on a peer that will never dial.
+fn accept_with_deadline(
+    listener: &TcpListener,
+    deadline: &CommDeadline,
+) -> std::io::Result<TcpStream> {
+    listener.set_nonblocking(true)?;
+    let start = Instant::now();
+    let budget = deadline.accept_budget();
+    loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                listener.set_nonblocking(false)?;
+                stream.set_nonblocking(false)?;
+                return Ok(stream);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if start.elapsed() > budget {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "accept timed out waiting for a peer",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Builds the raw TCP transports of a loopback world, so callers can wrap
+/// them (fault injection) before attaching counters via [`Endpoint::new`].
+/// The connection phase is bounded by `deadline`'s retry/backoff policy.
+pub fn tcp_transports(
+    num_ranks: usize,
+    deadline: &CommDeadline,
+) -> std::io::Result<Vec<TcpTransport>> {
     assert!(num_ranks > 0);
     let listeners: Vec<TcpListener> = (0..num_ranks)
         .map(|_| TcpListener::bind("127.0.0.1:0"))
@@ -604,8 +1000,8 @@ pub fn tcp_world(num_ranks: usize) -> std::io::Result<Vec<Endpoint<TcpTransport>
         .collect();
     for i in 0..num_ranks {
         for j in (i + 1)..num_ranks {
-            let outgoing = TcpStream::connect(addrs[i])?; // rank j -> rank i
-            let (incoming, _) = listeners[i].accept()?; // rank i's end
+            let outgoing = connect_with_retry(addrs[i], deadline)?; // rank j -> rank i
+            let incoming = accept_with_deadline(&listeners[i], deadline)?; // rank i's end
             outgoing.set_nodelay(true)?;
             incoming.set_nodelay(true)?;
             streams[j][i] = Some(outgoing);
@@ -619,7 +1015,7 @@ pub fn tcp_world(num_ranks: usize) -> std::io::Result<Vec<Endpoint<TcpTransport>
         let mut mailboxes = Vec::with_capacity(num_ranks);
         let mut sockets = Vec::with_capacity(num_ranks);
         let mut readers = Vec::new();
-        for stream in peer_streams {
+        for (peer, stream) in peer_streams.into_iter().enumerate() {
             match stream {
                 None => {
                     writers.push(None);
@@ -629,11 +1025,21 @@ pub fn tcp_world(num_ranks: usize) -> std::io::Result<Vec<Endpoint<TcpTransport>
                 Some(stream) => {
                     let mut read_half = stream.try_clone()?;
                     let (tx, rx) = channel();
-                    readers.push(std::thread::spawn(move || {
-                        while let Ok(msg) = read_frame(&mut read_half) {
-                            if tx.send(msg).is_err() {
+                    readers.push(std::thread::spawn(move || loop {
+                        match read_frame(&mut read_half) {
+                            Ok(msg) => {
+                                if tx.send(Ok(msg)).is_err() {
+                                    break;
+                                }
+                            }
+                            Err(FrameError::Corrupt(detail)) => {
+                                // Framing is lost after a corrupt frame, so
+                                // report it once and close the mailbox (any
+                                // later recv sees PeerDisconnected).
+                                let _ = tx.send(Err(CommError::Corrupt { rank, peer, detail }));
                                 break;
                             }
+                            Err(FrameError::Io(_)) => break,
                         }
                     }));
                     sockets.push(Some(stream.try_clone()?));
@@ -642,16 +1048,36 @@ pub fn tcp_world(num_ranks: usize) -> std::io::Result<Vec<Endpoint<TcpTransport>
                 }
             }
         }
-        world.push(Endpoint::new(TcpTransport {
+        world.push(TcpTransport {
             rank,
             num_ranks,
             writers,
             mailboxes,
             sockets,
             readers,
-        }));
+        });
     }
     Ok(world)
+}
+
+/// Builds a world of `num_ranks` peers connected pairwise over loopback
+/// TCP, with `deadline` governing both the connection phase and every
+/// endpoint's `recv` bound.  Fails with the underlying I/O error when the
+/// environment forbids sockets (sandboxes); callers probe with
+/// [`loopback_tcp_available`] and fall back to [`channel_world`].
+pub fn tcp_world_with(
+    num_ranks: usize,
+    deadline: CommDeadline,
+) -> std::io::Result<Vec<Endpoint<TcpTransport>>> {
+    Ok(tcp_transports(num_ranks, &deadline)?
+        .into_iter()
+        .map(|t| Endpoint::with_deadline(t, deadline))
+        .collect())
+}
+
+/// [`tcp_world_with`] under the default [`CommDeadline`].
+pub fn tcp_world(num_ranks: usize) -> std::io::Result<Vec<Endpoint<TcpTransport>>> {
+    tcp_world_with(num_ranks, CommDeadline::default())
 }
 
 /// Whether this environment allows binding loopback TCP sockets.  CI and
@@ -719,12 +1145,12 @@ mod tests {
             ints: vec![me as u64],
             floats: vec![me as f64, -(me as f64)],
         };
-        comm.send(next, &msg);
-        let got = comm.recv(prev, tag(1));
+        comm.send(next, &msg).unwrap();
+        let got = comm.recv(prev, tag(1)).unwrap();
         assert_eq!(got.ints, vec![prev as u64]);
         let mut sums = vec![me as f64 + 1.0];
-        comm.allreduce_sum(2, &mut sums);
-        comm.barrier(3);
+        comm.allreduce_sum(2, &mut sums).unwrap();
+        comm.barrier(3).unwrap();
         (sums, comm.counters().clone())
     }
 
@@ -784,10 +1210,11 @@ mod tests {
                         ints: vec![u64::MAX, 0, 42],
                         floats: sent.clone(),
                     },
-                );
+                )
+                .unwrap();
                 Vec::new()
             } else {
-                let got = comm.recv(0, tag(7));
+                let got = comm.recv(0, tag(7)).unwrap();
                 assert_eq!(got.ints, vec![u64::MAX, 0, 42]);
                 got.floats
             }
@@ -810,7 +1237,7 @@ mod tests {
             } else {
                 Message::empty(tag(9))
             };
-            comm.broadcast(1, msg)
+            comm.broadcast(1, msg).unwrap()
         });
         for r in &results {
             assert_eq!(r.ints, vec![11, 22]);
@@ -830,7 +1257,7 @@ mod tests {
             let contributions = contributions.clone();
             let results = run_world(channel_world(p), move |mut comm| {
                 let mut buf = vec![contributions[comm.rank()]];
-                comm.allreduce_sum(1, &mut buf);
+                comm.allreduce_sum(1, &mut buf).unwrap();
                 buf[0]
             });
             for r in &results {
@@ -842,17 +1269,19 @@ mod tests {
     #[test]
     fn single_rank_world_needs_no_peers() {
         let results = run_world(channel_world(1), |mut comm| {
-            comm.barrier(1);
+            comm.barrier(1).unwrap();
             let mut buf = vec![2.5, -1.0];
-            comm.allreduce_sum(2, &mut buf);
-            let b = comm.broadcast(
-                0,
-                Message {
-                    tag: tag(3),
-                    ints: vec![5],
-                    floats: vec![],
-                },
-            );
+            comm.allreduce_sum(2, &mut buf).unwrap();
+            let b = comm
+                .broadcast(
+                    0,
+                    Message {
+                        tag: tag(3),
+                        ints: vec![5],
+                        floats: vec![],
+                    },
+                )
+                .unwrap();
             (buf, b.ints)
         });
         assert_eq!(results[0].0, vec![2.5, -1.0]);
@@ -865,5 +1294,199 @@ mod tests {
             let t = Tag::new(phase, 3, 77);
             assert_eq!(Tag::decode(t.encode()), t);
         }
+    }
+
+    #[test]
+    fn disconnect_surfaces_typed_error_not_panic() {
+        let results = run_world(channel_world(2), |mut comm| {
+            if comm.rank() == 1 {
+                // Terminate immediately: dropping the endpoint closes every
+                // channel this rank owns.
+                return None;
+            }
+            Some(comm.recv(1, tag(1)))
+        });
+        match &results[0] {
+            Some(Err(CommError::PeerDisconnected { rank: 0, peer: 1 })) => {}
+            other => panic!("expected PeerDisconnected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn send_to_dead_peer_surfaces_typed_error() {
+        let results = run_world(channel_world(2), |mut comm| {
+            if comm.rank() == 1 {
+                return None;
+            }
+            // Keep sending until the peer's drop is observed.
+            loop {
+                match comm.send(1, &Message::empty(tag(1))) {
+                    Ok(()) => std::thread::sleep(Duration::from_millis(1)),
+                    Err(e) => return Some(e),
+                }
+            }
+        });
+        assert_eq!(
+            results[0],
+            Some(CommError::PeerDisconnected { rank: 0, peer: 1 })
+        );
+    }
+
+    #[test]
+    fn recv_times_out_instead_of_hanging() {
+        let transports = channel_transports(2);
+        let deadline = CommDeadline::with_recv_timeout(Duration::from_millis(25));
+        let world: Vec<_> = transports
+            .into_iter()
+            .map(|t| Endpoint::with_deadline(t, deadline))
+            .collect();
+        let results = run_world(world, |mut comm| {
+            if comm.rank() == 0 {
+                // Rank 1 never sends; the deadline must fire while rank 1
+                // is still alive (it blocks on our release message below).
+                let err = comm.recv(1, tag(1)).unwrap_err();
+                comm.send(1, &Message::empty(tag(2))).unwrap();
+                Some(err)
+            } else {
+                // Our own short deadline may fire before rank 0's release
+                // arrives; stay alive by retrying until it does.
+                loop {
+                    match comm.recv(0, tag(2)) {
+                        Ok(_) => return None,
+                        Err(CommError::Timeout { .. }) => continue,
+                        Err(e) => panic!("unexpected error waiting for release: {e:?}"),
+                    }
+                }
+            }
+        });
+        match results[0] {
+            Some(CommError::Timeout {
+                rank: 0,
+                peer: 1,
+                waited,
+            }) => {
+                assert_eq!(waited, Duration::from_millis(25));
+            }
+            ref other => panic!("expected Timeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tag_mismatch_is_a_typed_error() {
+        let results = run_world(channel_world(2), |mut comm| {
+            if comm.rank() == 1 {
+                comm.send(0, &Message::empty(tag(5))).unwrap();
+                comm.recv(0, tag(6)).unwrap();
+                return None;
+            }
+            let err = comm.recv(1, tag(9)).unwrap_err();
+            comm.send(1, &Message::empty(tag(6))).unwrap();
+            Some(err)
+        });
+        match &results[0] {
+            Some(CommError::TagMismatch {
+                rank: 0,
+                peer: 1,
+                expected,
+                got,
+            }) => {
+                assert_eq!(*expected, tag(9));
+                assert_eq!(*got, tag(5));
+            }
+            other => panic!("expected TagMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_message_interrupts_blocked_recv() {
+        let results = run_world(channel_world(2), |mut comm| {
+            if comm.rank() == 1 {
+                comm.send_abort(1, Phase::Fold, 3);
+                return None;
+            }
+            Some(comm.recv(1, tag(1)))
+        });
+        match &results[0] {
+            Some(Err(CommError::RemoteAbort {
+                origin: 1,
+                phase: Phase::Fold,
+                iteration: 3,
+            })) => {}
+            other => panic!("expected RemoteAbort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn abort_roundtrips_origin_context() {
+        let msg = abort_message(7, Phase::Scatter, 42);
+        assert_eq!(parse_abort(&msg), Some((7, Phase::Scatter, 42)));
+        assert_eq!(parse_abort(&Message::empty(tag(1))), None);
+    }
+
+    #[test]
+    fn frame_roundtrips_and_detects_corruption() {
+        let msg = Message {
+            tag: Tag::new(Phase::Gather, 2, 17),
+            ints: vec![1, u64::MAX, 42],
+            floats: vec![0.1, -0.0, 1.0 / 3.0],
+        };
+        let mut bytes = Vec::new();
+        write_frame(&mut bytes, &msg).unwrap();
+        let back = read_frame(&mut bytes.as_slice()).ok().unwrap();
+        assert_eq!(back, msg);
+
+        // Flip one payload byte: the checksum must catch it.
+        for flip in [FRAME_HEADER_BYTES, bytes.len() - 1] {
+            let mut bad = bytes.clone();
+            bad[flip] ^= 0x40;
+            match read_frame(&mut bad.as_slice()) {
+                Err(FrameError::Corrupt(_)) => {}
+                Err(FrameError::Io(e)) => panic!("expected Corrupt, got Io({e})"),
+                Ok(m) => panic!("corrupt frame decoded as {m:?}"),
+            }
+        }
+
+        // A truncated stream is an I/O error (peer died), not corruption.
+        match read_frame(&mut bytes[..bytes.len() - 4].as_ref()) {
+            Err(FrameError::Io(_)) => {}
+            _ => panic!("expected Io error on truncated frame"),
+        }
+    }
+
+    #[test]
+    fn insane_frame_length_is_rejected_before_allocation() {
+        // A header whose length fields are absurd must be rejected without
+        // attempting the allocation, even if its checksum matches.
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        header[..8].copy_from_slice(&tag(1).encode().to_le_bytes());
+        header[8..16].copy_from_slice(&(u64::MAX / 8).to_le_bytes());
+        header[16..24].copy_from_slice(&0u64.to_le_bytes());
+        let mut hasher = FnvHasher::new();
+        hasher.update(&header[..24]);
+        header[24..32].copy_from_slice(&hasher.finish().to_le_bytes());
+        match read_frame(&mut header.as_slice()) {
+            Err(FrameError::Corrupt(detail)) => {
+                assert!(detail.contains("out of range"), "{detail}");
+            }
+            _ => panic!("expected Corrupt on insane lengths"),
+        }
+    }
+
+    #[test]
+    fn comm_error_display_is_informative() {
+        let e = CommError::Timeout {
+            rank: 2,
+            peer: 0,
+            waited: Duration::from_millis(50),
+        };
+        assert!(e.to_string().contains("rank 2"));
+        assert!(e.to_string().contains("rank 0"));
+        let e = CommError::RemoteAbort {
+            origin: 3,
+            phase: Phase::Expand,
+            iteration: 9,
+        };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("expand"));
     }
 }

@@ -54,10 +54,29 @@
 //! module is the runner that proves those predictions against a real
 //! message-passing execution on backends from in-process channels to
 //! loopback TCP ([`CommBackend`]).
+//!
+//! # Failure model
+//!
+//! Every communication step returns `Result<_, CommError>` and every
+//! `recv` is bounded by [`ExecOptions::deadline`], so a lost message, a
+//! dead peer, or a corrupt frame can never hang a rank.  The first rank to
+//! observe an error fans a poison [`Phase::Control`] abort out on its
+//! surviving links ([`Communicator::send_abort`]) carrying the *origin*
+//! rank's failure context; peers blocked in collectives intercept it as
+//! [`CommError::RemoteAbort`] and unwind with the same attribution.  Each
+//! rank's body additionally runs under `catch_unwind`, so a panic inside
+//! the numeric kernels degrades into the same typed failure instead of
+//! crossing a thread boundary.  [`execute_hooi`] then reports the whole
+//! run as [`TuckerError::RankFailed`] naming the origin rank, protocol
+//! phase, and iteration — a deterministic error, never a hang, never a
+//! cross-thread panic.  [`execute_hooi_chaos`] exposes the same machinery
+//! under a seeded [`FaultPlan`] for reproducible chaos testing.
 
 use crate::comm::{
-    channel_world, tcp_world, CommBackend, CommCounters, Communicator, Message, Phase, Tag,
+    channel_transports, channel_world, tcp_transports, CommBackend, CommCounters, CommDeadline,
+    CommError, Communicator, Endpoint, Message, Phase, Tag,
 };
+use crate::fault::{FaultPlan, FaultProbe};
 use crate::setup::{DistributedSetup, Grain};
 use hooi::config::{Initialization, TuckerConfig};
 use hooi::core_tensor::core_from_last_ttmc_into;
@@ -71,6 +90,7 @@ use hooi::workspace::HooiWorkspace;
 use hooi::{TimingBreakdown, TuckerDecomposition};
 use linalg::Matrix;
 use sptensor::SparseTensor;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
 /// The executor's root rank: assembles the TRSVD input, owns the
@@ -81,8 +101,9 @@ const STEP_INIT: u32 = 0xffff_0000;
 const STEP_FINAL_BARRIER: u32 = 0xffff_0001;
 const STEP_FINAL_ALLREDUCE: u32 = 0xffff_0002;
 
-/// How to run the executor: which [`CommBackend`] carries the messages and
-/// how many threads each rank's private compute pool gets.
+/// How to run the executor: which [`CommBackend`] carries the messages,
+/// how many threads each rank's private compute pool gets, and the
+/// liveness deadline every endpoint enforces.
 #[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Message transport between ranks.
@@ -92,6 +113,10 @@ pub struct ExecOptions {
     /// [`hooi::TuckerSolver`] planned with the *same* width and
     /// `TtmcStrategy::PerMode`.
     pub rank_threads: usize,
+    /// Per-endpoint liveness bounds: how long any `recv` may block and how
+    /// the TCP connection phase retries.  The worst-case unwind time after
+    /// a failure is bounded by this deadline.
+    pub deadline: CommDeadline,
 }
 
 impl Default for ExecOptions {
@@ -99,6 +124,7 @@ impl Default for ExecOptions {
         ExecOptions {
             backend: CommBackend::Channel,
             rank_threads: 1,
+            deadline: CommDeadline::default(),
         }
     }
 }
@@ -118,6 +144,12 @@ impl ExecOptions {
     /// Builder-style setter for the per-rank compute-pool width.
     pub fn rank_threads(mut self, threads: usize) -> Self {
         self.rank_threads = threads;
+        self
+    }
+
+    /// Builder-style setter for the per-endpoint comm deadline.
+    pub fn deadline(mut self, deadline: CommDeadline) -> Self {
+        self.deadline = deadline;
         self
     }
 }
@@ -148,6 +180,113 @@ impl DistributedRun {
     pub fn total_bytes(&self) -> u64 {
         CommCounters::merged(&self.comm).bytes_total()
     }
+}
+
+// ---------------------------------------------------------------------------
+// Failure records
+// ---------------------------------------------------------------------------
+
+/// What originally went wrong on a failed rank.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureSource {
+    /// A communication primitive failed.
+    Comm(CommError),
+    /// The rank's body panicked; the payload message is captured.
+    Panic(String),
+}
+
+impl std::fmt::Display for FailureSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureSource::Comm(e) => write!(f, "{e}"),
+            FailureSource::Panic(msg) => write!(f, "panic: {msg}"),
+        }
+    }
+}
+
+/// Iteration sentinel for failures outside the HOOI loop (the final
+/// counter digest collectives).
+pub const FINAL_COLLECTIVES_ITERATION: u32 = u32::MAX;
+
+/// One rank's record of a failed run.  A rank that observed the fault
+/// directly records itself as `origin`; a rank that unwound because of a
+/// poison abort adopts the aborting rank's context, so every survivor
+/// attributes the failure to the same origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankFailure {
+    /// The rank this record belongs to.
+    pub rank: usize,
+    /// The rank where the failure originated.
+    pub origin: usize,
+    /// Protocol phase the origin was executing.
+    pub phase: Phase,
+    /// HOOI iteration the origin was in ([`FINAL_COLLECTIVES_ITERATION`]
+    /// for the post-loop counter digest).
+    pub iteration: u32,
+    /// The underlying error.
+    pub source: FailureSource,
+}
+
+impl RankFailure {
+    fn observed(rank: usize, phase: Phase, iteration: u32, e: CommError) -> RankFailure {
+        // A remote abort carries the origin's own failure context; adopt it
+        // so all survivors agree on the attribution.
+        if let CommError::RemoteAbort {
+            origin,
+            phase: origin_phase,
+            iteration: origin_iter,
+        } = e
+        {
+            RankFailure {
+                rank,
+                origin,
+                phase: origin_phase,
+                iteration: origin_iter,
+                source: FailureSource::Comm(e),
+            }
+        } else {
+            RankFailure {
+                rank,
+                origin: rank,
+                phase,
+                iteration,
+                source: FailureSource::Comm(e),
+            }
+        }
+    }
+
+    /// Renders this failure as the executor's public error type.
+    pub fn to_tucker_error(&self) -> TuckerError {
+        TuckerError::RankFailed {
+            rank: self.origin,
+            phase: self.phase.label().to_string(),
+            iteration: self.iteration as u64,
+            source: self.source.to_string(),
+        }
+    }
+}
+
+/// The outcome of a fault-injected executor run: what the world concluded,
+/// what each rank individually reported, and how much traffic moved before
+/// the fault (if any) tore the run down.
+#[derive(Debug)]
+pub struct ChaosRun {
+    /// The run's overall verdict: the decomposition when every rank
+    /// completed cleanly, or the representative [`TuckerError::RankFailed`]
+    /// (lowest origin rank, preferring the origin's own record).
+    pub outcome: Result<TuckerDecomposition, TuckerError>,
+    /// Each rank's own failure, `None` for ranks that completed.  During a
+    /// faulted run every rank fails (the abort/deadline machinery reaches
+    /// everyone), so this is all-`None` exactly when `outcome` is `Ok`.
+    pub rank_errors: Vec<Option<TuckerError>>,
+    /// Measured per-rank traffic up to completion or unwind.
+    pub comm: Vec<CommCounters>,
+    /// How many of the plan's triggers actually fired.
+    pub faults_fired: u64,
+    /// Which backend carried the messages.
+    pub backend: CommBackend,
+    /// Wall-clock time of the whole run (world construction to join).
+    pub wall: Duration,
 }
 
 // ---------------------------------------------------------------------------
@@ -413,7 +552,7 @@ fn local_ttmc_and_fold<C: Communicator>(
     factors: &[Matrix],
     mode: usize,
     iter: u32,
-) {
+) -> Result<(), CommError> {
     let rank = state.rank;
     let width = ttmc_result_width(factors, mode);
     state.contrib.resize(width, 0.0);
@@ -480,10 +619,10 @@ fn local_ttmc_and_fold<C: Communicator>(
     let tag = Tag::new(Phase::Fold, mode, iter);
     for dst in plan.fold_send_to(rank) {
         let msg = state.out_streams[dst].to_message(tag);
-        comm.send(dst, &msg);
+        comm.send(dst, &msg)?;
     }
     for src in plan.fold_recv_from(rank) {
-        let msg = comm.recv(src, tag);
+        let msg = comm.recv(src, tag)?;
         state.in_streams[src].load_message(&msg);
     }
 
@@ -535,6 +674,7 @@ fn local_ttmc_and_fold<C: Communicator>(
             .row_mut(p_local)
             .copy_from_slice(&state.row_buf);
     }
+    Ok(())
 }
 
 /// Phase 3 (sender side): ship this rank's owned, reduced rows to the root.
@@ -545,7 +685,7 @@ fn gather_to_root<C: Communicator>(
     width: usize,
     mode: usize,
     iter: u32,
-) {
+) -> Result<(), CommError> {
     let rank = state.rank;
     let rows = &plan.owned_rows[rank];
     let mut floats = Vec::with_capacity(rows.len() * width);
@@ -563,7 +703,7 @@ fn gather_to_root<C: Communicator>(
             ints,
             floats,
         },
-    );
+    )
 }
 
 /// Phase 3 (root side): assemble the full compact matricized result from
@@ -576,7 +716,7 @@ fn assemble_at_root<C: Communicator>(
     out: &mut Matrix,
     mode: usize,
     iter: u32,
-) {
+) -> Result<(), CommError> {
     let width = out.ncols();
     let gsm = global_sym.mode(mode);
     let mut assembled = 0usize;
@@ -589,20 +729,42 @@ fn assemble_at_root<C: Communicator>(
         assembled += 1;
     }
     let p = comm.num_ranks();
+    let corrupt = |detail: String, peer: usize| CommError::Corrupt {
+        rank: ROOT,
+        peer,
+        detail,
+    };
     for src in 1..p {
-        let msg = comm.recv(src, Tag::new(Phase::Gather, mode, iter));
+        let msg = comm.recv(src, Tag::new(Phase::Gather, mode, iter))?;
+        if msg.floats.len() != msg.ints.len() * width {
+            return Err(corrupt(
+                format!(
+                    "gather payload length mismatch ({} rows, {} floats, width {width})",
+                    msg.ints.len(),
+                    msg.floats.len()
+                ),
+                src,
+            ));
+        }
         for (k, &row) in msg.ints.iter().enumerate() {
-            let g = gsm.position_of(row as usize).expect("gathered row exists");
+            let g = gsm
+                .position_of(row as usize)
+                .ok_or_else(|| corrupt(format!("gathered unknown row {row}"), src))?;
             out.row_mut(g)
                 .copy_from_slice(&msg.floats[k * width..(k + 1) * width]);
             assembled += 1;
         }
     }
-    assert_eq!(
-        assembled,
-        gsm.num_rows(),
-        "every nonempty row has exactly one owner"
-    );
+    if assembled != gsm.num_rows() {
+        return Err(corrupt(
+            format!(
+                "gather assembled {assembled} of {} rows (every nonempty row has exactly one owner)",
+                gsm.num_rows()
+            ),
+            ROOT,
+        ));
+    }
+    Ok(())
 }
 
 /// Phase 4: the root scatters updated factor rows to their owners, then
@@ -615,11 +777,33 @@ fn scatter_and_expand<C: Communicator>(
     factor: &mut Matrix,
     mode: usize,
     iter: u32,
-) {
+) -> Result<(), CommError> {
     let rank = comm.rank();
     let p = comm.num_ranks();
     let r_mode = factor.ncols();
+    let nrows = factor.nrows();
     let scatter_tag = Tag::new(Phase::Scatter, mode, iter);
+    let apply_rows = |factor: &mut Matrix, msg: &Message, peer: usize| {
+        if msg.floats.len() != msg.ints.len() * r_mode
+            || msg.ints.iter().any(|&row| row as usize >= nrows)
+        {
+            return Err(CommError::Corrupt {
+                rank,
+                peer,
+                detail: format!(
+                    "factor-row payload invalid ({} rows, {} floats, width {r_mode})",
+                    msg.ints.len(),
+                    msg.floats.len()
+                ),
+            });
+        }
+        for (k, &row) in msg.ints.iter().enumerate() {
+            factor
+                .row_mut(row as usize)
+                .copy_from_slice(&msg.floats[k * r_mode..(k + 1) * r_mode]);
+        }
+        Ok(())
+    };
     if rank == ROOT {
         for dst in 1..p {
             let rows = &plan.owned_rows[dst];
@@ -637,15 +821,11 @@ fn scatter_and_expand<C: Communicator>(
                     ints: rows.iter().map(|&i| i as u64).collect(),
                     floats,
                 },
-            );
+            )?;
         }
     } else if !plan.owned_rows[rank].is_empty() {
-        let msg = comm.recv(ROOT, scatter_tag);
-        for (k, &row) in msg.ints.iter().enumerate() {
-            factor
-                .row_mut(row as usize)
-                .copy_from_slice(&msg.floats[k * r_mode..(k + 1) * r_mode]);
-        }
+        let msg = comm.recv(ROOT, scatter_tag)?;
+        apply_rows(factor, &msg, ROOT)?;
     }
 
     let expand_tag = Tag::new(Phase::Expand, mode, iter);
@@ -661,17 +841,14 @@ fn scatter_and_expand<C: Communicator>(
                 ints: rows.iter().map(|&i| i as u64).collect(),
                 floats,
             },
-        );
+        )?;
     }
-    for (src, rows) in plan.expand_recv_from(rank) {
-        let msg = comm.recv(src, expand_tag);
-        debug_assert_eq!(msg.ints.len(), rows.len());
-        for (k, &row) in msg.ints.iter().enumerate() {
-            factor
-                .row_mut(row as usize)
-                .copy_from_slice(&msg.floats[k * r_mode..(k + 1) * r_mode]);
-        }
+    let expand_from: Vec<usize> = plan.expand_recv_from(rank).map(|(src, _)| src).collect();
+    for src in expand_from {
+        let msg = comm.recv(src, expand_tag)?;
+        apply_rows(factor, &msg, src)?;
     }
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -682,6 +859,7 @@ struct RankOutcome {
     decomposition: Option<TuckerDecomposition>,
     counters: CommCounters,
     cluster_words: [f64; 2],
+    failure: Option<RankFailure>,
 }
 
 struct ExecContext<'a> {
@@ -697,9 +875,16 @@ struct ExecContext<'a> {
 /// Replicated factor initialization: random factors are seeded identically
 /// everywhere; HOSVD factors are computed once at the root and broadcast
 /// so all ranks start from the same bits.
-fn init_factors<C: Communicator>(comm: &mut C, ctx: &ExecContext<'_>) -> Vec<Matrix> {
+fn init_factors<C: Communicator>(
+    comm: &mut C,
+    ctx: &ExecContext<'_>,
+) -> Result<Vec<Matrix>, CommError> {
     match ctx.config.initialization {
-        Initialization::Random => random_factors(ctx.tensor.dims(), ctx.ranks, ctx.config.seed),
+        Initialization::Random => Ok(random_factors(
+            ctx.tensor.dims(),
+            ctx.ranks,
+            ctx.config.seed,
+        )),
         Initialization::Hosvd => {
             let order = ctx.tensor.order();
             if comm.rank() == ROOT {
@@ -717,17 +902,30 @@ fn init_factors<C: Communicator>(comm: &mut C, ctx: &ExecContext<'_>) -> Vec<Mat
                             ints: vec![u.nrows() as u64, u.ncols() as u64],
                             floats: u.as_slice().to_vec(),
                         },
-                    );
+                    )?;
                 }
-                factors
+                Ok(factors)
             } else {
                 (0..order)
                     .map(|m| {
                         let msg = comm.broadcast(
                             ROOT,
                             Message::empty(Tag::new(Phase::Control, m, STEP_INIT)),
-                        );
-                        Matrix::from_vec(msg.ints[0] as usize, msg.ints[1] as usize, msg.floats)
+                        )?;
+                        if msg.ints.len() != 2
+                            || msg.floats.len() != (msg.ints[0] * msg.ints[1]) as usize
+                        {
+                            return Err(CommError::Corrupt {
+                                rank: comm.rank(),
+                                peer: ROOT,
+                                detail: "malformed factor broadcast".to_string(),
+                            });
+                        }
+                        Ok(Matrix::from_vec(
+                            msg.ints[0] as usize,
+                            msg.ints[1] as usize,
+                            msg.floats,
+                        ))
                     })
                     .collect()
             }
@@ -737,8 +935,13 @@ fn init_factors<C: Communicator>(comm: &mut C, ctx: &ExecContext<'_>) -> Vec<Mat
 
 /// One rank's whole life: build local state, initialize factors, run the
 /// HOOI iterations under the root's convergence decisions.  Returns the
-/// decomposition at the root, `None` elsewhere.
-fn rank_body<C: Communicator>(comm: &mut C, ctx: &ExecContext<'_>) -> Option<TuckerDecomposition> {
+/// decomposition at the root, `None` elsewhere; the first communication
+/// error aborts the body with a [`RankFailure`] naming the protocol phase
+/// and iteration it struck in.
+fn rank_body<C: Communicator>(
+    comm: &mut C,
+    ctx: &ExecContext<'_>,
+) -> Result<Option<TuckerDecomposition>, RankFailure> {
     let rank = comm.rank();
     let order = ctx.tensor.order();
     let ranks = ctx.ranks;
@@ -751,7 +954,8 @@ fn rank_body<C: Communicator>(comm: &mut C, ctx: &ExecContext<'_>) -> Option<Tuc
     timings.symbolic = t_build.elapsed();
 
     let t_init = Instant::now();
-    let mut factors = init_factors(comm, ctx);
+    let mut factors =
+        init_factors(comm, ctx).map_err(|e| RankFailure::observed(rank, Phase::Control, 0, e))?;
     timings.init = t_init.elapsed();
 
     let tensor_norm = if rank == ROOT {
@@ -771,7 +975,8 @@ fn rank_body<C: Communicator>(comm: &mut C, ctx: &ExecContext<'_>) -> Option<Tuc
             let mp = &ctx.plan.modes[mode];
 
             let t_ttmc = Instant::now();
-            local_ttmc_and_fold(&mut state, comm, mp, &factors, mode, iter as u32);
+            local_ttmc_and_fold(&mut state, comm, mp, &factors, mode, iter as u32)
+                .map_err(|e| RankFailure::observed(rank, Phase::Fold, iter as u32, e))?;
             if rank == ROOT {
                 let gws = global_ws.as_mut().expect("root workspace");
                 assemble_at_root(
@@ -782,9 +987,11 @@ fn rank_body<C: Communicator>(comm: &mut C, ctx: &ExecContext<'_>) -> Option<Tuc
                     gws.compact_mut(mode),
                     mode,
                     iter as u32,
-                );
+                )
+                .map_err(|e| RankFailure::observed(rank, Phase::Gather, iter as u32, e))?;
             } else {
-                gather_to_root(&state, comm, mp, width, mode, iter as u32);
+                gather_to_root(&state, comm, mp, width, mode, iter as u32)
+                    .map_err(|e| RankFailure::observed(rank, Phase::Gather, iter as u32, e))?;
             }
             timings.ttmc += t_ttmc.elapsed();
 
@@ -804,7 +1011,8 @@ fn rank_body<C: Communicator>(comm: &mut C, ctx: &ExecContext<'_>) -> Option<Tuc
                 factors[mode] = result.factor;
                 singular_values[mode] = result.singular_values;
             }
-            scatter_and_expand(comm, mp, &mut factors[mode], mode, iter as u32);
+            scatter_and_expand(comm, mp, &mut factors[mode], mode, iter as u32)
+                .map_err(|e| RankFailure::observed(rank, Phase::Scatter, iter as u32, e))?;
             timings.trsvd += t_trsvd.elapsed();
         }
 
@@ -836,10 +1044,14 @@ fn rank_body<C: Communicator>(comm: &mut C, ctx: &ExecContext<'_>) -> Option<Tuc
                     ints: vec![keep_going as u64],
                     floats: Vec::new(),
                 },
-            );
+            )
+            .map_err(|e| RankFailure::observed(rank, Phase::Control, iter as u32, e))?;
             keep_going
         } else {
-            comm.broadcast(ROOT, Message::empty(flag_tag)).ints[0] == 1
+            let verdict = comm
+                .broadcast(ROOT, Message::empty(flag_tag))
+                .map_err(|e| RankFailure::observed(rank, Phase::Control, iter as u32, e))?;
+            verdict.ints.first() == Some(&1)
         };
         timings.core += t_core.elapsed();
         if !keep_going {
@@ -849,38 +1061,107 @@ fn rank_body<C: Communicator>(comm: &mut C, ctx: &ExecContext<'_>) -> Option<Tuc
 
     if rank == ROOT {
         let gws = global_ws.as_ref().expect("root workspace");
-        Some(TuckerDecomposition {
+        Ok(Some(TuckerDecomposition {
             core: gws.core().clone(),
             factors,
             fits,
             iterations,
             singular_values,
             timings,
-        })
+        }))
     } else {
-        None
+        Ok(None)
+    }
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
 fn run_rank<C: Communicator>(mut comm: C, ctx: &ExecContext<'_>) -> RankOutcome {
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(ctx.rank_threads)
-        .build()
-        .expect("per-rank compute pool");
-    let decomposition = pool.install(|| rank_body(&mut comm, ctx));
-    // Digest the measured expand/fold volumes through the trait's own
-    // allreduce so every rank (and the report) sees the cluster totals the
-    // same way the algorithm would.
-    let mut cluster_words = [
-        comm.counters().phase(Phase::Expand).floats_sent as f64,
-        comm.counters().phase(Phase::Fold).floats_sent as f64,
-    ];
-    comm.barrier(STEP_FINAL_BARRIER);
-    comm.allreduce_sum(STEP_FINAL_ALLREDUCE, &mut cluster_words);
+    let rank = comm.rank();
+    // The body runs under catch_unwind so that a panic anywhere in the
+    // numeric kernels (or the pool construction) degrades into the same
+    // typed failure path as a communication error — it never crosses the
+    // rank-thread boundary.
+    let body = catch_unwind(AssertUnwindSafe(|| {
+        match rayon::ThreadPoolBuilder::new()
+            .num_threads(ctx.rank_threads)
+            .build()
+        {
+            Ok(pool) => pool.install(|| rank_body(&mut comm, ctx)),
+            Err(e) => Err(RankFailure {
+                rank,
+                origin: rank,
+                phase: Phase::Control,
+                iteration: 0,
+                source: FailureSource::Panic(format!("per-rank compute pool failed: {e}")),
+            }),
+        }
+    }));
+    let (decomposition, mut failure) = match body {
+        Ok(Ok(d)) => (d, None),
+        Ok(Err(f)) => (None, Some(f)),
+        Err(payload) => (
+            None,
+            Some(RankFailure {
+                rank,
+                origin: rank,
+                phase: Phase::Control,
+                iteration: 0,
+                source: FailureSource::Panic(panic_detail(payload)),
+            }),
+        ),
+    };
+    if let Some(f) = &failure {
+        // Poison the surviving links so peers blocked in collectives unwind
+        // immediately instead of waiting out their deadline.  Only the
+        // original observer forwards: a rank that is itself unwinding from
+        // a RemoteAbort would re-broadcast stale context to ranks that
+        // already know.
+        if f.origin == rank {
+            comm.send_abort(f.origin, f.phase, f.iteration);
+        }
+    } else {
+        // Digest the measured expand/fold volumes through the trait's own
+        // allreduce so every rank (and the report) sees the cluster totals
+        // the same way the algorithm would.
+        let mut cluster_words = [
+            comm.counters().phase(Phase::Expand).floats_sent as f64,
+            comm.counters().phase(Phase::Fold).floats_sent as f64,
+        ];
+        let digest = comm
+            .barrier(STEP_FINAL_BARRIER)
+            .and_then(|()| comm.allreduce_sum(STEP_FINAL_ALLREDUCE, &mut cluster_words));
+        match digest {
+            Ok(()) => {
+                return RankOutcome {
+                    decomposition,
+                    counters: comm.counters().clone(),
+                    cluster_words,
+                    failure: None,
+                };
+            }
+            Err(e) => {
+                let f = RankFailure::observed(rank, Phase::Control, FINAL_COLLECTIVES_ITERATION, e);
+                if f.origin == rank {
+                    comm.send_abort(f.origin, f.phase, f.iteration);
+                }
+                failure = Some(f);
+            }
+        }
+    }
     RankOutcome {
-        decomposition,
+        decomposition: None,
         counters: comm.counters().clone(),
-        cluster_words,
+        cluster_words: [0.0; 2],
+        failure,
     }
 }
 
@@ -892,31 +1173,45 @@ fn run_world<C: Communicator>(world: Vec<C>, ctx: &ExecContext<'_>) -> Vec<RankO
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("rank thread panicked"))
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().unwrap_or_else(|payload| RankOutcome {
+                    decomposition: None,
+                    counters: CommCounters::default(),
+                    cluster_words: [0.0; 2],
+                    failure: Some(RankFailure {
+                        rank,
+                        origin: rank,
+                        phase: Phase::Control,
+                        iteration: 0,
+                        source: FailureSource::Panic(panic_detail(payload)),
+                    }),
+                })
+            })
             .collect()
     })
+}
+
+/// Picks the failure the whole run is reported as: the lowest origin rank,
+/// preferring that origin's own record over a survivor's echo of it.
+fn representative_failure(outcomes: &[RankOutcome]) -> Option<&RankFailure> {
+    outcomes
+        .iter()
+        .filter_map(|o| o.failure.as_ref())
+        .min_by_key(|f| (f.origin, f.rank != f.origin, f.rank))
 }
 
 // ---------------------------------------------------------------------------
 // Public entry points
 // ---------------------------------------------------------------------------
 
-/// Runs the distributed HOOI executor and returns the decomposition
-/// together with the per-rank measured communication.
-///
-/// Validation mirrors the shared-memory solver ([`TuckerError::EmptyTensor`],
-/// [`TuckerError::OrderMismatch`], [`TuckerError::ZeroRank`]); asking for
-/// the TCP backend in an environment that forbids sockets surfaces as
-/// [`TuckerError::PoolFailure`] carrying the I/O reason.
-///
-/// # Panics
-/// Panics if `setup` was built for a tensor with different mode sizes.
-pub fn execute_hooi(
+/// Validates inputs and builds the shared symbolic context; the common
+/// front half of [`execute_hooi`] and [`execute_hooi_chaos`].
+fn validate(
     tensor: &SparseTensor,
     setup: &DistributedSetup,
     config: &TuckerConfig,
-    options: &ExecOptions,
-) -> Result<DistributedRun, TuckerError> {
+) -> Result<Vec<usize>, TuckerError> {
     if tensor.order() == 0 || tensor.nnz() == 0 {
         return Err(TuckerError::EmptyTensor);
     }
@@ -926,6 +1221,61 @@ pub fn execute_hooi(
         tensor.dims(),
         "setup was built for a different tensor"
     );
+    Ok(ranks)
+}
+
+fn run_on_backend(
+    ctx: &ExecContext<'_>,
+    p: usize,
+    options: &ExecOptions,
+    plan: &FaultPlan,
+    probe: &FaultProbe,
+) -> Result<Vec<RankOutcome>, TuckerError> {
+    let deadline = options.deadline;
+    Ok(match options.backend {
+        CommBackend::Channel => {
+            let world: Vec<_> = plan
+                .wrap(channel_transports(p), probe)
+                .into_iter()
+                .map(|t| Endpoint::with_deadline(t, deadline))
+                .collect();
+            run_world(world, ctx)
+        }
+        CommBackend::Tcp => {
+            let transports = tcp_transports(p, &deadline).map_err(|e| {
+                TuckerError::PoolFailure(format!("loopback TCP backend unavailable: {e}"))
+            })?;
+            let world: Vec<_> = plan
+                .wrap(transports, probe)
+                .into_iter()
+                .map(|t| Endpoint::with_deadline(t, deadline))
+                .collect();
+            run_world(world, ctx)
+        }
+    })
+}
+
+/// Runs the distributed HOOI executor and returns the decomposition
+/// together with the per-rank measured communication.
+///
+/// Validation mirrors the shared-memory solver ([`TuckerError::EmptyTensor`],
+/// [`TuckerError::OrderMismatch`], [`TuckerError::ZeroRank`]); asking for
+/// the TCP backend in an environment that forbids sockets surfaces as
+/// [`TuckerError::PoolFailure`] carrying the I/O reason.  A rank failure
+/// mid-run (dead peer, timeout, corrupt frame, panic in a rank body)
+/// surfaces as [`TuckerError::RankFailed`] within the configured
+/// [`ExecOptions::deadline`] — the executor never hangs and never lets a
+/// rank's panic cross the thread boundary.
+///
+/// # Panics
+/// Panics if `setup` was built for a tensor with different mode sizes.
+pub fn execute_hooi(
+    tensor: &SparseTensor,
+    setup: &DistributedSetup,
+    config: &TuckerConfig,
+    options: &ExecOptions,
+) -> Result<DistributedRun, TuckerError> {
+    let ranks = validate(tensor, setup, config)?;
     let p = setup.config.num_ranks;
     let t0 = Instant::now();
     let global_sym = SymbolicTtmc::build(tensor);
@@ -939,17 +1289,12 @@ pub fn execute_hooi(
         ranks: &ranks,
         rank_threads: options.rank_threads,
     };
-    let outcomes = match options.backend {
-        CommBackend::Channel => run_world(channel_world(p), &ctx),
-        CommBackend::Tcp => {
-            let world = tcp_world(p).map_err(|e| {
-                TuckerError::PoolFailure(format!("loopback TCP backend unavailable: {e}"))
-            })?;
-            run_world(world, &ctx)
-        }
-    };
+    let outcomes = run_on_backend(&ctx, p, options, &FaultPlan::empty(), &FaultProbe::new())?;
     let wall = t0.elapsed();
 
+    if let Some(f) = representative_failure(&outcomes) {
+        return Err(f.to_tucker_error());
+    }
     let mut decomposition = None;
     let mut comm = Vec::with_capacity(p);
     let mut cluster = [0.0; 2];
@@ -965,6 +1310,65 @@ pub fn execute_hooi(
         comm,
         cluster_expand_floats: cluster[0],
         cluster_fold_floats: cluster[1],
+        backend: options.backend,
+        wall,
+    })
+}
+
+/// Runs the executor under a seeded [`FaultPlan`], reporting every rank's
+/// individual verdict alongside the run's overall outcome.  The chaos
+/// contract this enforces (and `tests/faults.rs` plus the `chaos` bench
+/// bin gate): a faulted run resolves to typed [`TuckerError::RankFailed`]
+/// on every surviving rank within the configured deadline — no hangs, no
+/// cross-thread panics — and a run whose plan never fires is bit-identical
+/// to [`execute_hooi`] with identical counters.
+pub fn execute_hooi_chaos(
+    tensor: &SparseTensor,
+    setup: &DistributedSetup,
+    config: &TuckerConfig,
+    options: &ExecOptions,
+    plan: &FaultPlan,
+) -> Result<ChaosRun, TuckerError> {
+    let ranks = validate(tensor, setup, config)?;
+    let p = setup.config.num_ranks;
+    let t0 = Instant::now();
+    let global_sym = SymbolicTtmc::build(tensor);
+    let exec_plan = ExecPlan::build(tensor, setup, &global_sym);
+    let ctx = ExecContext {
+        tensor,
+        setup,
+        plan: &exec_plan,
+        global_sym: &global_sym,
+        config,
+        ranks: &ranks,
+        rank_threads: options.rank_threads,
+    };
+    let probe = FaultProbe::new();
+    let outcomes = run_on_backend(&ctx, p, options, plan, &probe)?;
+    let wall = t0.elapsed();
+
+    let representative = representative_failure(&outcomes).map(RankFailure::to_tucker_error);
+    let rank_errors: Vec<Option<TuckerError>> = outcomes
+        .iter()
+        .map(|o| o.failure.as_ref().map(RankFailure::to_tucker_error))
+        .collect();
+    let mut decomposition = None;
+    let mut comm = Vec::with_capacity(p);
+    for (r, o) in outcomes.into_iter().enumerate() {
+        if r == ROOT {
+            decomposition = o.decomposition;
+        }
+        comm.push(o.counters);
+    }
+    let outcome = match representative {
+        Some(e) => Err(e),
+        None => Ok(decomposition.expect("root returns the decomposition")),
+    };
+    Ok(ChaosRun {
+        outcome,
+        rank_errors,
+        comm,
+        faults_fired: probe.fired(),
         backend: options.backend,
         wall,
     })
@@ -1009,14 +1413,17 @@ pub fn distributed_ttmc(
                     let rank = comm.rank();
                     let mut state = RankState::build(rank, tensor, setup, pseudo_ranks);
                     let mp = &plan.modes[mode];
-                    local_ttmc_and_fold(&mut state, &mut comm, mp, factors, mode, 0);
+                    local_ttmc_and_fold(&mut state, &mut comm, mp, factors, mode, 0)
+                        .expect("fault-free distributed_ttmc");
                     if rank == ROOT {
                         let gsm = global_sym.mode(mode);
                         let mut out = Matrix::zeros(gsm.num_rows(), width);
-                        assemble_at_root(&state, &mut comm, mp, global_sym, &mut out, mode, 0);
+                        assemble_at_root(&state, &mut comm, mp, global_sym, &mut out, mode, 0)
+                            .expect("fault-free distributed_ttmc");
                         Some(out)
                     } else {
-                        gather_to_root(&state, &mut comm, mp, width, mode, 0);
+                        gather_to_root(&state, &mut comm, mp, width, mode, 0)
+                            .expect("fault-free distributed_ttmc");
                         None
                     }
                 })
@@ -1279,6 +1686,58 @@ mod tests {
             .unwrap_err(),
             TuckerError::EmptyTensor
         );
+    }
+
+    #[test]
+    fn injected_disconnect_yields_rank_failed_everywhere() {
+        use crate::fault::{FaultAction, FaultOp, FaultTrigger};
+        let t = tensor();
+        let tucker = TuckerConfig::new(vec![2, 2, 2]).max_iterations(3).seed(5);
+        let config = SimConfig::new(3, Grain::Fine, PartitionMethod::Random, vec![2, 2, 2]);
+        let setup = DistributedSetup::build(&t, &config);
+        let plan = FaultPlan::one(FaultTrigger {
+            rank: 1,
+            peer: 0,
+            op: FaultOp::Send,
+            nth: 0,
+            action: FaultAction::Disconnect,
+        });
+        let opts = ExecOptions::new()
+            .deadline(CommDeadline::with_recv_timeout(Duration::from_millis(500)));
+        let run = execute_hooi_chaos(&t, &setup, &tucker, &opts, &plan).unwrap();
+        assert!(run.faults_fired >= 1, "the trigger must fire");
+        assert!(
+            matches!(run.outcome, Err(TuckerError::RankFailed { .. })),
+            "outcome: {:?}",
+            run.outcome
+        );
+        for (r, e) in run.rank_errors.iter().enumerate() {
+            assert!(
+                matches!(e, Some(TuckerError::RankFailed { .. })),
+                "rank {r} must report a typed failure, got {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical_with_equal_counters() {
+        let t = tensor();
+        let tucker = TuckerConfig::new(vec![3, 3, 3]).max_iterations(2).seed(6);
+        let config = SimConfig::new(3, Grain::Coarse, PartitionMethod::Block, vec![3, 3, 3]);
+        let setup = DistributedSetup::build(&t, &config);
+        let clean = execute_hooi(&t, &setup, &tucker, &ExecOptions::default()).unwrap();
+        let chaos = execute_hooi_chaos(
+            &t,
+            &setup,
+            &tucker,
+            &ExecOptions::default(),
+            &FaultPlan::empty(),
+        )
+        .unwrap();
+        assert_eq!(chaos.faults_fired, 0);
+        let dec = chaos.outcome.expect("empty plan completes cleanly");
+        assert_identical(&dec, &clean.decomposition, "empty fault plan");
+        assert_eq!(chaos.comm, clean.comm, "counters must be untouched");
     }
 
     #[test]

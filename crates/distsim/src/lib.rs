@@ -39,25 +39,42 @@
 //!   volumes, and the executor-facing expand/fold word predictions,
 //! * [`cost`] — statistics + machine model → per-iteration times (Tables
 //!   II, IV and V),
-//! * [`comm`] — the `Communicator` trait, counters, and the channel/TCP
-//!   backends,
+//! * [`comm`] — the `Communicator` trait, counters, typed
+//!   [`comm::CommError`]s with per-endpoint [`comm::CommDeadline`]s, and
+//!   the channel/TCP backends,
+//! * [`fault`] — deterministic fault injection: a seeded
+//!   [`fault::FaultPlan`] drives a [`fault::FaultyTransport`] wrapper that
+//!   drops, delays, disconnects, or corrupts exact messages so chaos tests
+//!   are reproducible,
 //! * [`exec`] — the message-passing executor
 //!   ([`exec::distributed_hooi`], [`exec::execute_hooi`],
-//!   [`exec::distributed_ttmc`]).
+//!   [`exec::distributed_ttmc`], and the chaos entry point
+//!   [`exec::execute_hooi_chaos`]).
+//!
+//! The executor's failure model: every receive is bounded by the
+//! endpoint's deadline, any observed [`comm::CommError`] triggers a poison
+//! abort on surviving links, and every live rank unwinds to a typed
+//! `TuckerError::RankFailed` carrying the origin rank, phase, and
+//! iteration — no hangs, no cross-thread panics.
 
 pub mod comm;
 pub mod cost;
 pub mod exec;
+pub mod fault;
 pub mod machine;
 pub mod setup;
 pub mod stats;
 
 pub use comm::{
-    channel_world, loopback_tcp_available, tcp_world, CommBackend, CommCounters, Communicator,
-    Message, Phase, Tag,
+    channel_world, loopback_tcp_available, tcp_world, tcp_world_with, CommBackend, CommCounters,
+    CommDeadline, CommError, Communicator, Message, Phase, Tag,
 };
 pub use cost::{simulate_iteration, IterationCost};
-pub use exec::{distributed_hooi, distributed_ttmc, execute_hooi, DistributedRun, ExecOptions};
+pub use exec::{
+    distributed_hooi, distributed_ttmc, execute_hooi, execute_hooi_chaos, ChaosRun, DistributedRun,
+    ExecOptions, FailureSource, RankFailure,
+};
+pub use fault::{FaultAction, FaultOp, FaultPlan, FaultProbe, FaultTrigger, FaultyTransport};
 pub use machine::MachineModel;
 pub use setup::{DistributedSetup, Grain, ModeRelations, PartitionMethod, RowRelations, SimConfig};
 pub use stats::{iteration_stats, IterationStats, ModeRankStats};

@@ -73,6 +73,38 @@ pub enum TuckerError {
         /// The id the request asked for.
         tensor_id: String,
     },
+    /// A rank of the distributed executor failed mid-solve — a peer
+    /// disconnected, a receive timed out, or a frame arrived corrupt — and
+    /// the failure was propagated to every surviving rank through the
+    /// executor's abort protocol.  `rank` is the rank that first observed
+    /// the fault (the *origin*), so all survivors agree on the attribution;
+    /// `phase` and `iteration` locate the failure inside Algorithm 4, and
+    /// `source` carries the underlying comm error's message.  The fields
+    /// are plain strings because the solver crate does not depend on the
+    /// executor's comm types.
+    RankFailed {
+        /// The rank that first observed the failure.
+        rank: usize,
+        /// The Algorithm 4 phase label (e.g. "fold", "gather") at the
+        /// failure point.
+        phase: String,
+        /// The HOOI iteration in which the failure occurred
+        /// (`u64::from(u32::MAX)` marks the final collectives after the
+        /// iteration loop).
+        iteration: u64,
+        /// Human-readable description of the underlying fault.
+        source: String,
+    },
+    /// A solve or predict running inside the decomposition service
+    /// panicked.  The panic was caught at the request boundary, the
+    /// offending tensor entry was quarantined, and every other tenant kept
+    /// serving — this variant is the poisoned request's answer.
+    SolvePanicked {
+        /// The id of the tensor whose request panicked.
+        tensor_id: String,
+        /// The panic payload's message, if it was a string.
+        detail: String,
+    },
     /// A `.tns` ingestion failure — parse error, index out of the declared
     /// range, rejected duplicate, truncated file, or an I/O fault — with
     /// the reader's message (line numbers included) carried as a string so
@@ -131,6 +163,28 @@ impl fmt::Display for TuckerError {
                     "tensor '{tensor_id}' has no completed decomposition to predict from"
                 )
             }
+            TuckerError::RankFailed {
+                rank,
+                phase,
+                iteration,
+                source,
+            } => {
+                if *iteration == u64::from(u32::MAX) {
+                    write!(
+                        f,
+                        "rank {rank} failed during {phase} in the final collectives: {source}"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "rank {rank} failed during {phase} at iteration {iteration}: {source}"
+                    )
+                }
+            }
+            TuckerError::SolvePanicked { tensor_id, detail } => write!(
+                f,
+                "solve for tensor '{tensor_id}' panicked and the entry was quarantined: {detail}"
+            ),
             TuckerError::Ingestion(reason) => {
                 write!(f, "tensor ingestion failed: {reason}")
             }
@@ -202,6 +256,44 @@ mod tests {
         }
         .to_string();
         assert!(msg.contains("flickr") && msg.contains("decomposition"));
+    }
+
+    #[test]
+    fn robustness_variants_carry_full_attribution() {
+        let msg = TuckerError::RankFailed {
+            rank: 2,
+            phase: "fold".into(),
+            iteration: 5,
+            source: "recv from peer 1 timed out after 300 ms".into(),
+        }
+        .to_string();
+        assert!(
+            msg.contains("rank 2") && msg.contains("fold") && msg.contains("iteration 5"),
+            "attribution lost: {msg}"
+        );
+        assert!(msg.contains("timed out"), "source lost: {msg}");
+
+        let msg = TuckerError::RankFailed {
+            rank: 0,
+            phase: "control".into(),
+            iteration: u64::from(u32::MAX),
+            source: "peer 3 disconnected".into(),
+        }
+        .to_string();
+        assert!(
+            msg.contains("final collectives"),
+            "sentinel iteration must not print as a number: {msg}"
+        );
+
+        let msg = TuckerError::SolvePanicked {
+            tensor_id: "poisoned".into(),
+            detail: "index out of bounds".into(),
+        }
+        .to_string();
+        assert!(
+            msg.contains("poisoned") && msg.contains("quarantined") && msg.contains("index"),
+            "panic answer lost context: {msg}"
+        );
     }
 
     #[test]

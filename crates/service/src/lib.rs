@@ -28,6 +28,14 @@
 //!   decomposition so far flagged truncated, and a request whose budget
 //!   expired while queueing fails with
 //!   [`hooi::TuckerError::DeadlineExpired`].
+//! * **Panic isolation** — every solve and predict runs behind
+//!   `catch_unwind`: a panicking request answers
+//!   [`hooi::TuckerError::SolvePanicked`], its tensor entry is quarantined
+//!   (until a fresh ingest replaces it) and its poisoned session is
+//!   dropped, while the shared pool, the plan cache, the scheduler and
+//!   every other tenant keep serving.  Panicked and deadline-expired
+//!   requests are charged zero flops — the fairness accounts never bill
+//!   work that produced nothing.
 //!
 //! The `service_load` bench bin replays a Zipf-skewed multi-tenant mix
 //! (`datagen::requests`) against this service and emits latency,

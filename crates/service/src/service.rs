@@ -11,6 +11,7 @@ use hooi::{
 };
 use sptensor::SparseTensor;
 use std::collections::BTreeMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -84,6 +85,12 @@ impl ServiceOptions {
 struct TensorEntry {
     tensor: Arc<SparseTensor>,
     latest: Option<TuckerDecomposition>,
+    /// `Some(panic message)` after a solve or predict on this tensor
+    /// panicked.  A quarantined entry answers every further decompose or
+    /// predict with [`TuckerError::SolvePanicked`] until a fresh ingest
+    /// replaces it; eviction still works, and no other tenant or tensor is
+    /// affected.
+    quarantined: Option<String>,
 }
 
 #[derive(Debug, Default)]
@@ -95,6 +102,18 @@ struct Counters {
     predicts: u64,
     evicts: u64,
     truncated: u64,
+    panicked: u64,
+}
+
+/// Renders a caught panic payload for the quarantine record.
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// A multi-tenant decomposition server: owns the tensors, one shared
@@ -217,6 +236,10 @@ impl DecompositionService {
             }
             Ok(Response::Predicted { .. }) => self.counters.predicts += 1,
             Ok(Response::Evicted { .. }) => self.counters.evicts += 1,
+            Err(TuckerError::SolvePanicked { .. }) => {
+                self.counters.failed += 1;
+                self.counters.panicked += 1;
+            }
             Err(_) => self.counters.failed += 1,
         }
         Some(Completed {
@@ -284,6 +307,13 @@ impl DecompositionService {
             predicts: self.counters.predicts,
             evicts: self.counters.evicts,
             truncated_decomposes: self.counters.truncated,
+            panicked: self.counters.panicked,
+            quarantined_tensors: self
+                .registry
+                .iter()
+                .filter(|(_, e)| e.quarantined.is_some())
+                .map(|(id, _)| id.clone())
+                .collect(),
             plan_cache_hits: self.cache.hits(),
             plan_cache_misses: self.cache.misses(),
             plan_cache_bytes: self.cache.bytes(),
@@ -328,11 +358,14 @@ impl DecompositionService {
         let charge = (tensor.nnz() * tensor.order()) as u64;
         // Replacing an id drops the previous generation's plan and model.
         self.cache.remove(&tensor_id);
+        // A fresh ingest replaces the whole entry, which also lifts any
+        // quarantine from a previous generation.
         self.registry.insert(
             tensor_id.clone(),
             TensorEntry {
                 tensor,
                 latest: None,
+                quarantined: None,
             },
         );
         self.clock += 1;
@@ -365,6 +398,14 @@ impl DecompositionService {
         let Some(entry) = self.registry.get(&tensor_id) else {
             return (Err(TuckerError::UnknownTensorId { tensor_id }), 0, None);
         };
+        if let Some(detail) = &entry.quarantined {
+            let detail = detail.clone();
+            return (
+                Err(TuckerError::SolvePanicked { tensor_id, detail }),
+                0,
+                None,
+            );
+        }
         let tensor = Arc::clone(&entry.tensor);
         // A request that spent its whole budget queueing is rejected rather
         // than answered with a zero-iteration model.
@@ -407,7 +448,11 @@ impl DecompositionService {
         let config = TuckerConfig::new(ranks)
             .max_iterations(max_iters)
             .seed(seed);
-        let solved = match deadline {
+        // The solve runs behind `catch_unwind` so a panicking request is an
+        // answer, not an outage: the shared pool survives (workers re-throw
+        // into the caller), the poisoned session is dropped instead of
+        // being re-cached, and only this tensor's entry is quarantined.
+        let attempt = catch_unwind(AssertUnwindSafe(|| match deadline {
             Some(d) => {
                 let mut observer = DeadlineObserver::at(arrival + d);
                 let outcome = self
@@ -419,6 +464,23 @@ impl DecompositionService {
                 .pool
                 .install(|| session.solve(&config))
                 .map(|dec| (dec, false)),
+        }));
+        let solved = match attempt {
+            Ok(solved) => solved,
+            Err(payload) => {
+                let detail = panic_detail(payload);
+                self.cache.remove(&tensor_id);
+                if let Some(entry) = self.registry.get_mut(&tensor_id) {
+                    entry.quarantined = Some(detail.clone());
+                }
+                // Charged 0: the fairness accounts must not bill work that
+                // never produced a model.
+                return (
+                    Err(TuckerError::SolvePanicked { tensor_id, detail }),
+                    0,
+                    Some(hit),
+                );
+            }
         };
         // Fairness charge: the per-mode TTMc cost model at the effective
         // (clamped) ranks, per iteration actually run.  The same model for
@@ -460,6 +522,14 @@ impl DecompositionService {
         let Some(entry) = self.registry.get(&tensor_id) else {
             return (Err(TuckerError::UnknownTensorId { tensor_id }), 0, None);
         };
+        if let Some(detail) = &entry.quarantined {
+            let detail = detail.clone();
+            return (
+                Err(TuckerError::SolvePanicked { tensor_id, detail }),
+                0,
+                None,
+            );
+        }
         let Some(latest) = entry.latest.as_ref() else {
             return (Err(TuckerError::NothingDecomposed { tensor_id }), 0, None);
         };
@@ -476,11 +546,30 @@ impl DecompositionService {
                 );
             }
         }
-        let values = latest.predict_many(&indices);
-        // The predict cost model: one fused multiply-add per factor entry
-        // per core term per query.
-        let charge = (values.len() * (2 * order + 1) * latest.core.len()) as u64;
-        (Ok(Response::Predicted { values }), charge, None)
+        // Model reads panic on out-of-range indices; catch it here so a
+        // poisoned query answers as a value and quarantines only this
+        // tensor's entry.
+        let core_len = latest.core.len();
+        let attempt = catch_unwind(AssertUnwindSafe(|| latest.predict_many(&indices)));
+        match attempt {
+            Ok(values) => {
+                // The predict cost model: one fused multiply-add per factor
+                // entry per core term per query.
+                let charge = (values.len() * (2 * order + 1) * core_len) as u64;
+                (Ok(Response::Predicted { values }), charge, None)
+            }
+            Err(payload) => {
+                let detail = panic_detail(payload);
+                if let Some(entry) = self.registry.get_mut(&tensor_id) {
+                    entry.quarantined = Some(detail.clone());
+                }
+                (
+                    Err(TuckerError::SolvePanicked { tensor_id, detail }),
+                    0,
+                    None,
+                )
+            }
+        }
     }
 
     fn do_evict(
@@ -803,6 +892,116 @@ mod tests {
         assert!(svc.tensor_ids().is_empty());
         assert!(svc.cached_plan_ids().is_empty());
         assert!(svc.latest("t").is_none());
+    }
+
+    #[test]
+    fn panicking_predict_is_answered_and_quarantines_only_its_tensor() {
+        let mut svc = service(usize::MAX);
+        for id in ["healthy", "poisoned"] {
+            svc.submit(
+                "a",
+                Request::Ingest {
+                    tensor_id: id.into(),
+                    tensor: toy(),
+                },
+            );
+            svc.submit("a", decompose(id, 3));
+        }
+        svc.run_until_idle();
+        // Out-of-range indices panic inside predict_many; the service must
+        // answer, not die.
+        svc.submit(
+            "a",
+            Request::Predict {
+                tensor_id: "poisoned".into(),
+                indices: vec![vec![1000, 1000, 1000]],
+            },
+        );
+        let done = svc.run_until_idle();
+        assert!(
+            matches!(&done[0].outcome, Err(TuckerError::SolvePanicked { tensor_id, .. })
+                if tensor_id == "poisoned"),
+            "expected SolvePanicked, got {:?}",
+            done[0].outcome
+        );
+        assert_eq!(done[0].charged_flops, 0, "no charge for panicked work");
+        // The quarantine holds for both predicts and decomposes on the
+        // poisoned id...
+        svc.submit(
+            "a",
+            Request::Predict {
+                tensor_id: "poisoned".into(),
+                indices: vec![vec![0, 0, 0]],
+            },
+        );
+        svc.submit("a", decompose("poisoned", 3));
+        // ...while the healthy tensor keeps serving.
+        svc.submit(
+            "a",
+            Request::Predict {
+                tensor_id: "healthy".into(),
+                indices: vec![vec![0, 0, 0]],
+            },
+        );
+        let done = svc.run_until_idle();
+        assert!(matches!(
+            done[0].outcome,
+            Err(TuckerError::SolvePanicked { .. })
+        ));
+        assert!(matches!(
+            done[1].outcome,
+            Err(TuckerError::SolvePanicked { .. })
+        ));
+        assert!(matches!(done[2].outcome, Ok(Response::Predicted { .. })));
+        let stats = svc.stats();
+        assert_eq!(stats.panicked, 3);
+        assert_eq!(stats.quarantined_tensors, vec!["poisoned".to_string()]);
+        // A fresh ingest lifts the quarantine.
+        svc.submit(
+            "a",
+            Request::Ingest {
+                tensor_id: "poisoned".into(),
+                tensor: toy(),
+            },
+        );
+        svc.submit("a", decompose("poisoned", 3));
+        let done = svc.run_until_idle();
+        assert!(matches!(done[1].outcome, Ok(Response::Decomposed { .. })));
+        assert!(svc.stats().quarantined_tensors.is_empty());
+    }
+
+    #[test]
+    fn evict_works_on_a_quarantined_tensor() {
+        let mut svc = service(usize::MAX);
+        svc.submit(
+            "a",
+            Request::Ingest {
+                tensor_id: "t".into(),
+                tensor: toy(),
+            },
+        );
+        svc.submit("a", decompose("t", 1));
+        svc.submit(
+            "a",
+            Request::Predict {
+                tensor_id: "t".into(),
+                indices: vec![vec![999, 999, 999]],
+            },
+        );
+        svc.submit(
+            "a",
+            Request::Evict {
+                tensor_id: "t".into(),
+            },
+        );
+        let done = svc.run_until_idle();
+        assert!(matches!(
+            done[2].outcome,
+            Err(TuckerError::SolvePanicked { .. })
+        ));
+        assert!(matches!(done[3].outcome, Ok(Response::Evicted { .. })));
+        assert!(svc.tensor_ids().is_empty());
+        assert!(svc.stats().quarantined_tensors.is_empty());
     }
 
     #[test]

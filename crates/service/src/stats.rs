@@ -20,6 +20,14 @@ pub struct ServiceStats {
     pub evicts: u64,
     /// Decompositions flagged truncated by their deadline.
     pub truncated_decomposes: u64,
+    /// Requests answered with [`hooi::TuckerError::SolvePanicked`] — a
+    /// caught panic or a hit on an already-quarantined tensor.  Each one is
+    /// also counted in `failed`.
+    pub panicked: u64,
+    /// Tensor ids currently quarantined after a panicking solve or
+    /// predict, in key order.  A fresh ingest under the same id lifts the
+    /// quarantine.
+    pub quarantined_tensors: Vec<String>,
     /// Plan-cache lookups that found a cached session.
     pub plan_cache_hits: u64,
     /// Plan-cache lookups that had to re-plan.

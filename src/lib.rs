@@ -11,7 +11,9 @@
 //! * [`distsim`] — the distributed-memory simulator (coarse/fine grain,
 //!   statistics and cost model) and the message-passing executor that runs
 //!   Algorithm 4 over real channel/TCP backends, bit-identically to the
-//!   shared-memory solver,
+//!   shared-memory solver, with typed comm errors, recv deadlines, a
+//!   graceful abort protocol and deterministic fault injection
+//!   ([`distsim::FaultPlan`]),
 //! * [`partition`] — hypergraph models and partitioners,
 //! * [`service`] — the multi-tenant decomposition service: a tensor
 //!   registry with one shared thread pool, a memory-budgeted plan cache,
@@ -67,9 +69,11 @@ pub use sptensor;
 pub mod prelude {
     pub use datagen::{lowrank_tensor, random_tensor, DatasetProfile, LowRankSpec, ProfileName};
     pub use distsim::{
-        distributed_hooi, execute_hooi, loopback_tcp_available, simulate_iteration, CommBackend,
-        CommCounters, Communicator, DistributedRun, DistributedSetup, ExecOptions, Grain,
-        MachineModel, PartitionMethod, SimConfig,
+        distributed_hooi, execute_hooi, execute_hooi_chaos, loopback_tcp_available,
+        simulate_iteration, ChaosRun, CommBackend, CommCounters, CommDeadline, CommError,
+        Communicator, DistributedRun, DistributedSetup, ExecOptions, FailureSource, FaultAction,
+        FaultOp, FaultPlan, FaultProbe, FaultTrigger, Grain, MachineModel, PartitionMethod,
+        RankFailure, SimConfig,
     };
     pub use hooi::{
         tucker_hooi, DeadlineObserver, DimTree, IndexLayout, Initialization, IterationControl,

@@ -15,6 +15,8 @@
 use tucker_repro::distsim::{iteration_stats, Phase};
 use tucker_repro::prelude::*;
 
+use std::time::Duration;
+
 fn bits(m: &linalg::Matrix) -> Vec<u64> {
     m.as_slice().iter().map(|x| x.to_bits()).collect()
 }
@@ -193,6 +195,55 @@ fn tcp_smoke_matches_channel_or_skips() {
     .unwrap();
     let reference = solver.solve(&config).unwrap();
     assert_identical(&tcp.decomposition, &reference, "tcp vs solver");
+}
+
+/// The failure contract next to the bit-identity contract: a mid-solve
+/// link cut turns into `TuckerError::RankFailed` on every rank (never a
+/// panic, never a hang), while the same configuration without the fault
+/// still matches the shared-memory solver exactly.  The full chaos matrix
+/// lives in `tests/faults.rs`; this is the executor-smoke view of it.
+#[test]
+fn executor_failure_is_a_typed_error_not_a_hang() {
+    let tensor = random_tensor(&[18, 14, 10], 500, 13);
+    let config = TuckerConfig::new(vec![2, 2, 2]).max_iterations(3).seed(6);
+    let sim = SimConfig::new(3, Grain::Fine, PartitionMethod::Block, vec![2, 2, 2]);
+    let setup = DistributedSetup::build(&tensor, &sim);
+    let opts =
+        ExecOptions::new().deadline(CommDeadline::with_recv_timeout(Duration::from_millis(400)));
+    let plan = FaultPlan::one(FaultTrigger {
+        rank: 2,
+        peer: 0,
+        op: FaultOp::Recv,
+        nth: 1,
+        action: FaultAction::Disconnect,
+    });
+    let run = execute_hooi_chaos(&tensor, &setup, &config, &opts, &plan).unwrap();
+    assert!(run.faults_fired >= 1, "the injected fault must fire");
+    match &run.outcome {
+        Err(TuckerError::RankFailed { phase, source, .. }) => {
+            assert!(!phase.is_empty(), "failure must name its phase");
+            assert!(!source.is_empty(), "failure must carry its cause");
+        }
+        other => panic!("expected RankFailed, got {other:?}"),
+    }
+    for (r, e) in run.rank_errors.iter().enumerate() {
+        assert!(
+            matches!(e, Some(TuckerError::RankFailed { .. })),
+            "rank {r} must fail typed, got {e:?}"
+        );
+    }
+    // The identical configuration without the fault still holds the
+    // bit-identity contract.
+    let clean = execute_hooi(&tensor, &setup, &config, &opts).unwrap();
+    let mut solver = TuckerSolver::plan(
+        &tensor,
+        PlanOptions::new()
+            .num_threads(1)
+            .ttmc_strategy(TtmcStrategy::PerMode),
+    )
+    .unwrap();
+    let reference = solver.solve(&config).unwrap();
+    assert_identical(&clean.decomposition, &reference, "post-chaos clean run");
 }
 
 /// `solve_many`-style reuse on the executor side: running the same

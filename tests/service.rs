@@ -127,6 +127,114 @@ fn replan_after_eviction_is_transparent_and_bit_identical() {
     }
 }
 
+/// Satellite regression (fault-tolerance PR): a tenant whose requests
+/// panic or expire must not be charged for work never done, and the other
+/// tenants' responses must be bit-identical to a replay without the
+/// poisoned load.
+#[test]
+fn poisoned_tenant_load_leaves_healthy_tenants_and_accounting_intact() {
+    let healthy_requests = |svc: &mut DecompositionService| {
+        svc.submit("healthy", ingest("h", 5));
+        svc.submit("healthy", decompose("h", 77));
+        svc.submit(
+            "healthy",
+            Request::Predict {
+                tensor_id: "h".into(),
+                indices: vec![vec![0, 0, 0], vec![15, 13, 11]],
+            },
+        );
+    };
+
+    // Reference: the healthy tenant alone.
+    let mut reference = DecompositionService::new(ServiceOptions::new().num_threads(1)).unwrap();
+    healthy_requests(&mut reference);
+    let expected = reference.run_until_idle();
+    let expected_model = decomposition(&expected[1].outcome).clone();
+    let expected_charge = reference.charged_flops().get("healthy").copied().unwrap();
+
+    // Mixed load: the poisoned tenant interleaves a panicking predict
+    // (out-of-range indices), requests against its quarantined tensor, and
+    // a deadline that expired in the queue.
+    let mut svc = DecompositionService::new(ServiceOptions::new().num_threads(1)).unwrap();
+    svc.submit("poisoned", ingest("p", 6));
+    svc.submit("poisoned", decompose("p", 88));
+    healthy_requests(&mut svc);
+    svc.submit(
+        "poisoned",
+        Request::Predict {
+            tensor_id: "p".into(),
+            indices: vec![vec![500, 500, 500]],
+        },
+    );
+    svc.submit("poisoned", decompose("p", 88));
+    svc.submit(
+        "poisoned",
+        Request::Decompose {
+            tensor_id: "p".into(),
+            ranks: vec![3, 3, 3],
+            seed: 88,
+            max_iters: 3,
+            deadline: Some(std::time::Duration::ZERO),
+        },
+    );
+    let done = svc.run_until_idle();
+
+    // The poisoned tenant's failures are answers, not outages.
+    let poisoned: Vec<_> = done.iter().filter(|c| c.tenant == "poisoned").collect();
+    assert!(matches!(
+        poisoned[2].outcome,
+        Err(TuckerError::SolvePanicked { .. })
+    ));
+    assert!(matches!(
+        poisoned[3].outcome,
+        Err(TuckerError::SolvePanicked { .. })
+    ));
+    // The expired-deadline request hit the quarantine gate or the deadline
+    // gate — either way a typed error with zero charge.
+    assert!(poisoned[4].outcome.is_err());
+    for failure in &poisoned[2..] {
+        assert_eq!(
+            failure.charged_flops, 0,
+            "failed work must not charge the fairness account"
+        );
+    }
+
+    // The healthy tenant's bits are exactly the solo-replay bits.
+    let healthy: Vec<_> = done.iter().filter(|c| c.tenant == "healthy").collect();
+    let model = decomposition(&healthy[1].outcome);
+    assert_eq!(model.factors, expected_model.factors);
+    assert_eq!(model.core.as_slice(), expected_model.core.as_slice());
+    assert_eq!(model.fits, expected_model.fits);
+    match healthy[2].outcome.as_ref().unwrap() {
+        Response::Predicted { values } => {
+            assert_eq!(
+                values,
+                &expected_model.predict_many(&[vec![0, 0, 0], vec![15, 13, 11]])
+            );
+        }
+        other => panic!("expected predictions, got {other:?}"),
+    }
+    // ...and so is its fairness account.
+    assert_eq!(
+        svc.charged_flops().get("healthy").copied().unwrap(),
+        expected_charge,
+        "healthy tenant's account moved under poisoned load"
+    );
+    // The poisoned tenant is charged only for the work that completed
+    // (ingest + the one successful decompose), nothing for the failures.
+    let charged_poisoned = svc.charged_flops().get("poisoned").copied().unwrap();
+    let mut solo = DecompositionService::new(ServiceOptions::new().num_threads(1)).unwrap();
+    solo.submit("poisoned", ingest("p", 6));
+    solo.submit("poisoned", decompose("p", 88));
+    solo.run_until_idle();
+    assert_eq!(
+        charged_poisoned,
+        solo.charged_flops().get("poisoned").copied().unwrap(),
+        "failures must add zero to the poisoned tenant's account"
+    );
+    assert_eq!(svc.stats().quarantined_tensors, vec!["p".to_string()]);
+}
+
 /// N tenants hammering one shared service from real threads — submissions
 /// and steps interleaved however the OS schedules them — must each get
 /// bit-identical decompositions to a serial, single-tenant replay of their
